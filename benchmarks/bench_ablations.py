@@ -1,0 +1,62 @@
+"""Design-choice ablations (replacement policy, write-back depth,
+eviction batching)."""
+
+from repro.experiments.ablations import (
+    render_ablation,
+    run_free_batch_ablation,
+    run_pageout_window_ablation,
+    run_replacement_ablation,
+)
+
+
+def test_replacement_policy_ablation(benchmark, once):
+    results = once(benchmark, run_replacement_ablation)
+    print(
+        "\n"
+        + render_ablation(results, "Replacement-policy ablation (GAUSS)", "policy")
+    )
+    # Clock's ring order defeats alternating sweeps: far more faults.
+    assert results["clock"]["pageins"] > 2 * results["lru"]["pageins"]
+    # FIFO is no better than LRU here either.
+    assert results["lru"]["pageins"] <= results["fifo"]["pageins"]
+    # Fewer faults -> faster completion.
+    assert results["lru"]["etime"] < results["clock"]["etime"]
+
+
+def test_pageout_window_ablation(benchmark, once):
+    results = once(benchmark, run_pageout_window_ablation)
+    print(
+        "\n"
+        + render_ablation(results, "Pageout-window ablation (GAUSS, remote)", "window")
+    )
+    # Asynchronous write-back overlaps pageouts with pageins/compute.
+    assert results[16]["etime"] < results[1]["etime"]
+    # Identical paging volume either way: only the overlap changes.
+    outs = {r["pageouts"] for r in results.values()}
+    assert max(outs) - min(outs) <= 64
+
+
+def test_free_batch_ablation(benchmark, once):
+    results = once(benchmark, run_free_batch_ablation)
+    print(
+        "\n"
+        + render_ablation(results, "Free-batch ablation (GAUSS, disk)", "batch")
+    )
+    # Batched eviction lets swap writes stream instead of paying a
+    # rotation per page: the DISK baseline depends on it.
+    assert results[16]["etime"] < results[1]["etime"]
+
+
+def test_prefetch_ablation(benchmark, once):
+    from repro.experiments.ablations import run_prefetch_ablation
+
+    results = once(benchmark, run_prefetch_ablation)
+    print(
+        "\n"
+        + render_ablation(
+            results, "Read-ahead ablation (sequential scan, remote)", "depth"
+        )
+    )
+    # Deeper read-ahead overlaps more pagein latency with compute.
+    assert results[8]["etime"] < results[2]["etime"] < results[0]["etime"]
+    assert results[0]["prefetched"] == 0

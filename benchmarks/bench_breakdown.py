@@ -1,0 +1,23 @@
+"""§4.3: the FFT-24MB time decomposition and 10x prediction."""
+
+from repro.analysis import FFT_24MB_BREAKDOWN
+from repro.experiments import render_breakdown, run_breakdown
+
+
+def test_breakdown_fft_24mb(benchmark, once):
+    results = once(benchmark, run_breakdown)
+    print("\n" + render_breakdown(results))
+    d = results["decomposition"]
+    r = results["report"]
+    paper = FFT_24MB_BREAKDOWN
+    # Transfer counts within 30% of the paper's measured run.
+    assert abs(r.pageouts - paper["pageouts"]) / paper["pageouts"] < 0.30
+    assert abs(r.pageins - paper["pageins"]) / paper["pageins"] < 0.30
+    assert abs(r.page_transfers - paper["page_transfers"]) / paper["page_transfers"] < 0.30
+    # The decomposition must reconstruct etime exactly (by construction).
+    total = d.utime + d.systime + d.inittime + d.pptime + d.btime
+    assert abs(total - d.etime) < 1e-6
+    # Headline: paging overhead under ~17% at 10x bandwidth.
+    assert results["overhead_fraction_10x"] < 0.20
+    assert abs(results["predicted_etime_10x"] - paper["predicted_etime_10x"]) \
+        / paper["predicted_etime_10x"] < 0.15

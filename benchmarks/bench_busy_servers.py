@@ -1,0 +1,20 @@
+"""§4.5: busy workstations as servers."""
+
+from repro.experiments import render_busy_servers, run_busy_servers
+
+
+def test_busy_servers(benchmark, once):
+    results = once(benchmark, run_busy_servers, apps=("fft", "gauss", "mvec"))
+    print("\n" + render_busy_servers(results))
+    for app, by_scenario in results.items():
+        idle = by_scenario["idle"]["report"].etime
+        # Editor load: "within 1 sec" in the paper; allow 2 s of slack.
+        editor = by_scenario["editor"]["report"].etime
+        assert abs(editor - idle) < 2.0, f"{app}: editor load cost too much"
+        # CPU-bound load: within 7% (paper's while(1) experiment).
+        cpu_bound = by_scenario["cpu-bound"]["report"].etime
+        assert cpu_bound < 1.07 * idle + 0.5, f"{app}: cpu-bound load over 7%"
+        # Server CPU utilisation always under 15% (§4.5).
+        for scenario, entry in by_scenario.items():
+            for utilization in entry["server_cpu_utilizations"]:
+                assert utilization < 0.15, f"{app}/{scenario}: server CPU >= 15%"

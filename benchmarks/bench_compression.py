@@ -1,0 +1,18 @@
+"""Beyond the paper: page compression's network-speed crossover."""
+
+from repro.experiments import render_compression, run_compression
+
+
+def test_compression_crossover(benchmark, once):
+    results = once(benchmark, run_compression)
+    print("\n" + render_compression(results))
+    slow = results["ethernet"]
+    fast = results["ethernet_x10"]
+    # On the wire-bound Ethernet, compression is a large win...
+    assert slow[2.0] < 0.85 * slow[1.0]
+    assert slow[4.0] < slow[2.0]
+    # ...but on a 10x network the fixed CPU cost eats the savings: the
+    # gain shrinks dramatically or inverts (the modern-systems trade-off).
+    slow_gain = 1 - slow[2.0] / slow[1.0]
+    fast_gain = 1 - fast[2.0] / fast[1.0]
+    assert fast_gain < slow_gain / 2

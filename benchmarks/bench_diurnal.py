@@ -1,0 +1,19 @@
+"""Diurnal capacity: Figure 1's idle-memory trace driving donor grants."""
+
+from repro.experiments import render_diurnal, run_diurnal
+
+
+def test_diurnal_capacity(benchmark, once):
+    results = once(benchmark, run_diurnal)
+    print("\n" + render_diurnal(results))
+    night = results["Thursday 3am"]
+    trough = results["Thursday 11am"]
+    weekend = results["Saturday noon"]
+    # Nights and weekends absorb the whole working set remotely.
+    assert night["disk_pages"] == 0
+    assert weekend["disk_pages"] == 0
+    # The business-hours trough forces disk fallback...
+    assert trough["disk_pages"] > 0
+    # ...and costs time, but far less than all-disk paging would.
+    assert trough["etime"] > night["etime"]
+    assert trough["etime"] < 1.5 * night["etime"]

@@ -1,0 +1,61 @@
+"""Ablations and §5 future-work extensions, as benchmarks.
+
+These go beyond the paper's figures: they test claims the paper makes in
+prose ("the difference becomes lower as servers increase", "beneficial
+over token ring", the §5 threshold and heterogeneous-network designs).
+"""
+
+from repro.experiments import (
+    render_adaptive,
+    render_heterogeneous,
+    render_network_comparison,
+    render_server_scaling,
+    run_adaptive,
+    run_heterogeneous,
+    run_network_comparison,
+    run_server_scaling,
+)
+
+
+def test_server_scaling(benchmark, once):
+    """§4.1: parity logging's gap to no-reliability shrinks as 1/S."""
+    results = once(benchmark, run_server_scaling)
+    print("\n" + render_server_scaling(results))
+    gaps = [results[s]["gap_fraction"] for s in sorted(results)]
+    assert gaps == sorted(gaps, reverse=True), "gap must shrink with S"
+    for s, r in results.items():
+        extra = r["parity_logging_transfers"] - r["no_reliability_transfers"]
+        per_pageout = extra / r["pageouts"]
+        # Exactly one parity transfer per S pageouts (±rounding of the
+        # final unsealed group).
+        assert abs(per_pageout - 1.0 / s) < 0.01
+
+
+def test_token_ring_vs_ethernet_under_load(benchmark, once):
+    """§4.6: the collapse is CSMA/CD's fault, not remote paging's."""
+    results = once(benchmark, run_network_comparison, loads=(0.0, 0.4, 0.8))
+    print("\n" + render_network_comparison(results))
+    eth = results["ethernet"]
+    ring = results["token-ring"]
+    eth_slowdown = eth[0.8] / eth[0.0]
+    ring_slowdown = ring[0.8] / ring[0.0]
+    # The Ethernet collapses; the token ring degrades gracefully.
+    assert eth_slowdown > 3.0
+    assert ring_slowdown < 2.5
+    assert ring_slowdown < eth_slowdown / 2
+
+
+def test_heterogeneous_hierarchy(benchmark, once):
+    """§5: bandwidth-aware placement exploits fast links first."""
+    results = once(benchmark, run_heterogeneous)
+    print("\n" + render_heterogeneous(results))
+    assert results["bandwidth-aware"]["fast_share"] > results["round-robin"]["fast_share"]
+    assert results["speedup"] > 1.1
+
+
+def test_adaptive_threshold_on_congested_network(benchmark, once):
+    """§5: the request-time threshold reroutes pageouts to the disk."""
+    results = once(benchmark, run_adaptive)
+    print("\n" + render_adaptive(results))
+    assert results["adaptive"]["disk_routed"] > 0
+    assert results["improvement"] > 0.15

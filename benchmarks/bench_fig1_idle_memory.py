@@ -1,0 +1,14 @@
+"""Figure 1: idle cluster memory over a week."""
+
+from repro.experiments import render_fig1, run_fig1
+
+
+def test_fig1_idle_memory(benchmark, once):
+    results = once(benchmark, run_fig1)
+    print("\n" + render_fig1(results))
+    summary = results["summary"]
+    # The paper's Figure 1 envelope.
+    assert summary["min_mb"] >= 300
+    assert summary["max_mb"] > 700
+    assert results["off_hours_mean_mb"] > results["business_hours_mean_mb"]
+    assert results["business_hours_mean_mb"] >= 400

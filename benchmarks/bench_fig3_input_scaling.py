@@ -1,0 +1,24 @@
+"""Figure 3: FFT completion vs input size, disk vs parity logging."""
+
+from repro.experiments import render_fig3, run_fig3
+
+
+def test_fig3_input_scaling(benchmark, once):
+    results = once(benchmark, run_fig3)
+    print("\n" + render_fig3(results))
+    disk = {mb: r.etime for mb, r in results["disk"].items()}
+    remote = {mb: r.etime for mb, r in results["parity-logging"].items()}
+    sizes = sorted(disk)
+    # Below the memory cliff both devices are irrelevant (no paging).
+    assert results["disk"][sizes[0]].pageins == 0
+    # The cliff: completion rises sharply once the working set exceeds
+    # memory (paper: past 18 MB).
+    assert disk[sizes[-1]] > 1.5 * disk[sizes[0]]
+    # Remote memory softens the cliff at every paging size.
+    for mb in sizes:
+        if results["disk"][mb].pageins > 0:
+            assert remote[mb] < disk[mb], f"remote must beat disk at {mb} MB"
+    # Completion time is monotone in input size for both curves.
+    for curve in (disk, remote):
+        values = [curve[mb] for mb in sizes]
+        assert values == sorted(values)

@@ -1,0 +1,18 @@
+"""§4.6: remote paging over a loaded Ethernet (throughput collapse)."""
+
+from repro.experiments import render_loaded_ethernet, run_loaded_ethernet
+
+
+def test_loaded_ethernet(benchmark, once):
+    results = once(benchmark, run_loaded_ethernet, loads=(0.0, 0.3, 0.6))
+    print("\n" + render_loaded_ethernet(results))
+    idle = results[0.0]
+    light = results[0.3]
+    heavy = results[0.6]
+    # Degradation appears "even when the Ethernet was lightly loaded".
+    assert light["etime"] > idle["etime"]
+    # ... and grows with load, driven by CSMA/CD collisions.
+    assert heavy["etime"] > light["etime"]
+    assert heavy["collisions"] > light["collisions"] > idle["collisions"]
+    # Message latency balloons under contention.
+    assert heavy["mean_message_latency_ms"] > 2 * idle["mean_message_latency_ms"]

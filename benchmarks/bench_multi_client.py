@@ -1,0 +1,13 @@
+"""Two clients sharing one Ethernet and donor pool (§3.2 / §6)."""
+
+from repro.experiments import render_multi_client, run_multi_client
+
+
+def test_multi_client_contention(benchmark, once):
+    results = once(benchmark, run_multi_client)
+    print("\n" + render_multi_client(results))
+    # Both clients complete, both pay a contention cost on the shared
+    # wire, and neither is starved (CSMA/CD backoff is roughly fair).
+    assert all(s > 1.0 for s in results["slowdowns"])
+    assert max(results["slowdowns"]) < 3.0
+    assert results["collisions"] > 0

@@ -1,0 +1,81 @@
+"""Recovery-cost ablation (§2.2's three design criteria).
+
+The paper weighs runtime overhead, memory overhead, and crash-recovery
+overhead across its policies.  This bench crashes one of the servers
+mid-workload under each reliable policy and reports all three costs.
+"""
+
+from repro.analysis import format_table
+from repro.core import CrashInjector, build_cluster
+from repro.vm import page_bytes
+
+PAGE = 8192
+N_PAGES = 96
+
+
+def _run_policy(policy):
+    kwargs = dict(n_servers=4, content_mode=True, server_capacity_pages=512)
+    if policy == "parity-logging":
+        kwargs["overflow_fraction"] = 0.10
+    cluster = build_cluster(policy=policy, **kwargs)
+    pager = cluster.pager
+    sim = cluster.sim
+    # Captured pre-crash: recovery shrinks the server set, which would
+    # otherwise inflate the reported 1 + 1/S factor.
+    memory_overhead = cluster.policy.memory_overhead_factor
+
+    def flow():
+        for page_id in range(N_PAGES):
+            yield from pager.pageout(page_id, page_bytes(page_id, 1, PAGE))
+        runtime = sim.now
+        cluster.servers[0].crash()
+        # First pagein detects the crash and triggers recovery.
+        for page_id in range(N_PAGES):
+            got = yield from pager.pagein(page_id)
+            assert got == page_bytes(page_id, 1, PAGE)
+        return runtime
+
+    runtime = sim.run_until_complete(sim.process(flow()))
+    return {
+        "runtime_s": runtime,
+        "recovery_s": pager.recovery_times.mean,
+        "memory_overhead": memory_overhead,
+        "transfers": cluster.policy.transfers,
+    }
+
+
+def test_recovery_cost_ablation(benchmark, once):
+    def run_all():
+        return {
+            policy: _run_policy(policy)
+            for policy in ("mirroring", "parity", "parity-logging", "write-through")
+        }
+
+    results = once(benchmark, run_all)
+    rows = [
+        [
+            policy,
+            f"{r['runtime_s']:.2f}",
+            f"{r['recovery_s']:.2f}",
+            f"{r['memory_overhead']:.2f}x",
+        ]
+        for policy, r in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["policy", "pageout runtime (s)", "recovery (s)", "remote memory"],
+            rows,
+            title="Recovery ablation: 96 pages, one server crash",
+        )
+    )
+    # §2.2's trade-off matrix, as measured:
+    # mirroring: fastest recovery, highest memory overhead.
+    assert results["mirroring"]["recovery_s"] < results["parity"]["recovery_s"]
+    assert results["mirroring"]["recovery_s"] < results["parity-logging"]["recovery_s"]
+    assert results["mirroring"]["memory_overhead"] == 2.0
+    # parity logging: lowest runtime overhead of the parity schemes.
+    assert results["parity-logging"]["runtime_s"] < results["parity"]["runtime_s"]
+    assert results["parity-logging"]["runtime_s"] < results["mirroring"]["runtime_s"]
+    # parity schemes: only 1 + 1/S memory overhead.
+    assert results["parity-logging"]["memory_overhead"] == 1.25

@@ -1,0 +1,17 @@
+"""Remote memory vs remote disk paging (Comer & Griffioen, §6)."""
+
+from repro.experiments import render_remote_disk, run_remote_disk
+
+
+def test_remote_memory_vs_remote_disk(benchmark, once):
+    results = once(benchmark, run_remote_disk)
+    print("\n" + render_remote_disk(results))
+    for pattern, r in results.items():
+        # Remote memory always wins...
+        assert r["remote_memory"] < r["remote_disk"], pattern
+        # ...by an amount in Comer & Griffioen's 20%-100% band (we allow
+        # a little slack above: our 1996 disk model is slower per random
+        # access than their NFS server's).
+        assert 0.20 <= r["speedup"] <= 1.20, f"{pattern}: {r['speedup']:.0%}"
+    # The gap grows with access-pattern randomness.
+    assert results["random"]["speedup"] > results["sequential"]["speedup"]

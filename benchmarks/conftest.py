@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures/tables and prints
+the measured-vs-paper comparison (run with ``-s`` to see the tables).
+The simulations are deterministic, so a single round is meaningful; the
+benchmark timing itself measures the simulator's wall-clock cost.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Crash survival: a memory server dies mid-run; the application finishes.
+
+The paper's core reliability claim (§2.2): with parity logging, a single
+workstation crash loses nothing — the client reconstructs every lost
+page by XORing parity groups.  This example runs an FFT in *content
+mode* (pages carry real bytes, and every pagein is verified against what
+was paged out), kills one of the four servers partway through, and shows
+the run completing with zero data corruption.
+
+Run:  python examples/crash_survival.py
+"""
+
+from repro import CrashInjector, Fft, build_cluster
+
+
+def main() -> None:
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        overflow_fraction=0.10,
+        content_mode=True,  # real page payloads, verified on every pagein
+    )
+    workload = Fft.from_megabytes(21.6)
+    victim = cluster.servers[1]
+    injector = CrashInjector(cluster.sim)
+    # Kill the server once it has absorbed 200 pageouts (mid-workload).
+    injector.crash_after_pageouts(victim, pageouts=200)
+
+    print(f"running {workload.name} with servers "
+          f"{[s.name for s in cluster.servers]} + {cluster.parity_server.name}")
+    report = cluster.run(workload)
+
+    crash_time, crashed_name = injector.crashes[0]
+    print(f"\n{crashed_name} crashed at t={crash_time:.2f}s "
+          f"holding client pages — and the run still completed:")
+    print(f"  {report.summary()}")
+    print(f"  recoveries: {cluster.pager.counters['recoveries']}, "
+          f"recovery time {cluster.pager.recovery_times.mean:.2f}s, "
+          f"pages reconstructed "
+          f"{cluster.policy.counters['recovered_pages']}")
+    print("\nevery pagein after the crash was verified byte-for-byte "
+          "against the last paged-out contents (content mode).")
+
+
+if __name__ == "__main__":
+    main()

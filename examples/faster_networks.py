@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Faster networks: the paper's Figure 4 extrapolation, plus validation.
+
+Decomposes an FFT run into utime / systime / inittime / pptime / btime
+(§4.3), predicts completion on 2x/5x/10x/100x networks with the paper's
+formula, and — something the 1996 authors could not do — checks the 10x
+prediction against a directly simulated 100 Mbit/s switched network.
+
+Run:  python examples/faster_networks.py
+"""
+
+from repro import Fft, build_cluster, fast_network
+from repro.analysis import all_memory_bound, decompose
+from repro.experiments import PAPER_CONFIGS
+
+
+def main() -> None:
+    workload_mb = 24.0
+
+    cluster = build_cluster(**PAPER_CONFIGS["parity-logging"])
+    report = cluster.run(Fft.from_megabytes(workload_mb))
+    d = decompose(report)
+    print(d.summary())
+    print(f"paging overhead on the 10 Mbit/s Ethernet: "
+          f"{d.paging_overhead_fraction:.1%}\n")
+
+    print("predicted completion time on faster networks (§4.3 formula):")
+    for factor in (2, 5, 10, 100):
+        predicted = d.predicted_etime(factor)
+        cpu_floor = all_memory_bound(d)
+        overhead = 1 - cpu_floor / predicted
+        print(f"  {factor:4d}x bandwidth: {predicted:7.2f}s "
+              f"(paging overhead {overhead:.1%})")
+    print(f"  all-memory bound: {all_memory_bound(d):7.2f}s\n")
+
+    # Validate the 10x prediction by actually simulating the network.
+    fast = build_cluster(
+        **{**PAPER_CONFIGS["parity-logging"], "switched_spec": fast_network(10)}
+    )
+    fast_report = fast.run(Fft.from_megabytes(workload_mb))
+    predicted = d.predicted_etime(10)
+    error = abs(fast_report.etime - predicted) / fast_report.etime
+    print(f"simulated 100 Mbit/s switched network: {fast_report.etime:.2f}s")
+    print(f"paper-style prediction:                {predicted:.2f}s "
+          f"({error:.1%} off the simulation)")
+
+
+if __name__ == "__main__":
+    main()

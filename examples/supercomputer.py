@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Supercomputer memory donor: §5's single-big-host scenario.
+
+"Connecting machines that have an enormous amount of memory (e.g. a
+supercomputer) to a network of workstations also poses some problems.
+When the supercomputer memory is idle, it may not always be easy to find
+enough free remote workstation memory in order to be able to use
+reliability policies.  In this case, a no reliability policy can be
+used, since all remote memory will be provided by a single host."
+
+This example contrasts three configurations for the same workload:
+
+1. four small workstation donors with parity logging (the usual setup);
+2. a single supercomputer donor, no-reliability (the §5 recommendation);
+3. a single supercomputer donor *plus* a small workstation mirror —
+   showing why mirroring onto a small host fails: the mirror runs out of
+   memory and pages spill to the local disk.
+
+Run:  python examples/supercomputer.py
+"""
+
+from repro import Gauss, MachineSpec, build_cluster
+from repro.units import megabytes
+
+
+SUPERCOMPUTER = MachineSpec(
+    name="cray-ish",
+    ram_bytes=megabytes(2048),
+    kernel_resident_bytes=megabytes(64),
+    cpu_speed=4.0,
+)
+
+
+def main() -> None:
+    workload_factory = Gauss
+
+    print("1. four workstation donors, parity logging (baseline):")
+    cluster = build_cluster(
+        policy="parity-logging", n_servers=4, overflow_fraction=0.10
+    )
+    report = cluster.run(workload_factory())
+    print(f"   {report.summary()}")
+
+    print("\n2. one supercomputer donor, no-reliability (§5's suggestion):")
+    cluster = build_cluster(
+        policy="no-reliability",
+        n_servers=1,
+        server_spec=SUPERCOMPUTER,
+        server_capacity_pages=16384,  # 128 MB of donated memory
+    )
+    report = cluster.run(workload_factory())
+    print(f"   {report.summary()}")
+    server = cluster.servers[0]
+    print(f"   {server.name} absorbed {server.stored_pages} pages "
+          f"({server.stored_pages * 8 // 1024} MB) "
+          f"with {server.free_pages} pages to spare")
+
+    print("\n3. supercomputer + small workstation mirror (why §5 advises "
+          "against reliability here):")
+    cluster = build_cluster(
+        policy="mirroring",
+        n_servers=2,
+        server_capacity_pages=512,  # the small mirror holds only 4 MB
+    )
+    report = cluster.run(workload_factory())
+    print(f"   {report.summary()}")
+    print(f"   pages that overflowed to the local disk: "
+          f"{cluster.pager.pages_on_local_disk} "
+          f"(the small mirror filled up)")
+
+
+if __name__ == "__main__":
+    main()

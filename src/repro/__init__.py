@@ -1,0 +1,120 @@
+"""repro — a reproduction of Markatos & Dramitinos, "Implementation of a
+Reliable Remote Memory Pager" (USENIX 1996).
+
+The package implements the paper's remote memory pager and every
+substrate its evaluation needs, on top of a deterministic discrete-event
+simulator:
+
+>>> from repro import build_cluster, Gauss
+>>> cluster = build_cluster(policy="parity-logging", n_servers=4,
+...                         overflow_fraction=0.10)
+>>> report = cluster.run(Gauss())
+>>> report.etime < 60          # remote memory vs ~80 s on the local disk
+True
+
+Layers (see DESIGN.md):
+
+* :mod:`repro.sim` — the discrete-event kernel;
+* :mod:`repro.net` — CSMA/CD Ethernet, switched networks, transport;
+* :mod:`repro.disk` — the DEC RZ55 model and swap backends;
+* :mod:`repro.vm` — page tables, replacement, the paging machine;
+* :mod:`repro.workloads` — the paper's six applications;
+* :mod:`repro.cluster` — workstations, registry, idle-memory traces;
+* :mod:`repro.core` — the pager, servers, and reliability policies;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — the evaluation.
+"""
+
+from .config import (
+    DEC_ALPHA_3000_300,
+    DEC_RZ55,
+    ETHERNET_10MBPS,
+    PAGE_SIZE,
+    TCP_IP_1996,
+    DiskSpec,
+    EthernetSpec,
+    MachineSpec,
+    ProtocolSpec,
+    SwitchedNetworkSpec,
+    fast_network,
+)
+from .core import (
+    POLICY_NAMES,
+    BasicParity,
+    Cluster,
+    CrashInjector,
+    MemoryServer,
+    Mirroring,
+    NoReliability,
+    ParityLogging,
+    RemoteMemoryPager,
+    WriteThrough,
+    build_cluster,
+)
+from .errors import (
+    ConfigurationError,
+    NetworkPartitioned,
+    PageNotFound,
+    PagingError,
+    RecoveryError,
+    ReproError,
+    ServerCrashed,
+    ServerUnavailable,
+    SwapSpaceExhausted,
+)
+from .vm import CompletionReport, Machine
+from .workloads import (
+    PAPER_WORKLOADS,
+    Fft,
+    Gauss,
+    ImageFilter,
+    KernelBuild,
+    Mvec,
+    Qsort,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_cluster",
+    "Cluster",
+    "POLICY_NAMES",
+    "RemoteMemoryPager",
+    "MemoryServer",
+    "NoReliability",
+    "Mirroring",
+    "BasicParity",
+    "ParityLogging",
+    "WriteThrough",
+    "CrashInjector",
+    "Machine",
+    "CompletionReport",
+    "Workload",
+    "PAPER_WORKLOADS",
+    "Mvec",
+    "Gauss",
+    "Qsort",
+    "Fft",
+    "ImageFilter",
+    "KernelBuild",
+    "PAGE_SIZE",
+    "MachineSpec",
+    "EthernetSpec",
+    "SwitchedNetworkSpec",
+    "DiskSpec",
+    "ProtocolSpec",
+    "DEC_ALPHA_3000_300",
+    "DEC_RZ55",
+    "ETHERNET_10MBPS",
+    "TCP_IP_1996",
+    "fast_network",
+    "ReproError",
+    "ConfigurationError",
+    "PagingError",
+    "PageNotFound",
+    "SwapSpaceExhausted",
+    "ServerCrashed",
+    "ServerUnavailable",
+    "RecoveryError",
+    "NetworkPartitioned",
+]

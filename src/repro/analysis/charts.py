@@ -1,0 +1,72 @@
+"""ASCII line charts for experiment series (no plotting dependencies).
+
+The paper's figures 3 and 4 are line charts; these helpers render the
+same series as terminal plots, so ``python -m repro fig3`` can show the
+cliff, not just a table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart"]
+
+_MARKS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render named (x, y) series on one shared-axis ASCII grid.
+
+    >>> print(ascii_chart({"line": [(0, 0), (1, 1)]}, width=8, height=4))
+    ... # doctest: +SKIP
+    """
+    if not series or all(not points for points in series.values()):
+        raise ValueError("ascii_chart needs at least one non-empty series")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to draw")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, points) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in points:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            grid[row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.6g}"
+    bottom_label = f"{y_lo:.6g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = top_label
+        elif i == height - 1:
+            label = bottom_label
+        else:
+            label = ""
+        lines.append(f"{label.rjust(gutter)}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_lo:.6g}".ljust(width - 8) + f"{x_hi:.6g}".rjust(8)
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 1) + f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""The §4.3 bandwidth-extrapolation model.
+
+The paper separates an application's completion time into::
+
+    etime = utime + systime + inittime + ptime
+    ptime = pptime + btime
+    pptime = page_transfers * per_page_protocol_cpu     (1.6 ms measured)
+    btime  = ptime - pptime                             (bandwidth-bound)
+
+"Assuming that a network with X times higher bandwidth will decrease
+btime by a factor of X, we can predict the etime of the application over
+this high bandwidth network":
+
+    expected_etime(X) = utime + systime + inittime + pptime + btime / X
+
+``X -> infinity`` with zero protocol cost gives the ALL MEMORY bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vm.machine import CompletionReport
+
+__all__ = ["Decomposition", "decompose", "extrapolate", "all_memory_bound"]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """One run's time split into the paper's five components."""
+
+    name: str
+    etime: float
+    utime: float
+    systime: float
+    inittime: float
+    pptime: float
+    btime: float
+    page_transfers: int
+
+    @property
+    def ptime(self) -> float:
+        """Total page-transfer time."""
+        return self.pptime + self.btime
+
+    @property
+    def paging_overhead_fraction(self) -> float:
+        """Share of the run spent paging (the paper's <17% headline)."""
+        if self.etime <= 0:
+            return 0.0
+        return self.ptime / self.etime
+
+    def predicted_etime(self, bandwidth_factor: float) -> float:
+        """The §4.3 prediction formula."""
+        if bandwidth_factor <= 0:
+            raise ValueError(f"bandwidth factor must be positive: {bandwidth_factor}")
+        return (
+            self.utime
+            + self.systime
+            + self.inittime
+            + self.pptime
+            + self.btime / bandwidth_factor
+        )
+
+    def summary(self) -> str:
+        """One-line rendering of the decomposition."""
+        return (
+            f"{self.name}: etime={self.etime:.2f}s = utime {self.utime:.2f} "
+            f"+ systime {self.systime:.2f} + init {self.inittime:.2f} "
+            f"+ pptime {self.pptime:.2f} + btime {self.btime:.2f} "
+            f"({self.page_transfers} transfers)"
+        )
+
+
+def decompose(
+    report: CompletionReport, per_page_protocol_cpu: float = 0.0016
+) -> Decomposition:
+    """Split a run's report into the paper's components.
+
+    ``pptime = page_transfers * per_page_protocol_cpu`` and ``btime`` is
+    whatever page-transfer time remains — exactly the paper's method
+    (they measured pptime with the ``time`` command and subtraction).
+    """
+    if per_page_protocol_cpu < 0:
+        raise ValueError("protocol cost must be non-negative")
+    pptime = report.page_transfers * per_page_protocol_cpu
+    btime = max(0.0, report.ptime - pptime)
+    return Decomposition(
+        name=report.name,
+        etime=report.etime,
+        utime=report.utime,
+        systime=report.systime,
+        inittime=report.inittime,
+        pptime=min(pptime, report.ptime),
+        btime=btime,
+        page_transfers=report.page_transfers,
+    )
+
+
+def extrapolate(decomposition: Decomposition, bandwidth_factor: float) -> float:
+    """Predicted completion time on an ``X``-times-faster network."""
+    return decomposition.predicted_etime(bandwidth_factor)
+
+
+def all_memory_bound(decomposition: Decomposition) -> float:
+    """Predicted completion with the whole working set in memory:
+    utime + systime + inittime (the paper's ALL MEMORY curve)."""
+    return decomposition.utime + decomposition.systime + decomposition.inittime

@@ -1,0 +1,150 @@
+"""A closed-form analytic performance model (Felten & Zahorjan style).
+
+Related work (§6): Felten and Zahorjan "presented an analytical model to
+predict [a remote paging system's] performance".  This module provides
+the equivalent for our system: given a workload's fault profile and the
+hardware specs, predict completion time *without simulating* — then the
+test suite validates the predictions against the simulator.
+
+The model::
+
+    etime ≈ inittime + utime + systime + pagein_cost + pageout_cost
+    systime       = faults * fault_service_cpu
+    pagein_cost   = pageins  * T_in(device)
+    pageout_cost  = pageouts * T_out(device) * overlap_factor
+
+Per-page device times are derived from first principles:
+
+* Ethernet page transfer: per-frame wire time + interframe gap + one
+  contention slot, plus the protocol CPU.
+* Disk page access: seek + rotational latency + interleaved transfer
+  (streamed writes skip seek/rotation, random reads pay both).
+
+``overlap_factor`` accounts for asynchronous write-back: pageouts that
+overlap pageins/compute cost less than their full service time on the
+shared wire (they still serialise) but nearly vanish on the duplex-free
+disk path only when reads are absent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import (
+    DEC_RZ55,
+    ETHERNET_10MBPS,
+    TCP_IP_1996,
+    DiskSpec,
+    EthernetSpec,
+    MachineSpec,
+    ProtocolSpec,
+)
+
+__all__ = [
+    "ethernet_page_time",
+    "disk_page_time",
+    "AnalyticModel",
+]
+
+
+def ethernet_page_time(
+    page_size: int = 8192,
+    ethernet: EthernetSpec = ETHERNET_10MBPS,
+    protocol: ProtocolSpec = TCP_IP_1996,
+    with_request: bool = False,
+) -> float:
+    """One page transfer on an idle Ethernet, protocol CPU included."""
+    payload = max(1, ethernet.mtu - protocol.header_bytes)
+    segments = -(-page_size // payload)
+    on_wire = page_size + segments * protocol.header_bytes
+    full, rest = divmod(on_wire, ethernet.mtu)
+    per_frame_overhead = ethernet.interframe_gap + ethernet.slot_time
+    total = 0.0
+    for frame_payload in [ethernet.mtu] * full + ([rest] if rest else []):
+        total += ethernet.frame_time(frame_payload) + per_frame_overhead
+    if with_request:
+        request = protocol.request_bytes + protocol.header_bytes
+        total += ethernet.frame_time(request) + per_frame_overhead
+    return total + protocol.per_page_cpu
+
+
+def disk_page_time(
+    page_size: int = 8192,
+    disk: DiskSpec = DEC_RZ55,
+    sequential: bool = False,
+    swap_area_fraction: float = 0.1,
+) -> float:
+    """One page to/from the swap disk.
+
+    ``sequential`` models streamed writes (queued back to back: no seek,
+    no rotation); otherwise the page pays the average in-swap-area seek
+    plus half a rotation.
+    """
+    transfer = page_size / disk.sustained_bandwidth
+    if sequential:
+        return transfer
+    # Average seek within a compact swap area (see Disk.seek_time):
+    # E[sqrt(d)] over the area = (8/15) * sqrt(area fraction).
+    min_seek = disk.avg_seek / 8
+    full_stroke = min_seek + (disk.avg_seek - min_seek) / (8 / 15)
+    mean_sqrt = (8 / 15) * (swap_area_fraction**0.5)
+    seek = min_seek + (full_stroke - min_seek) * mean_sqrt
+    return seek + disk.avg_rotational_latency + transfer
+
+
+@dataclass(frozen=True)
+class AnalyticModel:
+    """Predict a run's completion time from its fault profile."""
+
+    machine: MachineSpec = None  # type: ignore[assignment]
+    ethernet: EthernetSpec = ETHERNET_10MBPS
+    protocol: ProtocolSpec = TCP_IP_1996
+    disk: DiskSpec = DEC_RZ55
+
+    def predict(
+        self,
+        utime: float,
+        pageins: int,
+        pageouts: int,
+        faults: int,
+        policy: str,
+        n_servers: int = 2,
+        init_time: float = 0.21,
+    ) -> float:
+        """Completion-time prediction for one policy configuration."""
+        machine = self.machine
+        fault_cpu = (machine.fault_service_cpu if machine else 5e-4)
+        systime = faults * fault_cpu
+        page_size = machine.page_size if machine else 8192
+        t_net = ethernet_page_time(page_size, self.ethernet, self.protocol)
+        t_net_in = ethernet_page_time(
+            page_size, self.ethernet, self.protocol, with_request=True
+        )
+        t_disk_write = disk_page_time(page_size, self.disk, sequential=True)
+        t_disk_read = disk_page_time(page_size, self.disk, sequential=False)
+
+        if policy == "disk":
+            # Batched write-back streams most writes; the first page of a
+            # batch still pays a positioning delay.
+            write = pageouts * (t_disk_write + self.disk.avg_rotational_latency / 8)
+            read = pageins * t_disk_read
+            paging = write + read
+        elif policy == "no-reliability":
+            paging = pageouts * t_net + pageins * t_net_in
+        elif policy == "mirroring":
+            paging = 2 * pageouts * t_net + pageins * t_net_in
+        elif policy == "parity-logging":
+            paging = pageouts * (1 + 1 / n_servers) * t_net + pageins * t_net_in
+        elif policy == "write-through":
+            # The disk copy runs in parallel with network traffic and the
+            # asynchronous write-back window overlaps pageouts with
+            # pageins, so paging time is bound by the busier *device*,
+            # not by per-page maxima (§4.7's "executed in parallel").
+            net_load = pageouts * t_net + pageins * t_net_in
+            disk_load = pageouts * (
+                t_disk_write + self.disk.avg_rotational_latency / 8
+            )
+            paging = max(net_load, disk_load)
+        else:
+            raise ValueError(f"unknown policy {policy!r}")
+        return init_time + utime + systime + paging

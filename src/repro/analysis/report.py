@@ -1,0 +1,80 @@
+"""Result tables: render measured-vs-paper comparisons as text.
+
+Every experiment module uses these helpers so benchmark output reads like
+the paper's figures: one row per (application, policy) with our measured
+seconds next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "comparison_table", "shape_check"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """A plain fixed-width text table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in col) for col in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(
+    measured: Dict[str, Dict[str, float]],
+    paper: Dict[str, Dict[str, float]],
+    policies: Sequence[str],
+    title: str = "measured vs paper (seconds)",
+) -> str:
+    """Rows per application, measured/paper column pairs per policy."""
+    headers = ["app"] + [f"{p} (ours/paper)" for p in policies]
+    rows: List[List[str]] = []
+    for app, by_policy in measured.items():
+        row = [app]
+        for policy in policies:
+            ours = by_policy.get(policy)
+            ref = paper.get(app, {}).get(policy)
+            ours_text = f"{ours:.2f}" if ours is not None else "-"
+            ref_text = f"{ref:.2f}" if ref is not None else "-"
+            row.append(f"{ours_text} / {ref_text}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def shape_check(
+    measured: Dict[str, float], paper: Dict[str, float]
+) -> Dict[str, object]:
+    """Compare the *shape* of one application's policy ranking.
+
+    Returns the measured and paper orderings (fastest first), whether
+    they agree, and the worst relative-gap discrepancy — the reproduction
+    criterion DESIGN.md §4 sets out.
+    """
+    common = sorted(set(measured) & set(paper))
+    ours_order = sorted(common, key=lambda p: measured[p])
+    paper_order = sorted(common, key=lambda p: paper[p])
+    gaps = {}
+    base = ours_order[0] if ours_order else None
+    for policy in common:
+        if base is None or paper[base] == 0 or measured[base] == 0:
+            continue
+        ours_ratio = measured[policy] / measured[base]
+        paper_ratio = paper[policy] / paper[base]
+        gaps[policy] = abs(ours_ratio - paper_ratio) / paper_ratio
+    return {
+        "measured_order": ours_order,
+        "paper_order": paper_order,
+        "order_matches": ours_order == paper_order,
+        "max_relative_gap_error": max(gaps.values()) if gaps else 0.0,
+    }

@@ -1,0 +1,284 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+::
+
+    python -m repro fig2 --apps mvec gauss
+    python -m repro fig4
+    python -m repro breakdown
+    python -m repro all          # everything (minutes of simulation)
+
+Each subcommand runs the matching experiment module and prints its
+measured-vs-paper table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments as exp
+
+__all__ = ["main", "build_parser"]
+
+
+def _cmd_fig1(args) -> str:
+    return exp.render_fig1(exp.run_fig1(seed=args.seed))
+
+
+def _cmd_fig2(args) -> str:
+    return exp.render_fig2(exp.run_fig2(apps=args.apps, policies=args.policies))
+
+
+def _cmd_fig3(args) -> str:
+    return exp.render_fig3(exp.run_fig3(sizes_mb=args.sizes))
+
+
+def _cmd_fig4(args) -> str:
+    return exp.render_fig4(
+        exp.run_fig4(sizes_mb=args.sizes, simulate_fast_network=not args.no_simulate)
+    )
+
+
+def _cmd_fig5(args) -> str:
+    return exp.render_fig5(exp.run_fig5(apps=args.apps))
+
+
+def _cmd_breakdown(args) -> str:
+    return exp.render_breakdown(exp.run_breakdown(size_mb=args.size))
+
+
+def _cmd_latency(args) -> str:
+    return exp.render_latency(exp.run_latency(n_transfers=args.transfers))
+
+
+def _cmd_busy(args) -> str:
+    return exp.render_busy_servers(exp.run_busy_servers(apps=tuple(args.apps)))
+
+
+def _cmd_loaded(args) -> str:
+    return exp.render_loaded_ethernet(exp.run_loaded_ethernet(loads=args.loads))
+
+
+def _cmd_scaling(args) -> str:
+    return exp.render_server_scaling(exp.run_server_scaling(server_counts=args.servers))
+
+
+def _cmd_netcmp(args) -> str:
+    return exp.render_network_comparison(exp.run_network_comparison(loads=args.loads))
+
+
+def _cmd_hetero(args) -> str:
+    return exp.render_heterogeneous(exp.run_heterogeneous())
+
+
+def _cmd_adaptive(args) -> str:
+    return exp.render_adaptive(exp.run_adaptive(background_load=args.load))
+
+
+def _cmd_remotedisk(args) -> str:
+    return exp.render_remote_disk(exp.run_remote_disk())
+
+
+def _cmd_multiclient(args) -> str:
+    return exp.render_multi_client(exp.run_multi_client())
+
+
+def _cmd_diurnal(args) -> str:
+    return exp.render_diurnal(exp.run_diurnal())
+
+
+def _cmd_compression(args) -> str:
+    return exp.render_compression(exp.run_compression())
+
+
+def _cmd_profile(args) -> str:
+    from .workloads import PAPER_WORKLOADS, profile_workload, render_profiles
+
+    suite = PAPER_WORKLOADS()
+    if args.apps:
+        suite = [wl for wl in suite if wl.name in args.apps]
+    return render_profiles([profile_workload(wl) for wl in suite])
+
+
+def _cmd_ablate(args) -> str:
+    parts = []
+    if args.which in ("replacement", "all"):
+        parts.append(
+            exp.render_ablation(
+                exp.run_replacement_ablation(),
+                "Replacement-policy ablation (GAUSS)",
+                "policy",
+            )
+        )
+    if args.which in ("window", "all"):
+        parts.append(
+            exp.render_ablation(
+                exp.run_pageout_window_ablation(),
+                "Pageout-window ablation (GAUSS, remote)",
+                "window",
+            )
+        )
+    if args.which in ("batch", "all"):
+        parts.append(
+            exp.render_ablation(
+                exp.run_free_batch_ablation(),
+                "Free-batch ablation (GAUSS, disk)",
+                "batch",
+            )
+        )
+    return "\n\n".join(parts)
+
+
+_ALL = [
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "breakdown",
+    "latency",
+    "busy",
+    "loaded",
+    "scaling",
+    "netcmp",
+    "hetero",
+    "adaptive",
+    "remotedisk",
+    "multiclient",
+    "diurnal",
+    "compression",
+    "profile",
+    "ablate",
+]
+
+_APPS = ["mvec", "gauss", "qsort", "fft", "filter", "cc"]
+_POLICIES = ["no-reliability", "parity-logging", "mirroring", "disk", "write-through"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Implementation of a Reliable Remote Memory "
+        "Pager' (USENIX 1996): regenerate any evaluation figure.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("fig1", help="idle cluster memory over a week")
+    p.add_argument("--seed", type=int, default=1995)
+    p.set_defaults(func=_cmd_fig1)
+
+    p = sub.add_parser("fig2", help="six applications x four policies")
+    p.add_argument("--apps", nargs="+", choices=_APPS, default=None)
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        choices=_POLICIES,
+        default=None,
+    )
+    p.set_defaults(func=_cmd_fig2)
+
+    p = sub.add_parser("fig3", help="FFT completion vs input size")
+    p.add_argument("--sizes", nargs="+", type=float, default=None, metavar="MB")
+    p.set_defaults(func=_cmd_fig3)
+
+    p = sub.add_parser("fig4", help="FFT under faster networks")
+    p.add_argument("--sizes", nargs="+", type=float, default=None, metavar="MB")
+    p.add_argument(
+        "--no-simulate",
+        action="store_true",
+        help="skip the direct 10x-network simulation (prediction only)",
+    )
+    p.set_defaults(func=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="write-through vs parity logging")
+    p.add_argument(
+        "--apps", nargs="+", choices=["mvec", "gauss", "qsort", "fft"], default=None
+    )
+    p.set_defaults(func=_cmd_fig5)
+
+    p = sub.add_parser("breakdown", help="the §4.3 FFT-24MB decomposition")
+    p.add_argument("--size", type=float, default=24.0, metavar="MB")
+    p.set_defaults(func=_cmd_breakdown)
+
+    p = sub.add_parser("latency", help="§4.4 per-page latency microbenchmark")
+    p.add_argument("--transfers", type=int, default=200)
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("busy", help="§4.5 busy workstations as servers")
+    p.add_argument(
+        "--apps", nargs="+", choices=["fft", "gauss", "mvec", "qsort"],
+        default=["fft", "gauss", "mvec"],
+    )
+    p.set_defaults(func=_cmd_busy)
+
+    p = sub.add_parser("loaded", help="§4.6 loaded Ethernet")
+    p.add_argument("--loads", nargs="+", type=float, default=[0.0, 0.3, 0.6])
+    p.set_defaults(func=_cmd_loaded)
+
+    p = sub.add_parser("scaling", help="parity logging vs server count")
+    p.add_argument("--servers", nargs="+", type=int, default=[2, 4, 8])
+    p.set_defaults(func=_cmd_scaling)
+
+    p = sub.add_parser("netcmp", help="token ring vs Ethernet under load")
+    p.add_argument("--loads", nargs="+", type=float, default=[0.0, 0.4, 0.8])
+    p.set_defaults(func=_cmd_netcmp)
+
+    p = sub.add_parser("hetero", help="§5 heterogeneous-network hierarchy")
+    p.set_defaults(func=_cmd_hetero)
+
+    p = sub.add_parser("adaptive", help="§5 network-load threshold")
+    p.add_argument("--load", type=float, default=0.8)
+    p.set_defaults(func=_cmd_adaptive)
+
+    p = sub.add_parser("remotedisk", help="remote memory vs remote disk paging")
+    p.set_defaults(func=_cmd_remotedisk)
+
+    p = sub.add_parser("multiclient", help="two clients sharing the cluster")
+    p.set_defaults(func=_cmd_multiclient)
+
+    p = sub.add_parser("diurnal", help="Figure 1 trace driving donor capacity")
+    p.set_defaults(func=_cmd_diurnal)
+
+    p = sub.add_parser("compression", help="beyond-paper: page compression trade-off")
+    p.set_defaults(func=_cmd_compression)
+
+    p = sub.add_parser("profile", help="device-independent workload fault profiles")
+    p.add_argument("--apps", nargs="+", choices=_APPS, default=None)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("ablate", help="design-choice ablations")
+    p.add_argument(
+        "--which", choices=["replacement", "window", "batch", "all"], default="all"
+    )
+    p.set_defaults(func=_cmd_ablate)
+
+    p = sub.add_parser("all", help="run every experiment in sequence")
+    p.set_defaults(func=None)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "all":
+            for command in _ALL:
+                print(f"==== {command} " + "=" * (60 - len(command)))
+                print(main_output(command))
+                print()
+            return 0
+        print(args.func(args))
+        return 0
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        sys.stderr.close()
+        return 0
+
+
+def main_output(command: str) -> str:
+    """Run one subcommand with default arguments; returns its table."""
+    parser = build_parser()
+    args = parser.parse_args([command])
+    return args.func(args)

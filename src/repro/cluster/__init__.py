@@ -1,0 +1,15 @@
+"""Cluster model: workstations, the server registry, idle-memory traces."""
+
+from .idle_trace import IdleMemoryTrace
+from .load import CpuBoundLoop, EditorSession, MemorySurge
+from .registry import ServerRegistry
+from .workstation import Workstation
+
+__all__ = [
+    "Workstation",
+    "ServerRegistry",
+    "IdleMemoryTrace",
+    "EditorSession",
+    "CpuBoundLoop",
+    "MemorySurge",
+]

@@ -1,0 +1,124 @@
+"""Native-load generators for the busy-server experiments (§4.5).
+
+The paper ran three server-load scenarios:
+
+1. idle servers (the baseline for every other experiment);
+2. an X-window session plus a continuously-used ``vi`` editor — light
+   memory demand, negligible CPU;
+3. a CPU-bound ``while(1)`` loop — full CPU demand, no memory demand.
+
+It found app completion times within ~1 s for case 2 and within 7% for
+case 3, and server CPU utilisation always under 15%.  These generators
+reproduce those loads on a :class:`~repro.cluster.Workstation`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sim import Interrupt, Process, Simulator
+from ..units import megabytes
+from .workstation import Workstation
+
+__all__ = ["EditorSession", "CpuBoundLoop", "MemorySurge"]
+
+
+class EditorSession:
+    """X + vi, continuously used: small, slowly fluctuating memory demand."""
+
+    def __init__(
+        self,
+        workstation: Workstation,
+        base_mb: float = 6.0,
+        fluctuation_mb: float = 2.0,
+        keystroke_interval: float = 0.4,
+        rng: Optional[random.Random] = None,
+    ):
+        self.workstation = workstation
+        self.base_pages = megabytes(base_mb) // workstation.spec.page_size
+        self.fluctuation_pages = megabytes(fluctuation_mb) // workstation.spec.page_size
+        self.keystroke_interval = keystroke_interval
+        self.rng = rng or random.Random(7)
+        self._baseline = workstation.native_pages
+        self.process: Process = workstation.sim.process(
+            self._run(), name=f"editor:{workstation.name}"
+        )
+
+    def _run(self):
+        ws = self.workstation
+        sim: Simulator = ws.sim
+        ws.set_native_pages(self._baseline + self.base_pages)
+        try:
+            while True:
+                # Editing bursts grow/shrink buffers a little.
+                yield sim.timeout(self.rng.uniform(5, 30))
+                delta = self.rng.randint(0, self.fluctuation_pages)
+                ws.set_native_pages(self._baseline + self.base_pages + delta)
+        except Interrupt:
+            ws.set_native_pages(self._baseline)
+
+    def stop(self) -> None:
+        """End the editing session and release its memory."""
+        if self.process.is_alive:
+            self.process.interrupt("editor-stop")
+
+
+class CpuBoundLoop:
+    """The §4.5 ``while(1)`` loop: saturates the CPU, touches no memory.
+
+    Because the memory server is I/O-bound, Unix scheduling keeps serving
+    it promptly; the loop inflates the server's CPU service time by
+    ``slowdown_factor`` (default 0.5 → 1.5x), which — at well under a
+    millisecond of CPU per page — stays within the paper's 7% envelope.
+    """
+
+    def __init__(self, workstation: Workstation, slowdown_factor: float = 0.5):
+        if slowdown_factor < 0:
+            raise ValueError(f"negative slowdown: {slowdown_factor}")
+        self.workstation = workstation
+        self.slowdown_factor = slowdown_factor
+        self._active = True
+        workstation.add_cpu_load(slowdown_factor)
+
+    def stop(self) -> None:
+        """Kill the loop and remove its CPU load (idempotent)."""
+        if self._active:
+            self.workstation.remove_cpu_load(self.slowdown_factor)
+            self._active = False
+
+
+class MemorySurge:
+    """A scripted native-memory spike (drives the §2.1 migration path).
+
+    At ``at_time`` the host's native demand jumps by ``surge_mb`` and
+    stays there for ``duration`` — squeezing donated memory and forcing
+    the resident server to shed pages and advise its clients.
+    """
+
+    def __init__(
+        self,
+        workstation: Workstation,
+        surge_mb: float,
+        at_time: float,
+        duration: Optional[float] = None,
+    ):
+        if at_time < workstation.sim.now:
+            raise ValueError("surge scheduled in the past")
+        self.workstation = workstation
+        self.surge_pages = megabytes(surge_mb) // workstation.spec.page_size
+        self.at_time = at_time
+        self.duration = duration
+        self.process: Process = workstation.sim.process(
+            self._run(), name=f"surge:{workstation.name}"
+        )
+
+    def _run(self):
+        ws = self.workstation
+        sim = ws.sim
+        yield sim.timeout(self.at_time - sim.now)
+        before = ws.native_pages
+        ws.set_native_pages(min(ws.total_pages, before + self.surge_pages))
+        if self.duration is not None:
+            yield sim.timeout(self.duration)
+            ws.set_native_pages(before)

@@ -1,0 +1,89 @@
+"""The server registry — the paper's "common file" of participants.
+
+"All workstations that participate in remote memory paging are registered
+in a common file" (§2.1).  Clients consult the registry to pick the most
+promising server, to find replacements when a server fills up or crashes,
+and to discover newly freed memory for re-replication.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+__all__ = ["ServerRegistry"]
+
+
+class ServerRegistry:
+    """Directory of memory servers with load-aware selection.
+
+    Servers are any objects exposing ``name``, ``is_alive``,
+    ``free_pages``, and ``advising`` (True when the server has asked
+    clients to stop sending pages).
+    """
+
+    def __init__(self) -> None:
+        self._servers: List[object] = []
+
+    def register(self, server: object) -> None:
+        """Add a server; re-registering the same name replaces it."""
+        for required in ("name", "is_alive", "free_pages"):
+            if not hasattr(server, required):
+                raise TypeError(f"server lacks required attribute {required!r}")
+        self._servers = [s for s in self._servers if s.name != server.name]
+        self._servers.append(server)
+
+    def unregister(self, name: str) -> None:
+        """Remove the server named ``name`` (no-op if absent)."""
+        self._servers = [s for s in self._servers if s.name != name]
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __iter__(self):
+        return iter(self._servers)
+
+    def get(self, name: str) -> Optional[object]:
+        """The server named ``name``, or None."""
+        for server in self._servers:
+            if server.name == name:
+                return server
+        return None
+
+    def candidates(self, exclude: Iterable[str] = ()) -> List[object]:
+        """Live, non-advising servers with free memory, best first."""
+        excluded = set(exclude)
+        usable = [
+            s
+            for s in self._servers
+            if s.is_alive
+            and s.name not in excluded
+            and not getattr(s, "advising", False)
+            and s.free_pages > 0
+        ]
+        return sorted(usable, key=lambda s: s.free_pages, reverse=True)
+
+    def best(
+        self, min_pages: int = 1, exclude: Iterable[str] = ()
+    ) -> Optional[object]:
+        """The most promising server with at least ``min_pages`` free."""
+        for server in self.candidates(exclude=exclude):
+            if server.free_pages >= min_pages:
+                return server
+        return None
+
+    def pick_distinct(
+        self, count: int, min_pages: int = 1, exclude: Iterable[str] = ()
+    ) -> List[object]:
+        """``count`` distinct servers, best first; raises if unavailable."""
+        chosen: List[object] = []
+        names = set(exclude)
+        while len(chosen) < count:
+            server = self.best(min_pages=min_pages, exclude=names)
+            if server is None:
+                raise LookupError(
+                    f"registry has only {len(chosen)} of {count} requested servers "
+                    f"with {min_pages}+ free pages"
+                )
+            chosen.append(server)
+            names.add(server.name)
+        return chosen

@@ -1,0 +1,133 @@
+"""Workstation model: a host that can donate memory and CPU to servers.
+
+The paper's servers are user-level processes on other people's
+workstations (§2.1, §4.5), so a server's resources are whatever its host
+can spare:
+
+* **Memory** — the host's frames minus native (owner) demand.  Native
+  demand varies (editors, simulations); when it rises, granted donations
+  are *revoked* and the server must shed pages and advise its clients.
+* **CPU** — server request handling is charged host CPU time, inflated by
+  whatever CPU-bound native load is running (the §4.5 "while(1)"
+  experiment).  Interactive Unix scheduling favours the I/O-bound server
+  process, so a CPU hog inflates service time only modestly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..config import MachineSpec
+from ..sim import Simulator
+
+__all__ = ["Workstation"]
+
+
+class Workstation:
+    """A cluster host with native memory demand and donated memory."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        spec: MachineSpec,
+        reserve_pages: int = 64,
+    ):
+        if reserve_pages < 0:
+            raise ValueError(f"negative reserve: {reserve_pages}")
+        self.sim = sim
+        self.name = name
+        self.spec = spec
+        #: Frames the host never donates (burst headroom for the owner).
+        self.reserve_pages = reserve_pages
+        self._native_pages = spec.kernel_resident_bytes // spec.page_size
+        self._granted_pages = 0
+        #: Extra service-time factor from CPU-bound native load (0 = idle).
+        self.cpu_load = 0.0
+        #: Called with the frame deficit when native demand squeezes grants.
+        self.pressure_callback: Optional[Callable[[int], None]] = None
+
+    # ------------------------------------------------------------- memory
+    @property
+    def total_pages(self) -> int:
+        return self.spec.total_frames
+
+    @property
+    def native_pages(self) -> int:
+        """Frames the owner's own processes currently occupy."""
+        return self._native_pages
+
+    @property
+    def granted_pages(self) -> int:
+        """Frames currently granted to memory servers."""
+        return self._granted_pages
+
+    @property
+    def free_pages(self) -> int:
+        """Frames available to donate right now."""
+        return max(
+            0,
+            self.total_pages - self._native_pages - self._granted_pages - self.reserve_pages,
+        )
+
+    def grant(self, n_pages: int) -> int:
+        """Donate up to ``n_pages`` frames; returns how many were granted."""
+        if n_pages < 0:
+            raise ValueError(f"negative grant request: {n_pages}")
+        granted = min(n_pages, self.free_pages)
+        self._granted_pages += granted
+        return granted
+
+    def revoke(self, n_pages: int) -> None:
+        """Return ``n_pages`` previously granted frames."""
+        if n_pages < 0 or n_pages > self._granted_pages:
+            raise ValueError(
+                f"cannot revoke {n_pages} of {self._granted_pages} granted frames"
+            )
+        self._granted_pages -= n_pages
+
+    def set_native_pages(self, n_pages: int) -> None:
+        """Owner demand changed; squeeze donations if necessary.
+
+        If native demand plus grants exceed the machine, the deficit is
+        reported through ``pressure_callback`` — the server reacts by
+        shedding pages to its local disk and advising clients (§2.1).
+        """
+        if n_pages < 0 or n_pages > self.total_pages:
+            raise ValueError(f"native pages {n_pages} outside [0, {self.total_pages}]")
+        self._native_pages = n_pages
+        overflow = (
+            self._native_pages + self._granted_pages + self.reserve_pages
+            - self.total_pages
+        )
+        if overflow > 0 and self.pressure_callback is not None:
+            self.pressure_callback(overflow)
+
+    # ---------------------------------------------------------------- CPU
+    def cpu_time(self, seconds: float):
+        """Generator: occupy the host CPU for ``seconds`` of work.
+
+        Native CPU-bound load stretches the wall time: the server is
+        I/O-bound and scheduled promptly, but loses some cycles.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative CPU time: {seconds}")
+        yield self.sim.timeout(seconds * (1.0 + self.cpu_load))
+
+    def add_cpu_load(self, factor: float) -> None:
+        """A CPU-bound native process started (e.g. the §4.5 while(1))."""
+        if factor < 0:
+            raise ValueError(f"negative load factor: {factor}")
+        self.cpu_load += factor
+
+    def remove_cpu_load(self, factor: float) -> None:
+        """A CPU-bound native process stopped."""
+        if factor < 0 or factor > self.cpu_load + 1e-12:
+            raise ValueError(f"cannot remove load {factor} (current {self.cpu_load})")
+        self.cpu_load = max(0.0, self.cpu_load - factor)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Workstation {self.name!r} native={self._native_pages}p "
+            f"granted={self._granted_pages}p free={self.free_pages}p>"
+        )

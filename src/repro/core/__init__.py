@@ -1,0 +1,38 @@
+"""The paper's contribution: the reliable remote memory pager."""
+
+from .builder import POLICY_NAMES, Cluster, build_cluster
+from .client import RemoteMemoryPager
+from .policies.base import ReliabilityPolicy
+from .policies.mirroring import Mirroring
+from .policies.none import NoReliability
+from .policies.parity import BasicParity
+from .policies.parity_logging import GroupMember, ParityGroup, ParityLogging
+from .policies.write_through import WriteThrough
+from .recovery import CrashInjector
+from .load_reports import ClusterView, LoadReport, LoadReporter
+from .remote_disk import RemoteDiskPager, RemoteDiskServer
+from .server import MemoryServer
+from .watchdog import Watchdog
+
+__all__ = [
+    "MemoryServer",
+    "RemoteMemoryPager",
+    "ReliabilityPolicy",
+    "NoReliability",
+    "Mirroring",
+    "BasicParity",
+    "ParityLogging",
+    "ParityGroup",
+    "GroupMember",
+    "WriteThrough",
+    "CrashInjector",
+    "RemoteDiskPager",
+    "RemoteDiskServer",
+    "LoadReport",
+    "LoadReporter",
+    "ClusterView",
+    "Watchdog",
+    "Cluster",
+    "build_cluster",
+    "POLICY_NAMES",
+]

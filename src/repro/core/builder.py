@@ -1,0 +1,264 @@
+"""One-call construction of a complete remote-memory-paging testbed.
+
+Every experiment needs the same assembly: a simulator, a network, a
+client workstation, donor workstations running memory servers, a
+reliability policy, the RMP, and a VM machine to drive it.
+:func:`build_cluster` wires all of that, parameterised the way the
+paper's experiments are ("4 servers plus a parity server, all devoting
+10% overflow memory").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cluster.registry import ServerRegistry
+from ..cluster.workstation import Workstation
+from ..config import (
+    DEC_ALPHA_3000_300,
+    DEC_RZ55,
+    TCP_IP_1996,
+    DiskSpec,
+    EthernetSpec,
+    MachineSpec,
+    ProtocolSpec,
+    SwitchedNetworkSpec,
+)
+from ..disk.backend import PartitionBackend
+from ..disk.model import Disk
+from ..errors import ConfigurationError
+from ..net.base import Network
+from ..net.ethernet import EthernetCsmaCd
+from ..net.protocol import ProtocolStack
+from ..net.switched import SwitchedNetwork
+from ..net.token_ring import TokenRing, TokenRingSpec
+from ..sim import RngRegistry, Simulator
+from ..vm.machine import Machine
+from ..vm.pager import LocalDiskPager, Pager
+from ..vm.replacement import ReplacementPolicy
+from .client import RemoteMemoryPager
+from .policies.base import ReliabilityPolicy
+from .policies.mirroring import Mirroring
+from .policies.none import NoReliability
+from .policies.parity import BasicParity
+from .policies.parity_logging import ParityLogging
+from .policies.write_through import WriteThrough
+from .server import MemoryServer
+
+__all__ = ["Cluster", "build_cluster", "POLICY_NAMES"]
+
+POLICY_NAMES = (
+    "disk",
+    "no-reliability",
+    "mirroring",
+    "parity",
+    "parity-logging",
+    "write-through",
+)
+
+#: Generous default server capacity: enough for any paper workload.
+_DEFAULT_SERVER_CAPACITY = 4096
+_SWAP_SLOTS = 8192
+
+
+@dataclass
+class Cluster:
+    """Everything :func:`build_cluster` assembled, ready to run."""
+
+    sim: Simulator
+    network: Network
+    stack: ProtocolStack
+    client_host: Workstation
+    machine: Machine
+    pager: Pager
+    policy: Optional[ReliabilityPolicy]
+    servers: List[MemoryServer]
+    parity_server: Optional[MemoryServer]
+    registry: ServerRegistry
+    local_disk: Disk
+    server_hosts: List[Workstation] = field(default_factory=list)
+
+    def run(self, workload, name: Optional[str] = None):
+        """Run ``workload`` to completion; returns its CompletionReport."""
+        return self.machine.run_to_completion(
+            workload.trace(), name=name or workload.name
+        )
+
+    def add_spare_server(self, capacity_pages: Optional[int] = None) -> MemoryServer:
+        """Register an extra idle donor the pager can recruit (for
+        migration targets and crash replacements)."""
+        if capacity_pages is None:
+            capacity_pages = (
+                self.servers[0].capacity_pages if self.servers else _DEFAULT_SERVER_CAPACITY
+            )
+        index = len(self.server_hosts)
+        spec = self.server_hosts[0].spec if self.server_hosts else self.client_host.spec
+        host = Workstation(self.sim, f"spare-{index}", spec)
+        self.network.attach(host.name)
+        server = MemoryServer(
+            host, self.stack, capacity_pages=capacity_pages, name=f"spare-{index}"
+        )
+        self.server_hosts.append(host)
+        self.registry.register(server)
+        return server
+
+
+def build_cluster(
+    policy: str = "no-reliability",
+    n_servers: int = 2,
+    seed: int = 0,
+    machine_spec: MachineSpec = DEC_ALPHA_3000_300,
+    server_spec: Optional[MachineSpec] = None,
+    disk_spec: DiskSpec = DEC_RZ55,
+    protocol_spec: ProtocolSpec = TCP_IP_1996,
+    ethernet_spec: Optional[EthernetSpec] = None,
+    switched_spec: Optional[SwitchedNetworkSpec] = None,
+    token_ring_spec: Optional["TokenRingSpec"] = None,
+    overflow_fraction: float = 0.0,
+    server_capacity_pages: int = _DEFAULT_SERVER_CAPACITY,
+    content_mode: bool = False,
+    replacement: Optional[ReplacementPolicy] = None,
+    init_time: float = 0.21,
+    network_threshold: Optional[float] = None,
+) -> Cluster:
+    """Assemble a paper-style testbed.
+
+    ``policy`` selects the paging configuration (the Fig 2 legend):
+
+    * ``"disk"`` — the DISK baseline: requests go straight to the local
+      RZ55, no remote pager involved;
+    * ``"no-reliability"`` — ``n_servers`` plain memory servers;
+    * ``"mirroring"`` — primary + mirror copies (needs >= 2 servers);
+    * ``"parity"`` — basic in-place parity, ``n_servers`` + parity server;
+    * ``"parity-logging"`` — the paper's policy, ``n_servers`` + parity
+      server, all with ``overflow_fraction`` extra memory;
+    * ``"write-through"`` — remote copy + parallel local-disk copy.
+
+    ``switched_spec`` replaces the shared Ethernet with a full-duplex
+    switched network (the Fig 4 "faster network" configurations).
+    """
+    if policy not in POLICY_NAMES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; choose from {POLICY_NAMES}"
+        )
+    if n_servers < 1:
+        raise ConfigurationError("need at least one server")
+    if policy == "mirroring" and n_servers < 2:
+        raise ConfigurationError("mirroring needs at least two servers")
+
+    if switched_spec is not None and token_ring_spec is not None:
+        raise ConfigurationError("choose one of switched_spec / token_ring_spec")
+    sim = Simulator()
+    rngs = RngRegistry(seed=seed)
+    if switched_spec is not None:
+        network: Network = SwitchedNetwork(sim, spec=switched_spec)
+    elif token_ring_spec is not None:
+        network = TokenRing(sim, spec=token_ring_spec)
+    else:
+        network = EthernetCsmaCd(sim, spec=ethernet_spec, rngs=rngs)
+    stack = ProtocolStack(network, spec=protocol_spec)
+    registry = ServerRegistry()
+
+    client_host = Workstation(sim, "client", machine_spec)
+    network.attach(client_host.name)
+    local_disk = Disk(sim, disk_spec)
+    disk_backend = PartitionBackend(local_disk, machine_spec.page_size, _SWAP_SLOTS)
+
+    spec = server_spec or machine_spec
+    # Donor hosts are dedicated to serving here; give them headroom so a
+    # server can claim the configured capacity (plus overflow and the
+    # parity server's share).
+    donor_spec = MachineSpec(
+        name=f"{spec.name}-donor",
+        ram_bytes=max(
+            spec.ram_bytes,
+            int((server_capacity_pages * (1 + overflow_fraction) + 1024)
+                * spec.page_size) + spec.kernel_resident_bytes,
+        ),
+        kernel_resident_bytes=spec.kernel_resident_bytes,
+        cpu_speed=spec.cpu_speed,
+        page_size=spec.page_size,
+    )
+
+    def make_server(index: int, label: str) -> MemoryServer:
+        host = Workstation(sim, f"{label}-{index}", donor_spec)
+        network.attach(host.name)
+        server = MemoryServer(
+            host,
+            stack,
+            capacity_pages=server_capacity_pages,
+            overflow_fraction=overflow_fraction,
+            name=f"{label}-{index}",
+        )
+        server_hosts.append(host)
+        return server
+
+    server_hosts: List[Workstation] = []
+    servers: List[MemoryServer] = []
+    parity_server: Optional[MemoryServer] = None
+    policy_obj: Optional[ReliabilityPolicy] = None
+    page_size = machine_spec.page_size
+
+    if policy == "disk":
+        pager: Pager = LocalDiskPager(disk_backend)
+    else:
+        servers = [make_server(i, "server") for i in range(n_servers)]
+        if policy in ("parity", "parity-logging"):
+            parity_server = make_server(0, "parity")
+        if policy == "no-reliability":
+            policy_obj = NoReliability(
+                client_host.name, stack, servers, page_size=page_size
+            )
+        elif policy == "mirroring":
+            policy_obj = Mirroring(
+                client_host.name, stack, servers, page_size=page_size
+            )
+        elif policy == "parity":
+            policy_obj = BasicParity(
+                client_host.name, stack, servers, parity_server, page_size=page_size
+            )
+        elif policy == "parity-logging":
+            policy_obj = ParityLogging(
+                client_host.name,
+                stack,
+                servers,
+                parity_server,
+                content_mode=content_mode,
+                page_size=page_size,
+            )
+        elif policy == "write-through":
+            wt_backend = PartitionBackend(local_disk, page_size, _SWAP_SLOTS)
+            policy_obj = WriteThrough(
+                client_host.name, stack, servers, wt_backend, page_size=page_size
+            )
+        pager = RemoteMemoryPager(
+            policy_obj,
+            disk_backend=disk_backend,
+            registry=registry,
+            network_threshold=network_threshold,
+        )
+
+    machine = Machine(
+        sim,
+        machine_spec,
+        pager,
+        replacement=replacement,
+        content_mode=content_mode,
+        init_time=init_time,
+        name="client",
+    )
+    return Cluster(
+        sim=sim,
+        network=network,
+        stack=stack,
+        client_host=client_host,
+        machine=machine,
+        pager=pager,
+        policy=policy_obj,
+        servers=servers,
+        parity_server=parity_server,
+        registry=registry,
+        local_disk=local_disk,
+        server_hosts=server_hosts,
+    )

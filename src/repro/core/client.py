@@ -1,0 +1,336 @@
+"""The Remote Memory Pager — the client-side block device driver (§3.1).
+
+:class:`RemoteMemoryPager` implements the :class:`~repro.vm.Pager`
+interface the VM machine pages against, and composes everything the
+paper's driver does:
+
+* forwards pageins/pageouts to the reliability policy's servers;
+* falls back to the **local disk** when no server can absorb a page
+  ("When no server can be found in order to satisfy the client's
+  requests, paging to local disk is used");
+* **migrates** pages away from servers that advise overload, and
+  **re-replicates** disk-fallback pages to servers when memory frees up
+  (§2.1);
+* detects server **crashes** mid-request, runs the policy's recovery,
+  and retries — the application never sees the failure;
+* optionally applies the §5 *network-load threshold*: when recent
+  transfer times degrade past a threshold, new pageouts are routed to
+  the local disk until the network recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..cluster.registry import ServerRegistry
+from ..disk.backend import PartitionBackend
+from ..errors import (
+    PageNotFound,
+    PagingError,
+    RecoveryError,
+    ServerCrashed,
+    ServerUnavailable,
+    SwapSpaceExhausted,
+)
+from ..sim import Resource, Simulator, Tally
+from ..vm.pager import Pager
+from .policies.base import ReliabilityPolicy
+from .server import MemoryServer
+
+__all__ = ["RemoteMemoryPager"]
+
+
+class RemoteMemoryPager(Pager):
+    """The paper's RMP: policy-driven remote paging with disk fallback."""
+
+    name = "rmp"
+
+    def __init__(
+        self,
+        policy: ReliabilityPolicy,
+        disk_backend: Optional[PartitionBackend] = None,
+        registry: Optional[ServerRegistry] = None,
+        network_threshold: Optional[float] = None,
+        threshold_window: int = 16,
+    ):
+        super().__init__()
+        self.policy = policy
+        self.sim: Simulator = policy.sim
+        self.disk_backend = disk_backend
+        self.registry = registry
+        self.network_threshold = network_threshold
+        self.threshold_window = threshold_window
+        self._on_disk: Set[int] = set()
+        self._disk_contents: Dict[int, Optional[bytes]] = {}
+        self._recent_transfer_times: list = []
+        self._disk_routed_streak = 0
+        self._recovering = False
+        self._recovery_done = None
+        # "One dedicated paging daemon issues pagein and pageout requests"
+        # (§3.1): pageouts are serialised through the daemon, so policy
+        # state (round-robin order, open parity group) never interleaves.
+        self._daemon = Resource(self.sim, capacity=1)
+        self.recovery_times = Tally()
+        if registry is not None:
+            for server in policy.servers:
+                registry.register(server)
+            provider = getattr(policy, "replacement_provider", "missing")
+            if provider is None:
+                policy.replacement_provider = self._replacement_server
+
+    # ----------------------------------------------------------- interface
+    def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        self.counters.add("pageouts")
+        yield self._daemon.acquire()
+        try:
+            if self._network_degraded():
+                yield from self._disk_pageout(page_id, contents)
+                return
+            start = self.sim.now
+            try:
+                yield from self._policy_pageout(page_id, contents)
+            except (ServerUnavailable, SwapSpaceExhausted):
+                # §2.1: no server has room — the disk absorbs the page.
+                yield from self._disk_pageout(page_id, contents)
+                return
+            self._observe_transfer(self.sim.now - start)
+            self._on_disk.discard(page_id)
+            self._disk_contents.pop(page_id, None)
+        finally:
+            self._daemon.release()
+
+    def pagein(self, page_id: int):
+        self.counters.add("pageins")
+        if page_id in self._on_disk:
+            contents = yield from self._disk_pagein(page_id)
+            return contents
+        try:
+            contents = yield from self.policy.pagein(page_id)
+        except ServerCrashed as crash:
+            yield from self._handle_crash(crash)
+            contents = yield from self.policy.pagein(page_id)
+        return contents
+
+    def release(self, page_id: int) -> None:
+        self.policy.release(page_id)
+        if page_id in self._on_disk and self.disk_backend is not None:
+            self.disk_backend.release_page(page_id)
+        self._on_disk.discard(page_id)
+        self._disk_contents.pop(page_id, None)
+
+    @property
+    def transfers(self) -> int:
+        """Network page transfers (the §4.3 extrapolation input)."""
+        return self.policy.transfers
+
+    @property
+    def pages_on_local_disk(self) -> int:
+        return len(self._on_disk)
+
+    # ------------------------------------------------------ policy wrapper
+    def _policy_pageout(self, page_id: int, contents):
+        try:
+            yield from self.policy.pageout(page_id, contents)
+        except ServerCrashed as crash:
+            yield from self._handle_crash(crash)
+            yield from self.policy.pageout(page_id, contents)
+
+    def _handle_crash(self, crash: ServerCrashed):
+        """Run the policy's recovery exactly once per crash event.
+
+        Concurrent requests (async pageouts, the faulting pagein) may all
+        trip over the same dead server; the first runs recovery and the
+        rest wait for it, then retry their operation.
+        """
+        if self._recovering:
+            yield self._recovery_done
+            return
+        crashed = None
+        for server in self.policy.servers:
+            if server.name == crash.server_name:
+                crashed = server
+                break
+        parity = getattr(self.policy, "parity_server", None)
+        if crashed is None and parity is not None and parity.name == crash.server_name:
+            crashed = parity
+        if crashed is None:
+            raise RecoveryError(f"unknown crashed server {crash.server_name!r}")
+        self._recovering = True
+        self._recovery_done = self.sim.event()
+        started = self.sim.now
+        try:
+            yield from self.policy.recover(crashed)
+        finally:
+            self._recovering = False
+            self._recovery_done.succeed()
+        self.recovery_times.observe(self.sim.now - started)
+        self.counters.add("recoveries")
+        # The crashed workstation is gone: drop it from the rotation so
+        # round-robin placement never aims at it again.
+        self.policy.servers = [s for s in self.policy.servers if s is not crashed]
+        if self.registry is not None:
+            self.registry.unregister(crashed.name)
+
+    def _replacement_server(self) -> Optional[MemoryServer]:
+        if self.registry is None:
+            return None
+        exclude = {s.name for s in self.policy.servers}
+        parity = getattr(self.policy, "parity_server", None)
+        if parity is not None:
+            exclude.add(parity.name)
+        return self.registry.best(exclude=exclude)
+
+    # ------------------------------------------------------- disk fallback
+    def _disk_pageout(self, page_id: int, contents):
+        if self.disk_backend is None:
+            raise SwapSpaceExhausted(
+                "no server has free memory and no local-disk fallback is configured"
+            )
+        yield from self.disk_backend.write_page(page_id)
+        self._on_disk.add(page_id)
+        self._disk_contents[page_id] = contents
+        self.counters.add("disk_fallback_pageouts")
+
+    def _disk_pagein(self, page_id: int):
+        yield from self.disk_backend.read_page(page_id)
+        self.counters.add("disk_fallback_pageins")
+        return self._disk_contents.get(page_id)
+
+    # ------------------------------------------------- migration (§2.1)
+    def migrate_from(self, server: MemoryServer, limit: Optional[int] = None):
+        """Generator: move pages off an advising/overloaded server.
+
+        Pages move *directly* from the loaded server to the best other
+        server (§2.1's migration, one server-to-server transfer each),
+        falling back through the client to the local disk when no server
+        has room.  Returns the number moved.  Only placement-mapped
+        policies (no-reliability, write-through) migrate page-by-page;
+        redundant policies already tolerate losing the server and are
+        rebalanced by their own recovery paths.
+        """
+        placement = getattr(self.policy, "_placement", None)
+        if placement is None:
+            return 0
+        victims = [p for p, s in placement.items() if s is server]
+        if limit is not None:
+            victims = victims[:limit]
+        moved = 0
+        for page_id in victims:
+            target = None
+            if self.registry is not None:
+                target = self.registry.best(exclude={server.name})
+            if (
+                target is not None
+                and target in self.policy.servers
+                and getattr(target, "is_alive", False)
+            ):
+                transferred = yield from server.transfer_to(target, [page_id])
+                if transferred:
+                    placement[page_id] = target
+                    self.policy.counters.add("transfers")
+                    moved += 1
+                    continue
+            # No server has room: bounce through the client to the disk.
+            contents = yield from self.policy.pagein(page_id)
+            yield from self._disk_pageout(page_id, contents)
+            placement.pop(page_id, None)
+            server.free([page_id])
+            moved += 1
+        self.counters.add("migrated_pages", moved)
+        return moved
+
+    def start_housekeeping(
+        self,
+        interval: float = 10.0,
+        migrate_batch: int = 64,
+        replicate_batch: int = 64,
+    ):
+        """§2.1's periodic client maintenance, as a background process.
+
+        "Whenever the client's local disk is used to store some of its
+        paged out pages, the client periodically checks the memory load
+        of all possible remote memory servers" — every ``interval``
+        seconds, migrate pages off advising servers and replicate
+        disk-fallback pages back to freed remote memory.
+        """
+        if interval <= 0:
+            raise ValueError(f"housekeeping interval must be positive: {interval}")
+        process = self.sim.process(
+            self._housekeep(interval, migrate_batch, replicate_batch),
+            name="rmp-housekeeping",
+        )
+        self._housekeeping = process
+        return process
+
+    def stop_housekeeping(self) -> None:
+        """Cancel the background housekeeping process, if running."""
+        process = getattr(self, "_housekeeping", None)
+        if process is not None and process.is_alive:
+            process.interrupt("housekeeping-stop")
+
+    def _housekeep(self, interval: float, migrate_batch: int, replicate_batch: int):
+        from ..sim import Interrupt
+
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                for server in list(self.policy.servers):
+                    if server.is_alive and getattr(server, "advising", False):
+                        yield from self.migrate_from(server, limit=migrate_batch)
+                if self._on_disk:
+                    yield from self.replicate_disk_pages_back(limit=replicate_batch)
+        except Interrupt:
+            return
+
+    def replicate_disk_pages_back(self, limit: Optional[int] = None):
+        """Generator: §2.1's re-replication of disk-fallback pages.
+
+        "If a server having enough free memory is found, some of the
+        pages stored at the local disk are replicated to this server."
+        """
+        candidates = list(self._on_disk)[:limit] if limit else list(self._on_disk)
+        moved = 0
+        for page_id in candidates:
+            contents = yield from self._disk_pagein(page_id)
+            try:
+                yield from self._policy_pageout(page_id, contents)
+            except (ServerUnavailable, SwapSpaceExhausted):
+                break  # still no room; try again later
+            self._on_disk.discard(page_id)
+            self._disk_contents.pop(page_id, None)
+            if self.disk_backend is not None:
+                self.disk_backend.release_page(page_id)
+            moved += 1
+        self.counters.add("replicated_back", moved)
+        return moved
+
+    # ------------------------------------- network-load threshold (§5)
+    def _observe_transfer(self, elapsed: float) -> None:
+        if self.network_threshold is None:
+            return
+        self._recent_transfer_times.append(elapsed)
+        if len(self._recent_transfer_times) > self.threshold_window:
+            self._recent_transfer_times.pop(0)
+
+    def _network_degraded(self) -> bool:
+        """§5: route pageouts to disk when the network is congested.
+
+        After ``2 * threshold_window`` consecutive disk-routed pageouts the
+        measurement window is cleared, forcing a fresh probe of the
+        network — so the pager returns to remote memory once congestion
+        clears instead of sticking to the disk forever.
+        """
+        if self.network_threshold is None or self.disk_backend is None:
+            return False
+        window = self._recent_transfer_times
+        if len(window) < self.threshold_window:
+            return False
+        degraded = sum(window) / len(window) > self.network_threshold
+        if degraded:
+            self._disk_routed_streak += 1
+            if self._disk_routed_streak >= 2 * self.threshold_window:
+                self._recent_transfer_times.clear()
+                self._disk_routed_streak = 0
+        else:
+            self._disk_routed_streak = 0
+        return degraded

@@ -1,0 +1,125 @@
+"""Periodic server load reports (§3.2).
+
+"The server is also responsible ... for providing periodically
+information to the client concerning the memory load of its host."
+
+Rather than letting the client read server state as an oracle, a
+:class:`LoadReporter` process on each server ships a small report
+message over the network every ``interval`` seconds; the client's
+:class:`ClusterView` holds the latest report per server.  The view is
+therefore *stale by up to one interval* — exactly the real system's
+information model, and the reason the paper's client reacts to explicit
+"advise" notes rather than polling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..net.protocol import ProtocolStack
+from ..sim import Interrupt, Process, Simulator
+from .server import MemoryServer
+
+__all__ = ["LoadReport", "ClusterView", "LoadReporter"]
+
+#: Size of one load-report message on the wire.
+REPORT_BYTES = 48
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One snapshot of a server's memory situation."""
+
+    server_name: str
+    free_pages: int
+    stored_pages: int
+    advising: bool
+    sent_at: float
+
+
+class ClusterView:
+    """The client's (possibly stale) picture of every server's load."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._reports: Dict[str, LoadReport] = {}
+
+    def update(self, report: LoadReport) -> None:
+        """A fresh report arrived; replace the previous snapshot."""
+        self._reports[report.server_name] = report
+
+    def report_for(self, server_name: str) -> Optional[LoadReport]:
+        """The latest report from ``server_name``, or None."""
+        return self._reports.get(server_name)
+
+    def free_pages(self, server_name: str) -> Optional[int]:
+        """Last reported free pages (None until the first report lands)."""
+        report = self._reports.get(server_name)
+        return report.free_pages if report else None
+
+    def age(self, server_name: str) -> float:
+        """Seconds since the last report from ``server_name``."""
+        report = self._reports.get(server_name)
+        return float("inf") if report is None else self.sim.now - report.sent_at
+
+    def best_server_name(self, min_pages: int = 1) -> Optional[str]:
+        """Most-free server by the *reported* (stale) picture."""
+        usable = [
+            r
+            for r in self._reports.values()
+            if not r.advising and r.free_pages >= min_pages
+        ]
+        if not usable:
+            return None
+        return max(usable, key=lambda r: r.free_pages).server_name
+
+
+class LoadReporter:
+    """The per-server reporting process."""
+
+    def __init__(
+        self,
+        server: MemoryServer,
+        client_host: str,
+        view: ClusterView,
+        interval: float = 5.0,
+    ):
+        if interval <= 0:
+            raise ValueError(f"report interval must be positive: {interval}")
+        self.server = server
+        self.client_host = client_host
+        self.view = view
+        self.interval = interval
+        self.stack: ProtocolStack = server.stack
+        self.reports_sent = 0
+        self.process: Process = server.sim.process(
+            self._run(), name=f"load-report:{server.name}"
+        )
+
+    def _run(self):
+        sim = self.server.sim
+        try:
+            while True:
+                yield sim.timeout(self.interval)
+                if not self.server.is_alive:
+                    return  # a crashed workstation stops reporting
+                report = LoadReport(
+                    server_name=self.server.name,
+                    free_pages=self.server.free_pages,
+                    stored_pages=self.server.stored_pages,
+                    advising=self.server.advising,
+                    sent_at=sim.now,
+                )
+                yield from self.stack.send(
+                    self.server.host.name, self.client_host, REPORT_BYTES
+                )
+                self.view.update(report)
+                self.reports_sent += 1
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop sending reports."""
+        if self.process.is_alive:
+            self.process.interrupt("reporter-stop")

@@ -1,0 +1,18 @@
+"""Reliability policies (§2.2): none, mirroring, parity, parity logging,
+write-through."""
+
+from .base import ReliabilityPolicy
+from .mirroring import Mirroring
+from .none import NoReliability
+from .parity import BasicParity
+from .parity_logging import ParityLogging
+from .write_through import WriteThrough
+
+__all__ = [
+    "ReliabilityPolicy",
+    "NoReliability",
+    "Mirroring",
+    "BasicParity",
+    "ParityLogging",
+    "WriteThrough",
+]

@@ -1,0 +1,102 @@
+"""The reliability-policy interface (§2.2).
+
+A policy decides where each paged-out page goes, what redundant
+information is kept, and how to reconstruct pages after a single server
+crash.  The client pager (:class:`~repro.core.client.RemoteMemoryPager`)
+is policy-agnostic: it hands pageouts/pageins to whatever policy it was
+given, mirroring the paper's design where the same driver supports
+no-reliability, mirroring, and parity logging.
+
+All data movement goes through the shared
+:class:`~repro.net.ProtocolStack`; every page-sized movement increments
+the policy's ``transfers`` counter — the quantity the paper's
+extrapolation model (§4.3) multiplies by the per-page protocol cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import PageNotFound, RecoveryError, ServerCrashed
+from ...net.protocol import ProtocolStack
+from ...sim import Counter, Simulator
+from ..server import MemoryServer
+
+__all__ = ["ReliabilityPolicy"]
+
+
+class ReliabilityPolicy:
+    """Base class for pageout placement + redundancy schemes."""
+
+    name = "abstract"
+    #: Pages of remote memory consumed per page stored (1.0 = none extra).
+    memory_overhead_factor = 1.0
+
+    def __init__(
+        self,
+        client_host: str,
+        stack: ProtocolStack,
+        servers: Sequence[MemoryServer],
+        page_size: int = 8192,
+    ):
+        if not servers:
+            raise ValueError(f"{type(self).__name__} needs at least one server")
+        self.client_host = client_host
+        self.stack = stack
+        self.sim: Simulator = stack.sim
+        self.servers: List[MemoryServer] = list(servers)
+        self.page_size = page_size
+        self.counters = Counter()
+
+    # -------------------------------------------------------- the interface
+    def pageout(self, page_id: int, contents: Optional[bytes]):
+        """Generator: persist one page with this policy's redundancy."""
+        raise NotImplementedError
+
+    def pagein(self, page_id: int):
+        """Generator: retrieve one page; returns its contents."""
+        raise NotImplementedError
+
+    def holds(self, page_id: int) -> bool:
+        """Does the policy currently have a copy of ``page_id``?"""
+        raise NotImplementedError
+
+    def release(self, page_id: int) -> None:
+        """The page is dead; its backing copies may be freed."""
+
+    def recover(self, crashed: MemoryServer):
+        """Generator: reconstruct every page lost with ``crashed``.
+
+        Runs after a crash has been detected; on return, every page the
+        policy held must again be retrievable (and, for redundant
+        policies, re-protected).  Raises :class:`RecoveryError` when the
+        policy cannot reconstruct (e.g. NO RELIABILITY).
+        """
+        raise NotImplementedError
+
+    @property
+    def transfers(self) -> int:
+        """Page-sized network movements so far (pageins + pageouts +
+        redundancy traffic + recovery traffic)."""
+        return self.counters["transfers"]
+
+    # ---------------------------------------------------------- primitives
+    def _send_page(self, server: MemoryServer, key: object, contents):
+        """Generator: one client->server page transfer plus server store."""
+        yield from self.stack.send_page(self.client_host, server.host.name, self.page_size)
+        self.counters.add("transfers")
+        yield from server.store(key, contents)
+
+    def _fetch_page(self, server: MemoryServer, key: object):
+        """Generator: one server->client page transfer; returns contents."""
+        contents = yield from server.fetch(key)
+        yield from self.stack.fetch_page(self.client_host, server.host.name, self.page_size)
+        self.counters.add("transfers")
+        return contents
+
+    def _live_servers(self) -> List[MemoryServer]:
+        return [s for s in self.servers if s.is_alive]
+
+    def _require_live(self, server: MemoryServer) -> None:
+        if not server.is_alive:
+            raise ServerCrashed(server.name)

@@ -1,0 +1,119 @@
+"""MIRRORING: two copies of every page (§2.2).
+
+"When the client swaps out a page, the page is sent to two different
+servers. ... the crash recovery overhead is minimal.  However, the
+runtime overhead is rather high, since each pageout requires two page
+transfers.  To make matters worse, mirroring wastes half of the remote
+memory used."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ..server import MemoryServer
+from .base import ReliabilityPolicy
+
+__all__ = ["Mirroring"]
+
+
+class Mirroring(ReliabilityPolicy):
+    """Primary + mirror copy on two distinct servers."""
+
+    name = "mirroring"
+    memory_overhead_factor = 2.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        if len(self.servers) < 2:
+            raise ValueError("mirroring needs at least two servers")
+        self._placement: Dict[int, Tuple[MemoryServer, MemoryServer]] = {}
+        self._next = 0
+
+    def _place(self, page_id: int) -> Tuple[MemoryServer, MemoryServer]:
+        pair = self._placement.get(page_id)
+        if pair is not None:
+            return pair
+        candidates = [s for s in self._live_servers() if s.free_pages > 0]
+        if len(candidates) < 2:
+            raise ServerUnavailable("any", reason="fewer than two usable servers")
+        primary = candidates[self._next % len(candidates)]
+        mirror = candidates[(self._next + 1) % len(candidates)]
+        self._next += 1
+        pair = (primary, mirror)
+        self._placement[page_id] = pair
+        return pair
+
+    def pageout(self, page_id: int, contents: Optional[bytes]):
+        primary, mirror = self._place(page_id)
+        # Two page transfers per pageout — mirroring's runtime cost.
+        for server, tag in ((primary, page_id), (mirror, page_id)):
+            self._require_live(server)
+            yield from self._send_page(server, tag, contents)
+        self.counters.add("pageouts")
+
+    def pagein(self, page_id: int):
+        pair = self._placement.get(page_id)
+        if pair is None:
+            raise PageNotFound(page_id, where=self.name)
+        # Surface a dead copy so the client repairs redundancy now — a
+        # silently degraded mirror is one crash away from data loss.
+        for server in pair:
+            if not server.is_alive:
+                self._require_live(server)
+        for server in pair:
+            if server.holds(page_id):
+                contents = yield from self._fetch_page(server, page_id)
+                self.counters.add("pageins")
+                return contents
+        raise PageNotFound(page_id, where=self.name)
+
+    def holds(self, page_id: int) -> bool:
+        pair = self._placement.get(page_id)
+        if pair is None:
+            return False
+        return any(s.is_alive and s.holds(page_id) for s in pair)
+
+    def release(self, page_id: int) -> None:
+        pair = self._placement.pop(page_id, None)
+        if pair is not None:
+            for server in pair:
+                server.free([page_id])
+
+    def recover(self, crashed: MemoryServer):
+        """Re-replicate every page whose redundancy the crash destroyed.
+
+        Minimal-cost recovery (§2.2): surviving copies already exist, so
+        the application never stalls on lost data; this pass restores
+        two-copy redundancy by copying each affected page from its
+        survivor to a replacement server.
+        """
+        affected = [
+            (page_id, pair)
+            for page_id, pair in self._placement.items()
+            if crashed in pair
+        ]
+        replacements = [s for s in self._live_servers() if s is not crashed]
+        if not replacements:
+            raise RecoveryError("no surviving server to re-mirror onto")
+        restored = 0
+        for page_id, pair in affected:
+            survivor = pair[0] if pair[1] is crashed else pair[1]
+            if not survivor.is_alive:
+                raise RecoveryError(
+                    f"page {page_id} lost both copies (double failure)"
+                )
+            contents = yield from self._fetch_page(survivor, page_id)
+            target = max(
+                (s for s in replacements if s is not survivor and s.free_pages > 0),
+                key=lambda s: s.free_pages,
+                default=None,
+            )
+            if target is None:
+                raise RecoveryError("no replacement server with free memory")
+            yield from self._send_page(target, page_id, contents)
+            self._placement[page_id] = (survivor, target)
+            restored += 1
+        self.counters.add("recovered_pages", restored)
+        return restored

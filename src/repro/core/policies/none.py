@@ -1,0 +1,81 @@
+"""NO RELIABILITY: plain remote memory paging (§4.1's fastest policy).
+
+Each page lives on exactly one server (chosen for free space at first
+pageout, sticky thereafter).  One transfer per pageout, one per pagein,
+no extra memory — and no recovery: a server crash loses its pages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ..server import MemoryServer
+from .base import ReliabilityPolicy
+
+__all__ = ["NoReliability"]
+
+
+class NoReliability(ReliabilityPolicy):
+    """One copy of each page, on one server."""
+
+    name = "no-reliability"
+    memory_overhead_factor = 1.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._placement: Dict[int, MemoryServer] = {}
+        self._next = 0
+        #: Optional cost function for heterogeneous clusters (§5): when
+        #: set, new pages go to the *cheapest* server with room instead
+        #: of round robin — e.g. rank by link bandwidth so slow-linked
+        #: donors form a deeper level of the memory hierarchy.
+        self.server_ranker = None
+
+    def _place(self, page_id: int) -> MemoryServer:
+        server = self._placement.get(page_id)
+        if server is not None:
+            return server
+        candidates = [s for s in self._live_servers() if s.free_pages > 0]
+        if not candidates:
+            raise ServerUnavailable("any", reason="all servers full or dead")
+        if self.server_ranker is not None:
+            server = min(candidates, key=self.server_ranker)
+        else:
+            # Round-robin over servers that still have room.
+            server = candidates[self._next % len(candidates)]
+            self._next += 1
+        self._placement[page_id] = server
+        return server
+
+    def pageout(self, page_id: int, contents: Optional[bytes]):
+        server = self._place(page_id)
+        self._require_live(server)
+        yield from self._send_page(server, page_id, contents)
+        self.counters.add("pageouts")
+
+    def pagein(self, page_id: int):
+        server = self._placement.get(page_id)
+        if server is None:
+            raise PageNotFound(page_id, where=self.name)
+        self._require_live(server)
+        contents = yield from self._fetch_page(server, page_id)
+        self.counters.add("pageins")
+        return contents
+
+    def holds(self, page_id: int) -> bool:
+        server = self._placement.get(page_id)
+        return server is not None and server.is_alive and server.holds(page_id)
+
+    def release(self, page_id: int) -> None:
+        server = self._placement.pop(page_id, None)
+        if server is not None:
+            server.free([page_id])
+
+    def recover(self, crashed: MemoryServer):
+        lost = [p for p, s in self._placement.items() if s is crashed]
+        raise RecoveryError(
+            f"NO RELIABILITY cannot recover {len(lost)} pages lost with "
+            f"{crashed.name!r}"
+        )
+        yield  # pragma: no cover - unreachable; keeps this a generator

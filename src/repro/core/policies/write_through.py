@@ -1,0 +1,125 @@
+"""WRITE THROUGH: remote memory as a write-through cache of the disk (§4.7).
+
+The alternative reliability approach the paper compares against (citing
+Feeley et al.): every paged-out page goes *both* to a remote server and
+to the local disk, with the two transfers executed in parallel.  Reads
+are served from remote memory at network speed.  A server crash loses
+nothing — the disk has everything — so recovery just re-populates remote
+memory from disk.
+
+The paper's verdict: on equal disk/network bandwidth, write-through beats
+parity logging and trails no-reliability slightly (Fig 5); on faster
+networks it becomes disk-bound while parity logging keeps scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ...disk.backend import PartitionBackend
+from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ..server import MemoryServer
+from .base import ReliabilityPolicy
+
+__all__ = ["WriteThrough"]
+
+
+class WriteThrough(ReliabilityPolicy):
+    """One remote copy plus a disk copy written in parallel."""
+
+    name = "write-through"
+    memory_overhead_factor = 1.0  # remote memory holds a single copy
+
+    def __init__(self, client_host, stack, servers, disk_backend: PartitionBackend, **kwargs):
+        super().__init__(client_host, stack, servers, **kwargs)
+        self.disk_backend = disk_backend
+        self._placement: Dict[int, MemoryServer] = {}
+        self._disk_contents: Dict[int, Optional[bytes]] = {}
+        self._next = 0
+
+    def _place(self, page_id: int) -> MemoryServer:
+        server = self._placement.get(page_id)
+        if server is not None and server.is_alive:
+            return server
+        candidates = [s for s in self._live_servers() if s.free_pages > 0]
+        if not candidates:
+            raise ServerUnavailable("any", reason="all servers full or dead")
+        server = candidates[self._next % len(candidates)]
+        self._next += 1
+        self._placement[page_id] = server
+        return server
+
+    def pageout(self, page_id: int, contents: Optional[bytes]):
+        server = self._place(page_id)
+
+        def to_remote():
+            yield from self._send_page(server, page_id, contents)
+
+        def to_disk():
+            yield from self.disk_backend.write_page(page_id)
+            self._disk_contents[page_id] = contents
+            self.counters.add("disk_writes")
+
+        # "These two page transfers are executed in parallel" (§4.7):
+        # the pageout completes when the slower of the two lands.
+        remote = self.sim.process(to_remote(), name=f"wt-remote:{page_id}")
+        disk = self.sim.process(to_disk(), name=f"wt-disk:{page_id}")
+        yield self.sim.all_of([remote, disk])
+        self.counters.add("pageouts")
+
+    def pagein(self, page_id: int):
+        server = self._placement.get(page_id)
+        if server is not None and not server.is_alive:
+            # Surface the crash so the client re-populates remote memory;
+            # until then reads would crawl at disk speed.
+            self._require_live(server)
+        if server is not None and server.holds(page_id):
+            contents = yield from self._fetch_page(server, page_id)
+            self.counters.add("pageins")
+            return contents
+        # Server gone: the disk always has it (the whole point).
+        if not self.disk_backend.holds(page_id):
+            raise PageNotFound(page_id, where=self.name)
+        yield from self.disk_backend.read_page(page_id)
+        self.counters.add("pageins")
+        self.counters.add("disk_reads")
+        return self._disk_contents.get(page_id)
+
+    def holds(self, page_id: int) -> bool:
+        server = self._placement.get(page_id)
+        if server is not None and server.is_alive and server.holds(page_id):
+            return True
+        return self.disk_backend.holds(page_id)
+
+    def release(self, page_id: int) -> None:
+        server = self._placement.pop(page_id, None)
+        if server is not None:
+            server.free([page_id])
+        if self.disk_backend.holds(page_id):
+            self.disk_backend.release_page(page_id)
+        self._disk_contents.pop(page_id, None)
+
+    def recover(self, crashed: MemoryServer):
+        """Re-populate remote memory from the disk copies."""
+        affected = [p for p, s in self._placement.items() if s is crashed]
+        survivors = [s for s in self._live_servers() if s is not crashed]
+        restored = 0
+        for page_id in affected:
+            if not self.disk_backend.holds(page_id):
+                raise RecoveryError(f"disk lost page {page_id} (impossible)")
+            yield from self.disk_backend.read_page(page_id)
+            self.counters.add("disk_reads")
+            target = max(
+                (s for s in survivors if s.free_pages > 0),
+                key=lambda s: s.free_pages,
+                default=None,
+            )
+            if target is None:
+                # No remote room: pages stay disk-only until memory frees.
+                del self._placement[page_id]
+                continue
+            yield from self._send_page(target, page_id, self._disk_contents.get(page_id))
+            self._placement[page_id] = target
+            restored += 1
+        self.counters.add("recovered_pages", restored)
+        return restored

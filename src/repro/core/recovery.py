@@ -1,0 +1,64 @@
+"""Crash injection and recovery verification helpers (§2.2).
+
+The paper's reliability claim is that a *single workstation crash* never
+costs the client its pages.  :class:`CrashInjector` kills a chosen server
+at a chosen simulated instant — exactly what the paper's fault model
+covers (software crash / hardware error; power failures are excluded as
+UPS-handled, and network partitions block rather than crash).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Process, Simulator
+from .server import MemoryServer
+
+__all__ = ["CrashInjector"]
+
+
+class CrashInjector:
+    """Schedules server crashes at simulated instants.
+
+    >>> injector = CrashInjector(sim)
+    >>> injector.crash_at(server, 12.5)   # server dies at t=12.5 s
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.crashes: list = []
+
+    def crash_at(self, server: MemoryServer, at_time: float) -> Process:
+        """Kill ``server`` at ``at_time`` (must not be in the past)."""
+        if at_time < self.sim.now:
+            raise ValueError(f"crash time {at_time} is in the past (now {self.sim.now})")
+        return self.sim.process(
+            self._crash(server, at_time), name=f"crash:{server.name}"
+        )
+
+    def crash_after_pageouts(
+        self, server: MemoryServer, pageouts: int, poll: float = 0.01
+    ) -> Process:
+        """Kill ``server`` once it has absorbed ``pageouts`` pageouts —
+        deterministic mid-workload fault injection."""
+        if pageouts < 0:
+            raise ValueError(f"negative pageout count: {pageouts}")
+        return self.sim.process(
+            self._crash_after(server, pageouts, poll), name=f"crash:{server.name}"
+        )
+
+    def _crash(self, server: MemoryServer, at_time: float):
+        yield self.sim.timeout(at_time - self.sim.now)
+        self._kill(server)
+
+    def _crash_after(self, server: MemoryServer, pageouts: int, poll: float):
+        while server.counters["pageouts"] < pageouts:
+            if not server.is_alive:
+                return
+            yield self.sim.timeout(poll)
+        self._kill(server)
+
+    def _kill(self, server: MemoryServer) -> None:
+        if server.is_alive:
+            server.crash()
+            self.crashes.append((self.sim.now, server.name))

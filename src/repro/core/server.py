@@ -1,0 +1,268 @@
+"""The remote memory server (§3.2).
+
+"The server is a user level program listening to a socket ... When the
+client requests a pagein, the server transfers the requested page(s) over
+the socket.  When the client requests a pageout, the server reads the
+incoming pages from the socket, and stores them in its main memory.  The
+server is also responsible for swap space allocation and for providing
+periodically information to the client concerning the memory load of its
+host.  A parity server is by no means different than a memory server."
+
+The server stores opaque *keys* → page payloads; it neither knows nor
+cares whether a payload is a data page or a parity page (exactly the
+paper's point).  Its memory comes from grants on its host
+:class:`~repro.cluster.Workstation`; when the host's native demand
+squeezes the grant, the server sheds pages to its local disk and starts
+*advising* clients to send no more (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cluster.workstation import Workstation
+from ..errors import PageNotFound, ServerCrashed, ServerUnavailable
+from ..net.protocol import ProtocolStack
+from ..sim import Counter, Simulator
+from ..units import milliseconds
+
+__all__ = ["MemoryServer"]
+
+#: CPU the server spends handling one page beyond protocol processing
+#: (buffer copy, hash lookup, socket bookkeeping).
+SERVER_CPU_PER_PAGE = milliseconds(0.2)
+
+
+class MemoryServer:
+    """One client's server instance on a donor workstation.
+
+    Parameters
+    ----------
+    host:
+        The workstation donating memory and CPU.
+    stack:
+        Transport used to reach this server (shared with the client).
+    capacity_pages:
+        Swap space to request from the host up front.
+    overflow_fraction:
+        Extra memory beyond ``capacity_pages`` (parity logging asks for
+        10% overflow to hold superseded page versions, §2.2).
+    """
+
+    def __init__(
+        self,
+        host: Workstation,
+        stack: ProtocolStack,
+        capacity_pages: int,
+        overflow_fraction: float = 0.0,
+        name: Optional[str] = None,
+    ):
+        if capacity_pages < 1:
+            raise ValueError(f"capacity must be at least one page: {capacity_pages}")
+        if overflow_fraction < 0:
+            raise ValueError(f"negative overflow: {overflow_fraction}")
+        self.host = host
+        self.stack = stack
+        self.sim: Simulator = host.sim
+        self.name = name or f"server@{host.name}"
+        want = int(capacity_pages * (1 + overflow_fraction))
+        granted = host.grant(want)
+        if granted < capacity_pages:
+            host.revoke(granted)
+            raise ServerUnavailable(self.name, reason="host has too little free memory")
+        self.capacity_pages = granted
+        self.overflow_fraction = overflow_fraction
+        self._store: Dict[object, Optional[bytes]] = {}
+        self._on_disk: Dict[object, Optional[bytes]] = {}
+        self._crashed = False
+        self.advising = False
+        self.counters = Counter()
+        host.pressure_callback = self._on_pressure
+        if not stack.network.is_attached(host.name):
+            stack.network.attach(host.name)
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def is_alive(self) -> bool:
+        return not self._crashed
+
+    @property
+    def stored_pages(self) -> int:
+        """Pages held in memory (excluding any shed to the host disk)."""
+        return len(self._store)
+
+    @property
+    def free_pages(self) -> int:
+        return max(0, self.capacity_pages - len(self._store))
+
+    def holds(self, key: object) -> bool:
+        """Whether this server stores ``key`` (in memory or shed to disk)."""
+        return key in self._store or key in self._on_disk
+
+    def keys(self):
+        """All keys currently stored (memory and shed-to-disk)."""
+        return list(self._store) + list(self._on_disk)
+
+    def cpu_utilization(self) -> float:
+        """Fraction of elapsed simulated time spent serving (§4.5)."""
+        elapsed = self.sim.now
+        if elapsed <= 0:
+            return 0.0
+        return self.counters["cpu_us"] / 1e6 / elapsed
+
+    # ------------------------------------------------------------- serving
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise ServerCrashed(self.name)
+
+    def _serve_cpu(self):
+        """Generator: charge one page's server-side CPU."""
+        self.counters.add("cpu_us", int(SERVER_CPU_PER_PAGE * 1e6))
+        yield from self.host.cpu_time(SERVER_CPU_PER_PAGE)
+
+    def store(self, key: object, contents: Optional[bytes]):
+        """Generator: accept a pageout (data already on the wire's far end).
+
+        Raises :class:`ServerUnavailable` when out of memory — the client
+        reacts by finding another server or using its disk (§2.1).
+        """
+        self._check_alive()
+        if key not in self._store and key not in self._on_disk:
+            if self.free_pages <= 0:
+                self.advising = True
+                raise ServerUnavailable(self.name, reason="swap space exhausted")
+        yield from self._serve_cpu()
+        if key in self._on_disk:
+            self._on_disk[key] = contents
+        else:
+            self._store[key] = contents
+        self.counters.add("pageouts")
+
+    def fetch(self, key: object):
+        """Generator: serve a pagein; returns the stored contents."""
+        self._check_alive()
+        yield from self._serve_cpu()
+        if key in self._store:
+            self.counters.add("pageins")
+            return self._store[key]
+        if key in self._on_disk:
+            # Shed to the host's disk under memory pressure: serve slower.
+            self.counters.add("pageins_from_disk")
+            yield self.sim.timeout(milliseconds(20))
+            return self._on_disk[key]
+        raise PageNotFound(key, where=self.name)
+
+    def xor_update(self, key: object, new_contents: Optional[bytes]):
+        """Generator: the basic-parity server step (§2.2).
+
+        Replace the stored page with ``new_contents`` and return the XOR
+        of old and new, which the client-side policy then forwards to the
+        parity server.
+        """
+        from ..vm.page import xor_bytes
+
+        self._check_alive()
+        if key not in self._store:
+            raise PageNotFound(key, where=self.name)
+        yield from self._serve_cpu()
+        old = self._store[key]
+        self._store[key] = new_contents
+        self.counters.add("xor_updates")
+        if old is None or new_contents is None:
+            return None  # metadata mode
+        return xor_bytes(old, new_contents)
+
+    def xor_into(self, key: object, delta: Optional[bytes]):
+        """Generator: fold ``delta`` into the stored parity page."""
+        from ..vm.page import xor_bytes, zero_page
+
+        self._check_alive()
+        yield from self._serve_cpu()
+        self.counters.add("parity_updates")
+        if key not in self._store and key not in self._on_disk:
+            if self.free_pages <= 0:
+                raise ServerUnavailable(self.name, reason="swap space exhausted")
+            self._store[key] = delta
+            return
+        old = self._store.get(key, None)
+        if delta is None or old is None:
+            self._store[key] = delta if old is None else old
+            return
+        self._store[key] = xor_bytes(old, delta)
+
+    def free(self, keys) -> None:
+        """Release stored slots (parity-group reuse, client release).
+
+        A no-op on a crashed server: its store is already gone, and
+        recovery paths must be able to clean up bookkeeping regardless.
+        """
+        if self._crashed:
+            return
+        freed = 0
+        for key in keys:
+            if self._store.pop(key, "missing") != "missing":
+                freed += 1
+            self._on_disk.pop(key, None)
+        self.counters.add("freed", freed)
+        if self.advising and self.free_pages > self.capacity_pages // 10:
+            self.advising = False
+
+    def transfer_to(self, other: "MemoryServer", keys):
+        """Generator: ship stored pages directly to another server (§2.1
+        migration: "migrate the pages that were stored by the loaded
+        server to the new one") — one server-to-server transfer per page,
+        no bounce through the client."""
+        self._check_alive()
+        moved = 0
+        for key in keys:
+            if key in self._store:
+                contents = self._store[key]
+            elif key in self._on_disk:
+                contents = self._on_disk[key]
+                yield self.sim.timeout(milliseconds(20))  # read it back up
+            else:
+                continue
+            yield from self._serve_cpu()
+            yield from self.stack.send_page(
+                self.host.name, other.host.name, self.host.spec.page_size
+            )
+            yield from other.store(key, contents)
+            self._store.pop(key, None)
+            self._on_disk.pop(key, None)
+            moved += 1
+        self.counters.add("migrated_out", moved)
+        if self.advising and self.free_pages > self.capacity_pages // 10:
+            self.advising = False
+        return moved
+
+    # ----------------------------------------------------- load and crash
+    def _on_pressure(self, deficit_pages: int) -> None:
+        """Host native demand squeezed our grant: shed pages to disk and
+        advise clients (§2.1)."""
+        shed = 0
+        for key in list(self._store):
+            if shed >= deficit_pages:
+                break
+            self._on_disk[key] = self._store.pop(key)
+            shed += 1
+        self.host.revoke(min(deficit_pages, self.capacity_pages))
+        self.capacity_pages -= min(deficit_pages, self.capacity_pages)
+        self.advising = True
+        self.counters.add("shed_to_disk", shed)
+
+    def crash(self) -> None:
+        """The workstation dies: all stored pages are lost."""
+        self._crashed = True
+        self._store.clear()
+        self._on_disk.clear()
+
+    def restart(self, capacity_pages: Optional[int] = None) -> None:
+        """Bring the server back empty (a rebooted workstation)."""
+        self._crashed = False
+        self.advising = False
+        if capacity_pages is not None:
+            self.capacity_pages = self.host.grant(capacity_pages)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "crashed" if self._crashed else f"{self.stored_pages}/{self.capacity_pages}p"
+        return f"<MemoryServer {self.name!r} {state}>"

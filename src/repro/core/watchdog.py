@@ -1,0 +1,83 @@
+"""Crash detection from load-report silence.
+
+The pager normally discovers a crash when a request fails (§2.2), which
+leaves lost pages unprotected until the client happens to touch that
+server.  Since servers report their load periodically (§3.2), silence is
+a signal: a :class:`Watchdog` watches the client's
+:class:`~repro.core.load_reports.ClusterView` and, when a server has
+been quiet for ``suspect_after`` intervals, declares it crashed and runs
+the policy's recovery *proactively* — restoring redundancy before the
+next fault would trip over it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import RecoveryError, ServerCrashed
+from ..sim import Interrupt, Process, Simulator
+from .client import RemoteMemoryPager
+from .load_reports import ClusterView
+
+__all__ = ["Watchdog"]
+
+
+class Watchdog:
+    """Declare silent servers crashed and trigger proactive recovery."""
+
+    def __init__(
+        self,
+        pager: RemoteMemoryPager,
+        view: ClusterView,
+        report_interval: float,
+        suspect_after: float = 3.0,
+        poll: Optional[float] = None,
+    ):
+        if report_interval <= 0 or suspect_after <= 1:
+            raise ValueError(
+                "report_interval must be positive and suspect_after > 1 "
+                "(declaring a crash within one interval would misfire on "
+                "ordinary report jitter)"
+            )
+        self.pager = pager
+        self.view = view
+        self.report_interval = report_interval
+        self.suspect_after = suspect_after
+        self.sim: Simulator = pager.sim
+        self.detections = []
+        self.process: Process = self.sim.process(self._run(), name="watchdog")
+
+    @property
+    def _deadline(self) -> float:
+        return self.report_interval * self.suspect_after
+
+    def _run(self):
+        try:
+            # Give every reporter one interval before expecting anything.
+            yield self.sim.timeout(self.report_interval)
+            while True:
+                yield self.sim.timeout(self.report_interval)
+                # Recovery removes a declared-dead server from the
+                # policy's set, so each silence is acted on exactly once.
+                for server in list(self.pager.policy.servers):
+                    if self.view.report_for(server.name) is None:
+                        continue  # never reported (not monitored)
+                    if self.view.age(server.name) > self._deadline:
+                        yield from self._declare_crashed(server)
+        except Interrupt:
+            return
+
+    def _declare_crashed(self, server):
+        """A server went silent: run recovery as if a request had failed."""
+        self.detections.append((self.sim.now, server.name))
+        try:
+            yield from self.pager._handle_crash(ServerCrashed(server.name))
+        except RecoveryError:
+            # Unrecoverable policy (no redundancy): nothing a watchdog
+            # can do beyond noting the loss; requests will surface it.
+            pass
+
+    def stop(self) -> None:
+        """Stop monitoring."""
+        if self.process.is_alive:
+            self.process.interrupt("watchdog-stop")

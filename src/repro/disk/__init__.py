@@ -1,0 +1,14 @@
+"""Disk substrate: service-time model, queue disciplines, and backends."""
+
+from .backend import FileBackend, PartitionBackend, SwapMap
+from .model import CLook, Disk, DiskRequest, FCFS
+
+__all__ = [
+    "Disk",
+    "DiskRequest",
+    "FCFS",
+    "CLook",
+    "SwapMap",
+    "PartitionBackend",
+    "FileBackend",
+]

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the remote-memory-pager reproduction.
+
+Every package-specific error derives from :class:`ReproError` so callers
+can catch the library's failures without catching programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PagingError",
+    "PageNotFound",
+    "SwapSpaceExhausted",
+    "ServerCrashed",
+    "ServerUnavailable",
+    "RecoveryError",
+    "NetworkPartitioned",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model was configured inconsistently."""
+
+
+class PagingError(ReproError):
+    """Base class for paging-path failures."""
+
+
+class PageNotFound(PagingError):
+    """A pagein asked for a page the backing store does not hold."""
+
+    def __init__(self, page_id: int, where: str = "backing store"):
+        super().__init__(f"page {page_id} not found in {where}")
+        self.page_id = page_id
+        self.where = where
+
+
+class SwapSpaceExhausted(PagingError):
+    """No server (and no disk fallback) could absorb a pageout."""
+
+
+class ServerCrashed(PagingError):
+    """An operation hit a server that has crashed."""
+
+    def __init__(self, server_name: str):
+        super().__init__(f"memory server {server_name!r} has crashed")
+        self.server_name = server_name
+
+
+class ServerUnavailable(PagingError):
+    """A server declined a request (out of memory / under native load)."""
+
+    def __init__(self, server_name: str, reason: str = "out of memory"):
+        super().__init__(f"memory server {server_name!r} unavailable: {reason}")
+        self.server_name = server_name
+        self.reason = reason
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not reconstruct the lost pages."""
+
+
+class NetworkPartitioned(ReproError):
+    """The client is cut off from its servers (paper §2.2: it blocks)."""

@@ -1,0 +1,73 @@
+"""Experiment harness: one module per paper figure/table."""
+
+from .ablations import (
+    render_ablation,
+    run_free_batch_ablation,
+    run_pageout_window_ablation,
+    run_replacement_ablation,
+)
+from .adaptive import render_adaptive, run_adaptive
+from .breakdown import render_breakdown, run_breakdown
+from .busy_servers import render_busy_servers, run_busy_servers
+from .compression import render_compression, run_compression
+from .diurnal import render_diurnal, run_diurnal
+from .fig1 import render_fig1, run_fig1
+from .fig2 import FIG2_POLICIES, render_fig2, run_fig2
+from .fig3 import render_fig3, run_fig3
+from .fig4 import render_fig4, run_fig4
+from .fig5 import FIG5_POLICIES, render_fig5, run_fig5
+from .harness import PAPER_CONFIGS, run_policy, run_suite
+from .heterogeneous import render_heterogeneous, run_heterogeneous
+from .latency import render_latency, run_latency
+from .loaded_ethernet import render_loaded_ethernet, run_loaded_ethernet
+from .multi_client import build_multi_client, render_multi_client, run_multi_client
+from .network_comparison import render_network_comparison, run_network_comparison
+from .remote_disk import render_remote_disk, run_remote_disk
+from .server_scaling import render_server_scaling, run_server_scaling
+
+__all__ = [
+    "PAPER_CONFIGS",
+    "run_policy",
+    "run_suite",
+    "run_fig1",
+    "render_fig1",
+    "run_fig2",
+    "render_fig2",
+    "FIG2_POLICIES",
+    "run_fig3",
+    "render_fig3",
+    "run_fig4",
+    "render_fig4",
+    "run_fig5",
+    "render_fig5",
+    "FIG5_POLICIES",
+    "run_breakdown",
+    "render_breakdown",
+    "run_latency",
+    "render_latency",
+    "run_busy_servers",
+    "render_busy_servers",
+    "run_loaded_ethernet",
+    "render_loaded_ethernet",
+    "run_network_comparison",
+    "render_network_comparison",
+    "run_server_scaling",
+    "render_server_scaling",
+    "run_heterogeneous",
+    "render_heterogeneous",
+    "run_adaptive",
+    "render_adaptive",
+    "run_replacement_ablation",
+    "run_pageout_window_ablation",
+    "run_free_batch_ablation",
+    "render_ablation",
+    "run_remote_disk",
+    "render_remote_disk",
+    "build_multi_client",
+    "run_multi_client",
+    "render_multi_client",
+    "run_diurnal",
+    "render_diurnal",
+    "run_compression",
+    "render_compression",
+]

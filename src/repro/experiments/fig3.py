@@ -1,0 +1,63 @@
+"""Figure 3: FFT completion time vs input size, disk vs parity logging.
+
+"As soon as the working set size exceeds 18 MBytes, the paging starts,
+and the completion time of the application rises sharply."  Remote
+memory (parity logging) softens the cliff substantially.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.charts import ascii_chart
+from ..analysis.paper_data import FIG3_INPUT_SIZES_MB
+from ..analysis.report import format_table
+from ..workloads import Fft
+from .harness import run_policy
+
+__all__ = ["run_fig3", "render_fig3"]
+
+
+def run_fig3(
+    sizes_mb: Optional[Iterable[float]] = None,
+    policies: Iterable[str] = ("disk", "parity-logging"),
+) -> Dict[str, Dict[float, object]]:
+    """FFT input-size sweep; returns reports keyed [policy][size_mb]."""
+    sizes = list(sizes_mb) if sizes_mb else list(FIG3_INPUT_SIZES_MB)
+    results: Dict[str, Dict[float, object]] = {}
+    for policy in policies:
+        results[policy] = {}
+        for mb in sizes:
+            results[policy][mb] = run_policy(
+                lambda mb=mb: Fft.from_megabytes(mb), policy
+            )
+    return results
+
+
+def render_fig3(results: Dict[str, Dict[float, object]]) -> str:
+    """Figure 3 table plus an ASCII rendering of the cliff."""
+    policies = list(results)
+    sizes = sorted(next(iter(results.values())).keys())
+    rows: List[List[str]] = []
+    for mb in sizes:
+        row = [f"{mb:.1f}"]
+        for policy in policies:
+            report = results[policy][mb]
+            row.append(f"{report.etime:.1f}s (in={report.pageins}, out={report.pageouts})")
+        rows.append(row)
+    table = format_table(
+        ["input (MB)"] + policies,
+        rows,
+        title="Figure 3: FFT completion vs input size",
+    )
+    chart = ascii_chart(
+        {
+            policy: [(mb, results[policy][mb].etime) for mb in sizes]
+            for policy in policies
+        },
+        width=48,
+        height=12,
+        x_label="input (MB)",
+        y_label="completion (s)",
+    )
+    return table + "\n\n" + chart

@@ -1,0 +1,95 @@
+"""Figure 4: FFT under faster-network alternatives.
+
+Four curves over the Fig 3 input sweep:
+
+* DISK — measured on the local RZ55;
+* ETHERNET — measured parity logging over the 10 Mbit/s Ethernet;
+* ETHERNET*10 — the §4.3 model's *prediction* for a 10x network.  We also
+  *simulate* a 100 Mbit/s switched network directly, which the paper
+  could not do — validating their extrapolation against a real (model)
+  network;
+* ALL MEMORY — predicted utime + systime + inittime.
+
+The paper's punchline: at 10x bandwidth, paging overhead falls below 17%
+of total execution time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..analysis.charts import ascii_chart
+from ..analysis.extrapolate import all_memory_bound, decompose
+from ..analysis.paper_data import FIG3_INPUT_SIZES_MB
+from ..analysis.report import format_table
+from ..config import fast_network
+from ..workloads import Fft
+from .harness import run_policy
+
+__all__ = ["run_fig4", "render_fig4"]
+
+
+def run_fig4(
+    sizes_mb: Optional[Iterable[float]] = None,
+    bandwidth_factor: float = 10.0,
+    simulate_fast_network: bool = True,
+) -> Dict[float, Dict[str, float]]:
+    """Returns, per input size, the four curves (plus the validation
+    curve ``ethernet_x10_simulated`` when requested)."""
+    sizes = list(sizes_mb) if sizes_mb else list(FIG3_INPUT_SIZES_MB)
+    results: Dict[float, Dict[str, float]] = {}
+    for mb in sizes:
+        disk = run_policy(lambda mb=mb: Fft.from_megabytes(mb), "disk")
+        ethernet = run_policy(lambda mb=mb: Fft.from_megabytes(mb), "parity-logging")
+        decomposition = decompose(ethernet)
+        row = {
+            "disk": disk.etime,
+            "ethernet": ethernet.etime,
+            "ethernet_x10_predicted": decomposition.predicted_etime(bandwidth_factor),
+            "all_memory": all_memory_bound(decomposition),
+            "overhead_fraction_x10": 1.0
+            - (
+                decomposition.utime + decomposition.systime + decomposition.inittime
+            )
+            / decomposition.predicted_etime(bandwidth_factor),
+        }
+        if simulate_fast_network:
+            fast = run_policy(
+                lambda mb=mb: Fft.from_megabytes(mb),
+                "parity-logging",
+                switched_spec=fast_network(bandwidth_factor),
+            )
+            row["ethernet_x10_simulated"] = fast.etime
+        results[mb] = row
+    return results
+
+
+def render_fig4(results: Dict[float, Dict[str, float]]) -> str:
+    """Figure 4 table plus an ASCII rendering of the four curves."""
+    curves = ["disk", "ethernet", "ethernet_x10_predicted"]
+    sample = next(iter(results.values()))
+    if "ethernet_x10_simulated" in sample:
+        curves.append("ethernet_x10_simulated")
+    curves.append("all_memory")
+    rows: List[List[str]] = []
+    for mb in sorted(results):
+        row = [f"{mb:.1f}"]
+        row += [f"{results[mb][c]:.1f}" for c in curves]
+        row.append(f"{results[mb]['overhead_fraction_x10']:.1%}")
+        rows.append(row)
+    table = format_table(
+        ["input (MB)"] + curves + ["paging overhead @10x"],
+        rows,
+        title="Figure 4: FFT under network alternatives (seconds)",
+    )
+    chart = ascii_chart(
+        {
+            curve: [(mb, results[mb][curve]) for mb in sorted(results)]
+            for curve in curves
+        },
+        width=48,
+        height=12,
+        x_label="input (MB)",
+        y_label="completion (s)",
+    )
+    return table + "\n\n" + chart

@@ -1,0 +1,67 @@
+"""Shared experiment harness: the paper's standard configurations.
+
+§4.1 defines the four configurations of Figure 2 (and §4.7 adds the
+write-through comparison of Figure 5):
+
+* NO RELIABILITY — two remote memory servers;
+* PARITY LOGGING — four servers plus a parity server, 10% overflow;
+* MIRRORING — one primary + one mirror server;
+* DISK — the local DEC RZ55, no pager involvement;
+* WRITE THROUGH — remote memory as a write-through cache of the disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.builder import Cluster, build_cluster
+from ..vm.machine import CompletionReport
+from ..workloads.base import Workload
+
+__all__ = ["PAPER_CONFIGS", "run_policy", "run_suite"]
+
+#: build_cluster keyword arguments for each of the paper's configurations.
+PAPER_CONFIGS: Dict[str, dict] = {
+    "no-reliability": dict(policy="no-reliability", n_servers=2),
+    "parity-logging": dict(policy="parity-logging", n_servers=4, overflow_fraction=0.10),
+    "mirroring": dict(policy="mirroring", n_servers=2),
+    "disk": dict(policy="disk"),
+    "write-through": dict(policy="write-through", n_servers=2),
+}
+
+
+def run_policy(
+    workload_factory: Callable[[], Workload],
+    policy: str,
+    cluster_hook: Optional[Callable[[Cluster], None]] = None,
+    **overrides,
+) -> CompletionReport:
+    """Run one workload under one paper configuration.
+
+    ``cluster_hook`` runs after assembly and before the workload starts —
+    experiments use it to attach background load, crash injectors, etc.
+    """
+    kwargs = dict(PAPER_CONFIGS[policy])
+    kwargs.update(overrides)
+    cluster = build_cluster(**kwargs)
+    if cluster_hook is not None:
+        cluster_hook(cluster)
+    workload = workload_factory()
+    return cluster.run(workload)
+
+
+def run_suite(
+    workload_factories: Dict[str, Callable[[], Workload]],
+    policies,
+    cluster_hook: Optional[Callable[[Cluster], None]] = None,
+    **overrides,
+) -> Dict[str, Dict[str, CompletionReport]]:
+    """Run a matrix of workloads x policies; returns nested reports."""
+    results: Dict[str, Dict[str, CompletionReport]] = {}
+    for app_name, factory in workload_factories.items():
+        results[app_name] = {}
+        for policy in policies:
+            results[app_name][policy] = run_policy(
+                factory, policy, cluster_hook=cluster_hook, **overrides
+            )
+    return results

@@ -1,0 +1,131 @@
+"""Multiple paging clients sharing the cluster.
+
+§3.2: "Each client is served by a new instance of the server which uses
+portion of the local workstation's main memory to store the client's
+pages" — and §6 stresses that, unlike file systems, "clients never share
+their swap spaces".  This experiment runs two clients concurrently:
+
+* each client gets its *own* server instances on the shared donor
+  workstations (separate memory grants, fully isolated swap spaces);
+* both compete for the one shared Ethernet segment.
+
+The interesting measurement is the contention cost: how much slower two
+simultaneous paging applications run than each would alone.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.report import format_table
+from ..cluster.workstation import Workstation
+from ..config import DEC_ALPHA_3000_300
+from ..core.client import RemoteMemoryPager
+from ..core.policies.none import NoReliability
+from ..core.server import MemoryServer
+from ..net.ethernet import EthernetCsmaCd
+from ..net.protocol import ProtocolStack
+from ..sim import RngRegistry, Simulator
+from ..vm.machine import Machine
+from ..workloads import Gauss, Qsort
+
+__all__ = ["build_multi_client", "run_multi_client", "render_multi_client"]
+
+
+def build_multi_client(
+    n_clients: int = 2,
+    n_donors: int = 2,
+    capacity_per_client: int = 2048,
+    seed: int = 0,
+):
+    """A shared-Ethernet cluster with per-client server instances."""
+    sim = Simulator()
+    network = EthernetCsmaCd(sim, rngs=RngRegistry(seed=seed))
+    stack = ProtocolStack(network)
+    donor_spec = DEC_ALPHA_3000_300
+    # Size donor hosts to hold every client's grant.
+    from ..config import MachineSpec
+
+    donor_spec = MachineSpec(
+        name="donor",
+        ram_bytes=(n_clients * capacity_per_client + 2048) * 8192
+        + donor_spec.kernel_resident_bytes,
+        kernel_resident_bytes=donor_spec.kernel_resident_bytes,
+    )
+    donors = []
+    for d in range(n_donors):
+        host = Workstation(sim, f"donor-{d}", donor_spec)
+        network.attach(host.name)
+        donors.append(host)
+
+    machines: List[Machine] = []
+    for c in range(n_clients):
+        client_name = f"client-{c}"
+        network.attach(client_name)
+        # "A new instance of the server" per client, on every donor.
+        servers = [
+            MemoryServer(
+                host,
+                stack,
+                capacity_pages=capacity_per_client,
+                name=f"server-{c}-{d}",
+            )
+            for d, host in enumerate(donors)
+        ]
+        policy = NoReliability(client_name, stack, servers)
+        pager = RemoteMemoryPager(policy)
+        machines.append(
+            Machine(sim, DEC_ALPHA_3000_300, pager, name=client_name)
+        )
+    return sim, machines, network
+
+
+def run_multi_client(workload_factories=(Gauss, Qsort)) -> Dict[str, object]:
+    """Solo vs concurrent completion times for two clients."""
+    solo_times = []
+    for factory in workload_factories:
+        sim, machines, _ = build_multi_client(n_clients=1)
+        report = sim.run_until_complete(
+            machines[0].run(factory().trace(), name=factory().name)
+        )
+        solo_times.append(report.etime)
+
+    sim, machines, network = build_multi_client(n_clients=len(workload_factories))
+    processes = [
+        machine.run(factory().trace(), name=factory().name)
+        for machine, factory in zip(machines, workload_factories)
+    ]
+    reports = [sim.run_until_complete(p) for p in processes]
+    return {
+        "names": [factory().name for factory in workload_factories],
+        "solo": solo_times,
+        "concurrent": [r.etime for r in reports],
+        "slowdowns": [
+            c / s for c, s in zip((r.etime for r in reports), solo_times)
+        ],
+        "collisions": network.collisions,
+        "wire_utilization": network.stats.utilization(),
+    }
+
+
+def render_multi_client(results: Dict[str, object]) -> str:
+    """Solo-vs-concurrent table with wire statistics."""
+    rows = [
+        [name, f"{solo:.1f}", f"{concurrent:.1f}", f"{slowdown:.2f}x"]
+        for name, solo, concurrent, slowdown in zip(
+            results["names"],
+            results["solo"],
+            results["concurrent"],
+            results["slowdowns"],
+        )
+    ]
+    table = format_table(
+        ["client workload", "solo (s)", "concurrent (s)", "slowdown"],
+        rows,
+        title="Two clients sharing one Ethernet and donor pool",
+    )
+    return (
+        table
+        + f"\ncollisions: {results['collisions']}, "
+        f"wire busy: {results['wire_utilization']:.0%}"
+    )

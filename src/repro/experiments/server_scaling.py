@@ -1,0 +1,64 @@
+"""Server-count scaling for parity logging.
+
+§4.1 claims: "As the number of the remote memory servers used increases,
+the difference in performance between NO RELIABILITY and PARITY LOGGING
+becomes lower" — because parity logging's per-pageout overhead is
+exactly ``1/S`` of a transfer.  This experiment sweeps S and measures
+both the transfer-count ratio (which must be exactly ``1 + 1/S`` on the
+pageout side) and the end-to-end gap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from ..analysis.report import format_table
+from ..workloads import Gauss
+from .harness import run_policy
+
+__all__ = ["run_server_scaling", "render_server_scaling"]
+
+
+def run_server_scaling(
+    server_counts: Iterable[int] = (2, 4, 8),
+    workload_factory=Gauss,
+) -> Dict[int, Dict[str, float]]:
+    """Sweep the server count; returns metrics keyed by S."""
+    results: Dict[int, Dict[str, float]] = {}
+    for s in server_counts:
+        no_rel = run_policy(workload_factory, "no-reliability", n_servers=s)
+        logging = run_policy(
+            workload_factory, "parity-logging", n_servers=s, overflow_fraction=0.10
+        )
+        results[s] = {
+            "no_reliability_etime": no_rel.etime,
+            "parity_logging_etime": logging.etime,
+            "gap_fraction": logging.etime / no_rel.etime - 1.0,
+            "no_reliability_transfers": no_rel.page_transfers,
+            "parity_logging_transfers": logging.page_transfers,
+            "pageouts": logging.pageouts,
+        }
+    return results
+
+
+def render_server_scaling(results: Dict[int, Dict[str, float]]) -> str:
+    """Server-count sweep table with the 1/S check."""
+    rows = []
+    for s in sorted(results):
+        r = results[s]
+        extra = r["parity_logging_transfers"] - r["no_reliability_transfers"]
+        per_pageout = extra / r["pageouts"] if r["pageouts"] else 0.0
+        rows.append(
+            [
+                s,
+                f"{r['no_reliability_etime']:.1f}",
+                f"{r['parity_logging_etime']:.1f}",
+                f"{r['gap_fraction']:.1%}",
+                f"{per_pageout:.3f} (expect {1 / s:.3f})",
+            ]
+        )
+    return format_table(
+        ["servers", "no-rel (s)", "parity-log (s)", "gap", "extra transfers/pageout"],
+        rows,
+        title="§4.1: parity logging's gap to no-reliability shrinks with S",
+    )

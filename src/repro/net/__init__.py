@@ -1,0 +1,22 @@
+"""Network substrate: shared Ethernet, switched networks, and transport."""
+
+from .base import Message, Network, NetworkStats
+from .ethernet import EthernetCsmaCd
+from .protocol import CpuAccount, ProtocolStack
+from .switched import SwitchedNetwork
+from .token_ring import TokenRing, TokenRingSpec
+from .traffic import PoissonTrafficSource, attach_background_load
+
+__all__ = [
+    "Message",
+    "Network",
+    "NetworkStats",
+    "EthernetCsmaCd",
+    "SwitchedNetwork",
+    "TokenRing",
+    "TokenRingSpec",
+    "ProtocolStack",
+    "CpuAccount",
+    "PoissonTrafficSource",
+    "attach_background_load",
+]

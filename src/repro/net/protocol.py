@@ -1,0 +1,141 @@
+"""Transport-protocol layer: message exchange with CPU accounting.
+
+The paper's latency decomposition (§4.3–4.4) splits each page transfer
+into a *bandwidth-dependent* wire component (``btime``) and a fixed
+*protocol-processing* CPU component (``pptime``, measured at 1.6 ms per
+page for TCP/IP on the DEC Alpha).  This layer reproduces that split:
+
+* it wraps a :class:`~repro.net.base.Network` and adds TCP/IP header bytes
+  to every message;
+* it charges the protocol CPU cost to the *initiating host's* CPU account
+  and occupies simulated time for it (protocol processing is serial with
+  the transfer on the 1996-era stack the paper measured);
+* it exposes request/response helpers the pager and servers use.
+
+The per-page CPU charge is attributed via :class:`CpuAccount` objects so
+experiments can report server CPU utilisation (§4.5: "always less than
+15%").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..config import ProtocolSpec
+from ..sim import Counter, Event, Simulator
+from .base import Network
+
+__all__ = ["CpuAccount", "ProtocolStack"]
+
+
+class CpuAccount:
+    """Accumulates CPU seconds consumed by an activity on one host."""
+
+    def __init__(self, host: str):
+        self.host = host
+        self.busy_seconds = 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Add ``seconds`` of CPU work to this account."""
+        if seconds < 0:
+            raise ValueError(f"negative CPU charge: {seconds}")
+        self.busy_seconds += seconds
+
+    def utilization(self, elapsed: float) -> float:
+        """Busy fraction over ``elapsed`` wall-clock (simulated) seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_seconds / elapsed
+
+
+class ProtocolStack:
+    """TCP/IP-like transport over an underlying network.
+
+    Parameters
+    ----------
+    network:
+        The frame-moving substrate (Ethernet or switched).
+    spec:
+        Protocol costs; defaults to the paper's measured TCP/IP numbers.
+    """
+
+    def __init__(self, network: Network, spec: Optional[ProtocolSpec] = None):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.spec = spec or ProtocolSpec()
+        self.counters = Counter()
+        self._accounts: Dict[str, CpuAccount] = {}
+
+    # ------------------------------------------------------------------ CPU
+    def cpu_account(self, host: str) -> CpuAccount:
+        """The CPU account for ``host`` (created on first use)."""
+        account = self._accounts.get(host)
+        if account is None:
+            account = CpuAccount(host)
+            self._accounts[host] = account
+        return account
+
+    # ------------------------------------------------------------ transfers
+    def _on_wire_bytes(self, payload: int) -> int:
+        """Payload plus TCP/IP headers for each MTU-sized segment."""
+        mtu_payload = max(1, self._segment_payload())
+        segments = -(-payload // mtu_payload)  # ceil division
+        return payload + segments * self.spec.header_bytes
+
+    def _segment_payload(self) -> int:
+        mtu = getattr(self.network.spec, "mtu", 1500)
+        return mtu - self.spec.header_bytes
+
+    def send(self, src: str, dst: str, payload: int, is_page: bool = False):
+        """Generator: move ``payload`` bytes from ``src`` to ``dst``.
+
+        Charges protocol CPU on both endpoints when ``is_page`` is set
+        (the paper's 1.6 ms covers the send+receive path of one page;
+        we charge the time once — serially, on the sender's clock — and
+        account half to each endpoint's CPU book-keeping).  With page
+        compression configured (beyond-paper postscript), page payloads
+        shrink by the compression ratio at extra CPU on each endpoint.
+        """
+        if is_page:
+            cpu = self.spec.per_page_cpu
+            if self.spec.compression_ratio > 1.0:
+                cpu += 2 * self.spec.compression_cpu  # compress + decompress
+                payload = max(1, int(payload / self.spec.compression_ratio))
+                self.counters.add("compressed_pages")
+            self.cpu_account(src).charge(cpu / 2)
+            self.cpu_account(dst).charge(cpu / 2)
+            self.counters.add("page_transfers")
+            yield self.sim.timeout(cpu)
+        self.counters.add("messages")
+        yield self.network.transfer(src, dst, self._on_wire_bytes(payload))
+
+    def request_response(
+        self,
+        src: str,
+        dst: str,
+        request_payload: int,
+        response_payload: int,
+        response_is_page: bool = False,
+    ):
+        """Generator: small request then a response (e.g. a pagein).
+
+        Returns after the response arrives at ``src``.
+        """
+        yield from self.send(src, dst, request_payload)
+        yield from self.send(dst, src, response_payload, is_page=response_is_page)
+
+    def send_page(self, src: str, dst: str, page_size: int):
+        """Generator: one page pageout-style transfer (data + control)."""
+        yield from self.send(
+            src, dst, page_size + self.spec.request_bytes, is_page=True
+        )
+
+    def fetch_page(self, src: str, dst: str, page_size: int):
+        """Generator: one pagein-style transfer (request out, page back)."""
+        yield from self.request_response(
+            src,
+            dst,
+            request_payload=self.spec.request_bytes,
+            response_payload=page_size,
+            response_is_page=True,
+        )

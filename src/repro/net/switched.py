@@ -1,0 +1,115 @@
+"""A full-duplex switched network (the paper's FDDI/ATM stand-in).
+
+Figure 4 of the paper extrapolates to "a network that provides ten times
+more bandwidth than the Ethernet".  This model lets us *simulate* such a
+network directly (and validate the paper's analytic extrapolation against
+it): every host has a dedicated full-duplex link to a non-blocking switch,
+so there are no collisions and concurrent transfers between disjoint host
+pairs proceed in parallel.  A transfer is store-and-forward at message
+granularity: it serialises on the sender's uplink, pays a per-hop switch
+latency, then serialises on the receiver's downlink.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import SwitchedNetworkSpec
+from ..sim import Event, Resource, Simulator
+from .base import Message, Network
+
+__all__ = ["SwitchedNetwork"]
+
+
+class _Port:
+    """One host's full-duplex switch port: independent tx and rx sides.
+
+    ``bandwidth`` may differ per host — §5's *heterogeneous networks*,
+    where "the time it takes to transfer a page may not be identical for
+    each server" and the memory hierarchy grows extra levels.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: Optional[float] = None):
+        self.tx = Resource(sim, capacity=1)
+        self.rx = Resource(sim, capacity=1)
+        self.bandwidth = bandwidth
+
+
+class SwitchedNetwork(Network):
+    """Non-blocking switch with per-host full-duplex links."""
+
+    def __init__(self, sim: Simulator, spec: Optional[SwitchedNetworkSpec] = None):
+        super().__init__(sim)
+        self.spec = spec or SwitchedNetworkSpec()
+
+    def attach(self, host: str, bandwidth: Optional[float] = None) -> None:
+        """Register ``host``; ``bandwidth`` overrides the network default
+        for this host's link (heterogeneous clusters, §5)."""
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive: {bandwidth}")
+        if host not in self._hosts:
+            self._hosts[host] = _Port(self.sim, bandwidth)
+        elif bandwidth is not None:
+            self._hosts[host].bandwidth = bandwidth
+
+    def host_bandwidth(self, host: str) -> float:
+        """The effective link rate of ``host`` (bytes/second)."""
+        port: _Port = self._require(host)
+        return port.bandwidth if port.bandwidth is not None else self.spec.bandwidth
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> Event:
+        message = Message(src=src, dst=dst, nbytes=nbytes, enqueued_at=self.sim.now)
+        src_port: _Port = self._require(src)
+        dst_port: _Port = self._require(dst)
+        done = self.sim.event()
+        self.sim.process(
+            self._move(message, src_port, dst_port, done),
+            name=f"xfer:{src}->{dst}",
+        )
+        return done
+
+    def _make_station(self, host: str) -> _Port:
+        return _Port(self.sim)
+
+    def _wire_time(self, nbytes: int, bandwidth: Optional[float] = None) -> float:
+        """Serialisation time including per-frame framing overhead."""
+        spec = self.spec
+        full, rest = divmod(nbytes, spec.mtu)
+        frames = full + (1 if rest else 0)
+        rate = bandwidth if bandwidth is not None else spec.bandwidth
+        return (nbytes + frames * spec.frame_overhead) / rate
+
+    def _move(self, message: Message, src_port: _Port, dst_port: _Port, done: Event):
+        """Uplink serialisation, switch hop, downlink drain.
+
+        The switch forwards frame-by-frame, so the downlink overlaps the
+        uplink except for the final frame's drain time.  The downlink port
+        is held for that drain so concurrent senders to one receiver still
+        serialise where it matters.
+        """
+        yield from self._await_reachable(message.src, message.dst)
+        spec = self.spec
+        src_rate = src_port.bandwidth if src_port.bandwidth is not None else spec.bandwidth
+        dst_rate = dst_port.bandwidth if dst_port.bandwidth is not None else spec.bandwidth
+        wire = self._wire_time(message.nbytes, bandwidth=min(src_rate, dst_rate))
+        last_frame = message.nbytes % spec.mtu or spec.mtu
+        drain = (min(last_frame, message.nbytes) + spec.frame_overhead) / dst_rate
+        yield src_port.tx.acquire()
+        self.stats.wire.busy(self.sim.now)
+        try:
+            yield self.sim.timeout(wire)  # uplink serialisation
+        finally:
+            self.stats.wire.idle(self.sim.now)
+            src_port.tx.release()
+        yield self.sim.timeout(spec.per_hop_latency)
+        yield dst_port.rx.acquire()
+        try:
+            yield self.sim.timeout(drain)
+        finally:
+            dst_port.rx.release()
+        self._deliver(message, done)
+
+    def _deliver(self, message: Message, done: Event) -> None:
+        self.stats.delivered(message)
+        if not done.triggered:
+            done.succeed(message)

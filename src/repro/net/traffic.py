@@ -1,0 +1,107 @@
+"""Background traffic generators for the loaded-Ethernet experiments.
+
+§4.6 of the paper repeats the application runs "using an already loaded
+Ethernet" and observes performance collapse from CSMA/CD collisions.  To
+reproduce that, these generators attach extra stations to the shared
+segment and inject traffic at a configurable offered load.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..sim import Interrupt, Process, RngRegistry, Simulator
+from .base import Network
+
+__all__ = ["PoissonTrafficSource", "attach_background_load"]
+
+
+class PoissonTrafficSource:
+    """A station that offers Poisson-arrival fixed-size messages.
+
+    Parameters
+    ----------
+    offered_load:
+        Fraction of the network's raw bandwidth this source tries to use
+        (0.2 means 20% of the wire, before collision losses).
+    message_bytes:
+        Size of each injected message.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        src: str,
+        dst: str,
+        offered_load: float,
+        message_bytes: int = 1460,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0 < offered_load:
+            raise ValueError(f"offered_load must be positive, got {offered_load}")
+        if message_bytes <= 0:
+            raise ValueError(f"message_bytes must be positive: {message_bytes}")
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.offered_load = offered_load
+        self.message_bytes = message_bytes
+        self.rng = rng or random.Random(0)
+        self.sent = 0
+        network.attach(src)
+        network.attach(dst)
+        bandwidth = network.spec.bandwidth
+        #: Mean inter-arrival time for the requested offered load.
+        self.mean_gap = message_bytes / (bandwidth * offered_load)
+        self.process: Process = network.sim.process(
+            self._run(), name=f"traffic:{src}"
+        )
+
+    def _run(self):
+        sim: Simulator = self.network.sim
+        try:
+            while True:
+                yield sim.timeout(self.rng.expovariate(1.0 / self.mean_gap))
+                # Fire-and-forget: background sources do not wait for
+                # delivery, so a congested wire just builds station queues
+                # (as real offered load does).
+                self.network.transfer(self.src, self.dst, self.message_bytes)
+                self.sent += 1
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop injecting (the current queue still drains)."""
+        if self.process.is_alive:
+            self.process.interrupt(cause="traffic-stop")
+
+
+def attach_background_load(
+    network: Network,
+    total_load: float,
+    n_sources: int = 4,
+    rngs: Optional[RngRegistry] = None,
+    message_bytes: int = 1460,
+) -> List[PoissonTrafficSource]:
+    """Attach ``n_sources`` stations that together offer ``total_load``.
+
+    Each source sends to a distinct sink station, so the extra traffic
+    contends for the wire but not for any host used by the pager.
+    """
+    if n_sources < 1:
+        raise ValueError(f"need at least one source, got {n_sources}")
+    rngs = rngs or RngRegistry(seed=1)
+    sources = []
+    for i in range(n_sources):
+        sources.append(
+            PoissonTrafficSource(
+                network,
+                src=f"bg-src-{i}",
+                dst=f"bg-dst-{i}",
+                offered_load=total_load / n_sources,
+                message_bytes=message_bytes,
+                rng=rngs.stream(f"traffic.{i}"),
+            )
+        )
+    return sources

@@ -1,0 +1,36 @@
+"""Discrete-event simulation kernel used by every substrate model."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    StopSimulation,
+    Timeout,
+)
+from .monitor import Counter, Tally, TimeWeighted, UtilizationTracker
+from .resources import Container, Resource, Store
+from .rng import RngRegistry
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+    "Resource",
+    "Store",
+    "Container",
+    "RngRegistry",
+    "Counter",
+    "Tally",
+    "TimeWeighted",
+    "UtilizationTracker",
+]

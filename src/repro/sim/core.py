@@ -1,0 +1,467 @@
+"""Discrete-event simulation kernel.
+
+Every model in this package (network, disk, virtual memory, the remote
+memory pager itself) runs on top of this kernel.  It is a small,
+deterministic, generator-based engine in the style of SimPy:
+
+* A :class:`Simulator` owns the virtual clock and the event heap.
+* An :class:`Event` is a one-shot occurrence that other processes may wait
+  on; it either *succeeds* with a value or *fails* with an exception.
+* A :class:`Process` wraps a generator.  The generator yields events; the
+  process resumes when the yielded event fires, receiving the event's
+  value (or having its exception raised at the ``yield``).
+
+Determinism matters for reproducible experiments: events scheduled for the
+same instant fire in FIFO scheduling order (a monotonically increasing
+sequence number breaks ties), and nothing in the kernel reads the wall
+clock or an unseeded RNG.
+
+Example
+-------
+>>> sim = Simulator()
+>>> def worker(sim, results):
+...     yield sim.timeout(5.0)
+...     results.append(sim.now)
+>>> results = []
+>>> _ = sim.process(worker(sim, results))
+>>> sim.run()
+>>> results
+[5.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+    "StopSimulation",
+]
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Simulator.run` early."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` object which the
+    interrupted process can inspect (e.g. a crash notification).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Interrupt(cause={self.cause!r})"
+
+
+#: Event state constants.
+PENDING = 0  # created, not yet triggered
+TRIGGERED = 1  # scheduled on the event heap, value/exception fixed
+PROCESSED = 2  # callbacks have run
+
+
+class Event:
+    """A one-shot occurrence processes can wait for.
+
+    An event starts *pending*.  Calling :meth:`succeed` or :meth:`fail`
+    *triggers* it: its outcome becomes immutable and it is scheduled to be
+    *processed* (callbacks run) at the current simulation instant.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_state", "_defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._state = PENDING
+        self._defused = False
+
+    # -- outcome inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has an outcome (success or failure)."""
+        return self._state >= TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only meaningful once triggered."""
+        return self.triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value, or raise the failure exception."""
+        if not self.triggered:
+            raise SimulationError("event value accessed before it triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, if any (None for success or pending)."""
+        return self._exception
+
+    # -- outcome assignment -------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._state = TRIGGERED
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure ``exception``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._state = TRIGGERED
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    # -- kernel internals ---------------------------------------------------
+    def _process(self) -> None:
+        """Run callbacks; called exactly once by the simulator."""
+        self._state = PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+        if self._exception is not None and not self._defused:
+            # A failure nobody observed is a programming error; surface it
+            # instead of silently dropping it.
+            raise self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = {PENDING: "pending", TRIGGERED: "triggered", PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._state = TRIGGERED
+        sim._schedule(self, delay)
+
+
+class _ConditionValue:
+    """Mapping from constituent events to their values for AnyOf/AllOf."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("_events", "_unfired")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._unfired = len(self._events)
+        if not self._events:
+            self.succeed(_ConditionValue())
+            return
+        for event in self._events:
+            # A Timeout is "triggered" from birth (its outcome is fixed) but
+            # only *processed* when the clock reaches it — conditions must
+            # wait for processing, not triggering.
+            if event.processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            if event._exception is not None:
+                # The condition already fired; swallow late failures of
+                # other constituents so they do not crash the kernel.
+                event.defuse()
+            return
+        self._unfired -= 1
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+        elif self._satisfied():
+            value = _ConditionValue()
+            value.events = [e for e in self._events if e.processed and e.ok]
+            self.succeed(value)
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._unfired < len(self._events)
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired (or any fails)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._unfired == 0
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The wrapped generator yields :class:`Event` objects.  When a yielded
+    event succeeds, the generator is resumed with the event's value; when
+    it fails, the exception is raised at the ``yield`` site.  A ``return``
+    from the generator succeeds the process event with the returned value.
+    """
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"Process requires a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        # Kick off on the next kernel iteration at the current instant.
+        bootstrap = Event(sim)
+        bootstrap.callbacks.append(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time.
+
+        Interrupting a dead process is an error.  The process stops waiting
+        on its current target (the target event itself is unaffected and
+        may fire later without consequence).
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        interrupt_event = Event(self.sim)
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._defused = True  # delivery into the process handles it
+        interrupt_event._state = TRIGGERED
+        interrupt_event.callbacks.append(self._resume_interrupt)
+        self.sim._schedule(interrupt_event, 0.0, urgent=True)
+
+    # -- kernel internals ---------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self.triggered:
+            return  # terminated between scheduling and delivery
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._target = None
+        self._step(event)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event._exception is not None:
+                event.defuse()
+                target = self.generator.throw(event._exception)
+            else:
+                target = self.generator.send(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            self.fail(exc)
+            return
+        sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes must yield events"
+            )
+        if target.processed:
+            # Already done: resume on the next kernel iteration.
+            relay = Event(sim)
+            relay._value = target._value
+            relay._exception = target._exception
+            if target._exception is not None:
+                relay._defused = True
+                target.defuse()
+            relay._state = TRIGGERED
+            relay.callbacks.append(self._resume)
+            sim._schedule(relay, 0.0)
+        else:
+            self._target = target
+            target.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: virtual clock plus a time-ordered event heap."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event that fires when any of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event that fires when all of ``events`` fire."""
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float, urgent: bool = False) -> None:
+        seq = -next(self._seq) if urgent else next(self._seq)
+        heapq.heappush(self._heap, (self._now + delay, 0 if urgent else 1, seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")  # pragma: no cover
+        self._now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock would pass ``until``.
+
+        When ``until`` is given, the clock is advanced to exactly ``until``
+        even if no event falls on that instant.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
+        try:
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                self.step()
+        except StopSimulation:
+            return
+        if until is not None:
+            self._now = until
+
+    def run_until_complete(self, process: Process, limit: float = float("inf")) -> Any:
+        """Run until ``process`` terminates; return its value.
+
+        Raises :class:`SimulationError` if the heap drains (or ``limit`` is
+        reached) with the process still alive — a deadlock indicator.
+        """
+        while not process.triggered:
+            if not self._heap or self.peek() > limit:
+                raise SimulationError(
+                    f"simulation stalled at t={self._now} with process "
+                    f"{process.name!r} still alive"
+                )
+            self.step()
+        return process.value
+
+    def stop(self) -> None:
+        """Stop :meth:`run` from inside a callback or process."""
+        raise StopSimulation()

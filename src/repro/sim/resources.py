@@ -1,0 +1,201 @@
+"""Shared-resource primitives for simulation processes.
+
+Three primitives cover every contention point in the models:
+
+* :class:`Resource` — a counted resource (e.g. a disk arm, a CPU) with a
+  FIFO wait queue; acquired with ``yield resource.acquire()`` and released
+  with ``resource.release()``.
+* :class:`Store` — an unbounded (or bounded) FIFO channel of Python
+  objects; the backbone of every message queue between client and servers.
+* :class:`Container` — a continuous quantity (e.g. free page frames) with
+  blocking ``get`` and non-blocking ``put``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "Container"]
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    >>> sim = Simulator()
+    >>> disk_arm = Resource(sim, capacity=1)
+    >>> def use(sim, arm):
+    ...     yield arm.acquire()
+    ...     yield sim.timeout(1.0)
+    ...     arm.release()
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently-held units."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting to acquire."""
+        return len(self._waiters)
+
+    def acquire(self) -> Event:
+        """Return an event that fires when a unit is granted."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return one unit; grants the longest-waiting acquirer, if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO channel of items with blocking ``get`` and optional capacity.
+
+    ``put`` blocks only when a finite ``capacity`` is set and reached.
+    Items are handed to getters in arrival order; getters are served in
+    request order.
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()  # events carrying pending items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of queued items (oldest first)."""
+        return tuple(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; the returned event fires once it is stored."""
+        event = Event(self.sim)
+        event._value = item  # stash the payload for deferred admission
+        if self._getters:
+            # Hand straight to the oldest waiting getter.
+            self._getters.popleft().succeed(item)
+            event._value = None
+            event.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event._value = None
+            event.succeed()
+        else:
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Dequeue the oldest item; the returned event fires with it."""
+        event = Event(self.sim)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> Any:
+        """Non-blocking get: return the oldest item or None if empty."""
+        if not self._items:
+            return None
+        item = self._items.popleft()
+        self._admit_putter()
+        return item
+
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            self._items.append(putter._value)
+            putter._value = None
+            putter.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking ``get``.
+
+    Used for pools such as free page frames on a memory server.  ``put``
+    never blocks (level may not exceed ``capacity``); ``get`` blocks until
+    the requested amount is available, serving waiters FIFO.
+    """
+
+    def __init__(self, sim: Simulator, capacity: float, init: float = 0.0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.sim = sim
+        self.capacity = capacity
+        self._level = init
+        self._getters: Deque[tuple] = deque()  # (amount, event)
+
+    @property
+    def level(self) -> float:
+        """Current amount in the container."""
+        return self._level
+
+    def put(self, amount: float) -> None:
+        """Add ``amount``; wakes waiting getters that can now be served."""
+        if amount < 0:
+            raise ValueError(f"negative put amount: {amount}")
+        if self._level + amount > self.capacity + 1e-9:
+            raise SimulationError(
+                f"container overflow: {self._level} + {amount} > {self.capacity}"
+            )
+        self._level += amount
+        while self._getters and self._getters[0][0] <= self._level:
+            want, event = self._getters.popleft()
+            self._level -= want
+            event.succeed(want)
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount`` once available; FIFO among waiters."""
+        if amount < 0:
+            raise ValueError(f"negative get amount: {amount}")
+        if amount > self.capacity:
+            raise SimulationError(
+                f"get({amount}) can never be satisfied (capacity {self.capacity})"
+            )
+        event = Event(self.sim)
+        if not self._getters and amount <= self._level:
+            self._level -= amount
+            event.succeed(amount)
+        else:
+            self._getters.append((amount, event))
+        return event
+
+    def try_get(self, amount: float) -> bool:
+        """Non-blocking get: take ``amount`` now or return False."""
+        if not self._getters and amount <= self._level:
+            self._level -= amount
+            return True
+        return False

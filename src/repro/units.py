@@ -1,0 +1,85 @@
+"""Unit helpers.
+
+All simulation code uses SI base units internally: **seconds** for time and
+**bytes** for data.  Bandwidths are bytes/second.  These helpers exist so
+that configuration reads like the paper ("10 Mbit/s Ethernet", "8 KB
+pages", "16 ms average seek") while the models never juggle unit
+conversions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "kilobytes",
+    "megabytes",
+    "gigabytes",
+    "megabits_per_second",
+    "milliseconds",
+    "microseconds",
+    "minutes",
+    "hours",
+    "days",
+    "transfer_time",
+]
+
+#: Binary byte multiples (the paper's "8KB page" is 8192 bytes).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+
+def kilobytes(n: float) -> int:
+    """``n`` KiB in bytes."""
+    return int(n * KB)
+
+
+def megabytes(n: float) -> int:
+    """``n`` MiB in bytes."""
+    return int(n * MB)
+
+
+def gigabytes(n: float) -> int:
+    """``n`` GiB in bytes."""
+    return int(n * GB)
+
+
+def megabits_per_second(n: float) -> float:
+    """``n`` Mbit/s in bytes/second (decimal megabits, as networks quote)."""
+    return n * 1_000_000 / 8
+
+
+def milliseconds(n: float) -> float:
+    """``n`` ms in seconds."""
+    return n / 1e3
+
+
+def microseconds(n: float) -> float:
+    """``n`` µs in seconds."""
+    return n / 1e6
+
+
+def minutes(n: float) -> float:
+    """``n`` minutes in seconds."""
+    return n * 60.0
+
+
+def hours(n: float) -> float:
+    """``n`` hours in seconds."""
+    return n * 3600.0
+
+
+def days(n: float) -> float:
+    """``n`` days in seconds."""
+    return n * 86400.0
+
+
+def transfer_time(nbytes: int, bandwidth: float) -> float:
+    """Seconds to move ``nbytes`` at ``bandwidth`` bytes/second."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if nbytes < 0:
+        raise ValueError(f"negative transfer size: {nbytes}")
+    return nbytes / bandwidth

@@ -1,0 +1,32 @@
+"""Virtual-memory substrate: page tables, replacement, and the machine."""
+
+from .machine import CompletionReport, Machine
+from .page import PageVersioner, page_bytes, xor_bytes, zero_page
+from .pagetable import PageTable, PageTableEntry
+from .pager import InstantPager, LocalDiskPager, Pager
+from .replacement import (
+    ClockReplacement,
+    FifoReplacement,
+    LruReplacement,
+    ReplacementPolicy,
+    make_replacement,
+)
+
+__all__ = [
+    "Machine",
+    "CompletionReport",
+    "PageTable",
+    "PageTableEntry",
+    "Pager",
+    "LocalDiskPager",
+    "InstantPager",
+    "ReplacementPolicy",
+    "FifoReplacement",
+    "LruReplacement",
+    "ClockReplacement",
+    "make_replacement",
+    "PageVersioner",
+    "page_bytes",
+    "xor_bytes",
+    "zero_page",
+]

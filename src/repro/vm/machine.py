@@ -1,0 +1,388 @@
+"""The client workstation's virtual-memory system.
+
+:class:`Machine` replays a workload's page-reference trace against a
+fixed-size resident set, faulting through a pluggable :class:`Pager` —
+this is the reproduction's stand-in for the DEC OSF/1 kernel paging
+against the paper's block-device driver.
+
+Performance note (DESIGN.md §5): references to resident pages are the
+overwhelmingly common case, so they are handled without touching the
+event loop — CPU time just accumulates and is flushed as one timeout at
+the next fault (or in ``max_cpu_chunk`` slices, so that concurrently
+simulated machines and background load interleave realistically).
+
+Accounting follows the paper's §4.3 decomposition:
+
+* ``utime`` — the workload's own CPU time (scaled by machine speed);
+* ``systime`` — kernel fault-service CPU;
+* ``inittime`` — program load/startup;
+* everything else observed in ``etime`` is page-transfer time (``ptime``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..config import MachineSpec
+from ..errors import PagingError
+from ..sim import Counter, Process, Simulator
+from .page import PageVersioner
+from .pagetable import PageTable
+from .replacement import LruReplacement, ReplacementPolicy
+from .pager import Pager
+
+__all__ = ["Machine", "CompletionReport"]
+
+#: A trace step: (page_id, is_write, cpu_seconds_before_this_reference).
+Ref = Tuple[int, bool, float]
+
+
+@dataclass
+class CompletionReport:
+    """Timing breakdown of one workload run (the paper's §4.3 terms)."""
+
+    name: str
+    etime: float = 0.0
+    utime: float = 0.0
+    systime: float = 0.0
+    inittime: float = 0.0
+    pageins: int = 0
+    pageouts: int = 0
+    faults: int = 0
+    zero_fills: int = 0
+    page_transfers: int = 0
+    counters: dict = field(default_factory=dict)
+
+    @property
+    def ptime(self) -> float:
+        """Page-transfer time: elapsed minus CPU and startup components."""
+        return max(0.0, self.etime - self.utime - self.systime - self.inittime)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.name}: etime={self.etime:.2f}s utime={self.utime:.2f}s "
+            f"systime={self.systime:.2f}s init={self.inittime:.2f}s "
+            f"ptime={self.ptime:.2f}s faults={self.faults} "
+            f"(in={self.pageins}, out={self.pageouts})"
+        )
+
+
+class Machine:
+    """A workstation running one paging workload.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    spec:
+        Hardware description (RAM size, CPU speed, fault-service cost).
+    pager:
+        The paging device (local disk or remote memory pager).
+    replacement:
+        Victim-selection policy; defaults to exact LRU.  OSF/1's global
+        replacement approximates LRU well for the era's workloads; the
+        Clock approximation is available for ablation but interacts
+        pathologically with alternating-direction sweeps (its ring order
+        evicts exactly the pages a reverse sweep needs next), inflating
+        fault counts ~5x beyond what the paper measured.
+    content_mode:
+        When True, pages carry real bytes and every pagein is verified
+        against the last paged-out version (end-to-end integrity check).
+    init_time:
+        Program startup cost (the paper's ``inittime``; 0.21 s for FFT).
+    max_cpu_chunk:
+        Longest single stretch of simulated compute between event-loop
+        visits; keeps co-simulated activity interleaved.
+    pageout_window:
+        Maximum pageouts in flight.  Evicted dirty pages are written back
+        *asynchronously* (the OSF/1 pageout daemon clusters swap writes;
+        §4.7's "writes are performed in large chunks" depends on this);
+        the faulting process only blocks when the window is full.  Set to
+        1 for fully synchronous pageouts.
+    free_batch:
+        When the free-frame pool is empty, the paging daemon evicts this
+        many frames at once (OSF/1's free-page target).  Batching is what
+        lets consecutive dirty writebacks land adjacently in the disk
+        queue and stream at media rate instead of paying a rotation each.
+    prefetch:
+        Sequential read-ahead depth (0 = off, the default).  When the
+        fault stream shows a run of consecutive pages, the next
+        ``prefetch`` backing-store pages are fetched asynchronously so a
+        streaming workload overlaps pagein latency with compute.  A fault
+        on a page whose prefetch is still in flight waits for it rather
+        than fetching twice.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: MachineSpec,
+        pager: Pager,
+        replacement: Optional[ReplacementPolicy] = None,
+        content_mode: bool = False,
+        init_time: float = 0.21,
+        max_cpu_chunk: float = 0.25,
+        pageout_window: int = 16,
+        free_batch: int = 16,
+        prefetch: int = 0,
+        name: str = "client",
+    ):
+        if init_time < 0 or max_cpu_chunk <= 0:
+            raise ValueError("init_time must be >= 0 and max_cpu_chunk > 0")
+        if pageout_window < 1 or free_batch < 1:
+            raise ValueError("pageout_window and free_batch must be >= 1")
+        if prefetch < 0:
+            raise ValueError("prefetch must be >= 0")
+        self.sim = sim
+        self.spec = spec
+        self.pager = pager
+        self.replacement = replacement if replacement is not None else LruReplacement()
+        self.page_table = PageTable()
+        self.versioner = PageVersioner(spec.page_size, content_mode=content_mode)
+        self.content_mode = content_mode
+        self.init_time = init_time
+        self.max_cpu_chunk = max_cpu_chunk
+        self.name = name
+        self.counters = Counter()
+        self.pageout_window = pageout_window
+        self.free_batch = free_batch
+        self.prefetch = prefetch
+        self._utime = 0.0
+        self._systime = 0.0
+        self._inflight_slots = 0
+        self._inflight_by_page: dict = {}
+        self._inflight_tokens: dict = {}
+        self._window_waiters: list = []
+        self._prefetching: dict = {}
+        self._last_fault_page: Optional[int] = None
+        self._sequential_run = 0
+        self._seq_dir = 0
+
+    # ------------------------------------------------------------ interface
+    def run(self, trace: Iterable[Ref], name: str = "workload") -> Process:
+        """Start executing ``trace``; returns the process (fires with a
+        :class:`CompletionReport`)."""
+        return self.sim.process(self._execute(trace, name), name=f"run:{name}")
+
+    def run_to_completion(self, trace: Iterable[Ref], name: str = "workload") -> CompletionReport:
+        """Convenience: run ``trace`` and drive the simulator to its end."""
+        return self.sim.run_until_complete(self.run(trace, name))
+
+    @property
+    def resident_count(self) -> int:
+        return len(self.replacement)
+
+    # ------------------------------------------------------------ internals
+    def _execute(self, trace: Iterable[Ref], name: str):
+        spec = self.spec
+        user_frames = spec.user_frames
+        if user_frames < 1:
+            raise PagingError(f"machine {self.name!r} has no user frames")
+        page_table = self.page_table
+        policy = self.replacement
+        versioner = self.versioner
+        speed = spec.cpu_speed
+        max_chunk = self.max_cpu_chunk
+        start = self.sim.now
+
+        yield self.sim.timeout(self.init_time)
+
+        pending_cpu = 0.0
+        for page_id, is_write, cpu in trace:
+            pending_cpu += cpu / speed
+            pte = page_table.entry(page_id)
+            if pte.resident:
+                pte.referenced = True
+                if is_write and not pte.dirty:
+                    pte.dirty = True
+                    versioner.bump(page_id)
+                policy.touch(page_id, is_write)
+                if pending_cpu >= max_chunk:
+                    self._utime += pending_cpu
+                    yield self.sim.timeout(pending_cpu)
+                    pending_cpu = 0.0
+                continue
+
+            # Page fault: flush accumulated compute, then service it.
+            if pending_cpu > 0.0:
+                self._utime += pending_cpu
+                yield self.sim.timeout(pending_cpu)
+                pending_cpu = 0.0
+            yield from self._service_fault(pte, is_write, user_frames)
+
+        if pending_cpu > 0.0:
+            self._utime += pending_cpu
+            yield self.sim.timeout(pending_cpu)
+
+        # Drain outstanding asynchronous pageouts before declaring done.
+        while self._inflight_by_page:
+            yield self.sim.any_of(list(self._inflight_by_page.values()))
+
+        return self._report(name, start)
+
+    def _service_fault(self, pte, is_write: bool, user_frames: int):
+        """Fault path: evict if full (async pageout of a dirty victim),
+        then page in."""
+        self.counters.add("faults")
+        fault_cpu = self.spec.fault_service_cpu / self.spec.cpu_speed
+        self._systime += fault_cpu
+        yield self.sim.timeout(fault_cpu)
+
+        policy = self.replacement
+        page_table = self.page_table
+        if len(policy) >= user_frames:
+            # Free-page pool empty: the paging daemon evicts a batch so
+            # dirty writebacks cluster in the device queue.
+            batch = min(self.free_batch, len(policy))
+            for _ in range(batch):
+                victim_id = policy.evict()
+                victim = page_table.entry(victim_id)
+                victim.resident = False
+                if victim.dirty:
+                    victim.dirty = False
+                    victim.on_backing_store = True
+                    contents = self.versioner.contents(victim_id)
+                    yield from self._start_pageout(victim_id, contents)
+                    self.counters.add("pageouts")
+
+        # A fault on a page whose pageout is still in flight must wait for
+        # the write-back to land (the backing store does not hold it yet).
+        inflight = self._inflight_by_page.get(pte.page_id)
+        if inflight is not None:
+            yield inflight
+
+        prefetching = self._prefetching.get(pte.page_id)
+        if prefetching is not None:
+            # A read-ahead already has this page on the way; its arrival
+            # (not this fault) makes the page resident.
+            yield prefetching
+            self.counters.add("prefetch_hits")
+        elif pte.on_backing_store:
+            contents = yield from self.pager.pagein(pte.page_id)
+            self.counters.add("pageins")
+            if self.content_mode:
+                self._verify(pte.page_id, contents)
+        else:
+            # First touch: zero-filled, no backing-store traffic.
+            self.counters.add("zero_fills")
+
+        if self.prefetch:
+            self._note_fault_for_prefetch(pte.page_id, user_frames)
+
+        if not pte.resident:
+            pte.resident = True
+            pte.dirty = False
+            policy.insert(pte.page_id)
+        pte.referenced = True
+        if is_write and not pte.dirty:
+            pte.dirty = True
+            self.versioner.bump(pte.page_id)
+
+    def _start_pageout(self, page_id: int, contents):
+        """Launch an asynchronous pageout, respecting the in-flight window.
+
+        Generator: blocks only while the window is full.  Within-page
+        ordering is preserved by chaining: a new pageout of a page whose
+        previous pageout is still in flight waits for it first.
+        """
+        while self._inflight_slots >= self.pageout_window:
+            waiter = self.sim.event()
+            self._window_waiters.append(waiter)
+            yield waiter
+        previous = self._inflight_by_page.get(page_id)
+        token = object()
+        self._inflight_tokens[page_id] = token
+        self._inflight_slots += 1
+        done = self.sim.process(
+            self._do_pageout(page_id, contents, previous, token),
+            name=f"pageout:{page_id}",
+        )
+        self._inflight_by_page[page_id] = done
+
+    def _do_pageout(self, page_id: int, contents, previous, token):
+        if previous is not None and not previous.processed:
+            yield previous
+        try:
+            yield from self.pager.pageout(page_id, contents)
+        finally:
+            self._inflight_slots -= 1
+            if self._inflight_tokens.get(page_id) is token:
+                del self._inflight_tokens[page_id]
+                del self._inflight_by_page[page_id]
+            if self._window_waiters:
+                self._window_waiters.pop(0).succeed()
+
+    # ------------------------------------------------------- read-ahead
+    def _note_fault_for_prefetch(self, page_id: int, user_frames: int) -> None:
+        """Detect sequential fault runs (either direction) and launch
+        asynchronous read-ahead of the next ``prefetch`` pages."""
+        if self._last_fault_page is not None:
+            step = page_id - self._last_fault_page
+        else:
+            step = 0
+        if step in (1, -1) and step == self._seq_dir:
+            self._sequential_run += 1
+        elif step in (1, -1):
+            self._seq_dir = step
+            self._sequential_run = 1
+        else:
+            self._sequential_run = 0
+        self._last_fault_page = page_id
+        if self._sequential_run < 2:
+            return
+        direction = self._seq_dir
+        for offset in range(1, self.prefetch + 1):
+            target = page_id + direction * offset
+            pte = self.page_table.get(target)
+            if pte is None or pte.resident or not pte.on_backing_store:
+                continue
+            if target in self._prefetching or target in self._inflight_by_page:
+                continue
+            if len(self.replacement) + len(self._prefetching) >= user_frames:
+                break  # no frame headroom: read-ahead would thrash
+            self._prefetching[target] = self.sim.process(
+                self._prefetch_one(target), name=f"prefetch:{target}"
+            )
+
+    def _prefetch_one(self, page_id: int):
+        try:
+            contents = yield from self.pager.pagein(page_id)
+            self.counters.add("pageins")
+            self.counters.add("prefetched")
+            if self.content_mode:
+                self._verify(page_id, contents)
+            pte = self.page_table.entry(page_id)
+            if not pte.resident and len(self.replacement) < self.spec.user_frames:
+                pte.resident = True
+                pte.dirty = False
+                pte.referenced = False
+                self.replacement.insert(page_id)
+            # else: no room by arrival time — drop the copy; a real fault
+            # will fetch it again (pte.on_backing_store is still set).
+        finally:
+            del self._prefetching[page_id]
+
+    def _verify(self, page_id: int, contents: Optional[bytes]) -> None:
+        expected = self.versioner.contents(page_id)
+        if contents != expected:
+            raise PagingError(
+                f"pagein of page {page_id} returned corrupt contents "
+                f"(version {self.versioner.version_of(page_id)})"
+            )
+
+    def _report(self, name: str, start: float) -> CompletionReport:
+        return CompletionReport(
+            name=name,
+            etime=self.sim.now - start,
+            utime=self._utime,
+            systime=self._systime,
+            inittime=self.init_time,
+            pageins=self.counters["pageins"],
+            pageouts=self.counters["pageouts"],
+            faults=self.counters["faults"],
+            zero_fills=self.counters["zero_fills"],
+            page_transfers=self.pager.transfers,
+            counters=self.counters.as_dict(),
+        )

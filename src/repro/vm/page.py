@@ -1,0 +1,87 @@
+"""Page identity and page contents.
+
+Pages are identified by integer ids within one client's address space.
+Two content modes exist (see DESIGN.md §5):
+
+* **metadata mode** — pages carry no bytes; timing experiments use this.
+* **content mode** — every pageout carries a real byte payload, generated
+  deterministically from ``(page_id, version)``.  XOR parity is then
+  computed over real data and crash recovery is verified byte-for-byte.
+
+Both modes drive identical control paths in the pager and policies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["page_bytes", "xor_bytes", "zero_page", "PageVersioner"]
+
+_MIX = 0x9E3779B97F4A7C15  # Fibonacci hashing constant: cheap, well mixed
+
+
+def page_bytes(page_id: int, version: int, size: int) -> bytes:
+    """Deterministic page contents for ``(page_id, version)``.
+
+    An 8-byte mixed word repeated to ``size`` so generation is O(size)
+    with tiny constants; different (page, version) pairs produce different
+    payloads with overwhelming probability.
+    """
+    if size <= 0:
+        raise ValueError(f"page size must be positive: {size}")
+    word = ((page_id * _MIX) ^ (version * 0xC2B2AE3D27D4EB4F)) & (2**64 - 1)
+    pattern = word.to_bytes(8, "little")
+    reps, rest = divmod(size, 8)
+    return pattern * reps + pattern[:rest]
+
+
+def zero_page(size: int) -> bytes:
+    """An all-zero page (the initial state of every parity buffer)."""
+    if size <= 0:
+        raise ValueError(f"page size must be positive: {size}")
+    return bytes(size)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (the parity primitive)."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(
+        len(a), "little"
+    )
+
+
+class PageVersioner:
+    """Tracks the write version of every page in one address space.
+
+    The machine bumps a page's version on each dirtying write interval, so
+    successive pageouts of the same page carry distinguishable contents —
+    exactly what exercises parity logging's multiple-live-versions
+    behaviour (§2.2: "many versions of a given page may be present
+    simultaneously at the servers' memory").
+    """
+
+    def __init__(self, page_size: int, content_mode: bool = False):
+        self.page_size = page_size
+        self.content_mode = content_mode
+        self._versions: dict = {}
+
+    def bump(self, page_id: int) -> int:
+        """Advance and return the page's version (first write -> 1)."""
+        version = self._versions.get(page_id, 0) + 1
+        self._versions[page_id] = version
+        return version
+
+    def version_of(self, page_id: int) -> int:
+        """The page's current write version (0 = never written)."""
+        return self._versions.get(page_id, 0)
+
+    def contents(self, page_id: int) -> Optional[bytes]:
+        """Current contents in content mode, else None."""
+        if not self.content_mode:
+            return None
+        return page_bytes(page_id, self._versions.get(page_id, 0), self.page_size)
+
+    def expected(self, page_id: int, version: int) -> bytes:
+        """Contents a given version must have (for integrity checks)."""
+        return page_bytes(page_id, version, self.page_size)

@@ -1,0 +1,134 @@
+"""The block-device pager interface and the local-disk pager.
+
+The paper's client is "a block device driver ... that handles all pagein
+and pageout requests" (§3).  The VM machine issues exactly two operations
+against this interface; everything behind it — local disk, remote memory,
+any reliability policy — is interchangeable, which is the paper's central
+software-architecture point (the OSF/1 kernel "is not even aware" what
+the paging device is).
+
+Contract
+--------
+Both operations are generators (simulation processes):
+
+* ``pageout(page_id, contents)`` completes when the page is safely on the
+  backing store (whatever the policy means by "safe").
+* ``pagein(page_id)`` completes when the page is back in memory and
+  returns its contents (bytes in content mode, None in metadata mode).
+
+``transfers`` counts backing-store page movements — the quantity the
+paper's extrapolation model multiplies by the per-page protocol cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..disk.backend import PartitionBackend
+from ..errors import PageNotFound
+from ..sim import Counter, Simulator
+
+__all__ = ["Pager", "LocalDiskPager"]
+
+
+class Pager:
+    """Abstract paging device."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.counters = Counter()
+
+    @property
+    def pageouts(self) -> int:
+        return self.counters["pageouts"]
+
+    @property
+    def pageins(self) -> int:
+        return self.counters["pageins"]
+
+    @property
+    def transfers(self) -> int:
+        """Page-sized movements to/from backing stores (network or disk)."""
+        return self.counters["transfers"]
+
+    def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        """Generator: persist one page."""
+        raise NotImplementedError
+
+    def pagein(self, page_id: int):
+        """Generator: retrieve one page; returns its contents (or None)."""
+        raise NotImplementedError
+
+    def release(self, page_id: int) -> None:
+        """The page is dead (process exit); backing copies may be freed."""
+
+
+class InstantPager(Pager):
+    """A zero-cost backing store: every operation completes immediately.
+
+    Isolates a workload's *fault profile* (pageins, pageouts, zero
+    fills) from any device timing — the tool behind workload calibration
+    and ``python -m repro profile``.  Contents round-trip faithfully, so
+    it also works in content mode.
+    """
+
+    name = "instant"
+
+    def __init__(self, sim: Simulator):
+        super().__init__()
+        self.sim = sim
+        self._contents: Dict[int, Optional[bytes]] = {}
+
+    def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        self._contents[page_id] = contents
+        self.counters.add("pageouts")
+        self.counters.add("transfers")
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def pagein(self, page_id: int):
+        if page_id not in self._contents:
+            raise PageNotFound(page_id, where="instant pager")
+        self.counters.add("pageins")
+        self.counters.add("transfers")
+        return self._contents[page_id]
+        yield  # pragma: no cover - makes this a generator
+
+    def release(self, page_id: int) -> None:
+        self._contents.pop(page_id, None)
+
+
+class LocalDiskPager(Pager):
+    """The paper's DISK baseline: pages go to the local swap disk.
+
+    In the DISK experiments "the page transfer requests go directly from
+    the DEC OSF/1 kernel to the disk driver" (§4.1) — so this pager adds
+    no protocol cost, just the disk backend's service time.
+    """
+
+    name = "disk"
+
+    def __init__(self, backend: PartitionBackend):
+        super().__init__()
+        self.backend = backend
+        self.sim: Simulator = backend.sim
+        self._contents: Dict[int, Optional[bytes]] = {}
+
+    def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        yield from self.backend.write_page(page_id)
+        self._contents[page_id] = contents
+        self.counters.add("pageouts")
+        self.counters.add("transfers")
+
+    def pagein(self, page_id: int):
+        if not self.backend.holds(page_id):
+            raise PageNotFound(page_id, where="local swap disk")
+        yield from self.backend.read_page(page_id)
+        self.counters.add("pageins")
+        self.counters.add("transfers")
+        return self._contents.get(page_id)
+
+    def release(self, page_id: int) -> None:
+        self.backend.release_page(page_id)
+        self._contents.pop(page_id, None)

@@ -1,0 +1,68 @@
+"""Page table: per-page state for one address space."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+__all__ = ["PageTableEntry", "PageTable"]
+
+
+class PageTableEntry:
+    """State bits for one virtual page."""
+
+    __slots__ = ("page_id", "resident", "dirty", "referenced", "on_backing_store")
+
+    def __init__(self, page_id: int):
+        self.page_id = page_id
+        self.resident = False
+        self.dirty = False
+        self.referenced = False
+        #: True once the page has ever been paged out (so a fault needs a
+        #: pagein; a never-written-out page is served zero-filled).
+        self.on_backing_store = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = "".join(
+            c
+            for c, on in (
+                ("R", self.resident),
+                ("D", self.dirty),
+                ("r", self.referenced),
+                ("B", self.on_backing_store),
+            )
+            if on
+        )
+        return f"PTE({self.page_id}, {flags})"
+
+
+class PageTable:
+    """All page-table entries for one address space, created lazily."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def entry(self, page_id: int) -> PageTableEntry:
+        """The entry for ``page_id``, created on first touch."""
+        pte = self._entries.get(page_id)
+        if pte is None:
+            pte = PageTableEntry(page_id)
+            self._entries[page_id] = pte
+        return pte
+
+    def get(self, page_id: int) -> Optional[PageTableEntry]:
+        """The entry for ``page_id`` or None if never touched."""
+        return self._entries.get(page_id)
+
+    def resident_pages(self) -> Iterator[int]:
+        """Ids of currently resident pages."""
+        return (p for p, e in self._entries.items() if e.resident)
+
+    @property
+    def resident_count(self) -> int:
+        return sum(1 for e in self._entries.values() if e.resident)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._entries

@@ -1,0 +1,168 @@
+"""Page-replacement policies.
+
+DEC OSF/1's VM used a global FIFO-with-second-chance scheme; we provide
+FIFO, LRU, and Clock (second chance) behind one interface so experiments
+can ablate the choice.  The policy only tracks *resident* pages and picks
+victims; residency bookkeeping lives in the machine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["ReplacementPolicy", "FifoReplacement", "LruReplacement", "ClockReplacement", "make_replacement"]
+
+
+class ReplacementPolicy:
+    """Interface: track resident pages, surrender a victim on demand."""
+
+    name = "abstract"
+
+    def insert(self, page_id: int) -> None:
+        """A page became resident."""
+        raise NotImplementedError
+
+    def touch(self, page_id: int, is_write: bool = False) -> None:
+        """A resident page was referenced."""
+        raise NotImplementedError
+
+    def evict(self) -> int:
+        """Choose and remove a victim; returns its page id."""
+        raise NotImplementedError
+
+    def remove(self, page_id: int) -> None:
+        """A page left residency by other means (e.g. process exit)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FifoReplacement(ReplacementPolicy):
+    """Evict the page resident longest, regardless of references."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: Deque[int] = deque()
+        self._members: set = set()
+
+    def insert(self, page_id: int) -> None:
+        if page_id in self._members:
+            raise ValueError(f"page {page_id} already resident")
+        self._queue.append(page_id)
+        self._members.add(page_id)
+
+    def touch(self, page_id: int, is_write: bool = False) -> None:
+        if page_id not in self._members:
+            raise KeyError(f"page {page_id} is not resident")
+
+    def evict(self) -> int:
+        if not self._queue:
+            raise IndexError("no resident pages to evict")
+        victim = self._queue.popleft()
+        self._members.discard(victim)
+        return victim
+
+    def remove(self, page_id: int) -> None:
+        if page_id in self._members:
+            self._members.discard(page_id)
+            self._queue.remove(page_id)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+
+class LruReplacement(ReplacementPolicy):
+    """Evict the least recently used page (exact LRU stack)."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[int, None]" = OrderedDict()
+
+    def insert(self, page_id: int) -> None:
+        if page_id in self._order:
+            raise ValueError(f"page {page_id} already resident")
+        self._order[page_id] = None
+
+    def touch(self, page_id: int, is_write: bool = False) -> None:
+        try:
+            self._order.move_to_end(page_id)
+        except KeyError:
+            raise KeyError(f"page {page_id} is not resident") from None
+
+    def evict(self) -> int:
+        if not self._order:
+            raise IndexError("no resident pages to evict")
+        victim, _ = self._order.popitem(last=False)
+        return victim
+
+    def remove(self, page_id: int) -> None:
+        self._order.pop(page_id, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class ClockReplacement(ReplacementPolicy):
+    """Second-chance FIFO: referenced pages get one reprieve per lap.
+
+    Closest to what DEC OSF/1 actually ran, and the default for the
+    reproduction experiments.
+    """
+
+    name = "clock"
+
+    def __init__(self) -> None:
+        self._ring: Deque[int] = deque()
+        self._referenced: Dict[int, bool] = {}
+
+    def insert(self, page_id: int) -> None:
+        if page_id in self._referenced:
+            raise ValueError(f"page {page_id} already resident")
+        self._ring.append(page_id)
+        self._referenced[page_id] = False
+
+    def touch(self, page_id: int, is_write: bool = False) -> None:
+        if page_id not in self._referenced:
+            raise KeyError(f"page {page_id} is not resident")
+        self._referenced[page_id] = True
+
+    def evict(self) -> int:
+        if not self._ring:
+            raise IndexError("no resident pages to evict")
+        while True:
+            candidate = self._ring.popleft()
+            if self._referenced[candidate]:
+                self._referenced[candidate] = False
+                self._ring.append(candidate)
+            else:
+                del self._referenced[candidate]
+                return candidate
+
+    def remove(self, page_id: int) -> None:
+        if page_id in self._referenced:
+            del self._referenced[page_id]
+            self._ring.remove(page_id)
+
+    def __len__(self) -> int:
+        return len(self._referenced)
+
+
+_POLICIES = {
+    "fifo": FifoReplacement,
+    "lru": LruReplacement,
+    "clock": ClockReplacement,
+}
+
+
+def make_replacement(name: str) -> ReplacementPolicy:
+    """Construct a replacement policy by name ('fifo', 'lru', 'clock')."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

@@ -1,0 +1,39 @@
+"""Workload models: the paper's six applications plus synthetics."""
+
+from .apps import (
+    PAPER_WORKLOADS,
+    Fft,
+    Gauss,
+    ImageFilter,
+    KernelBuild,
+    Mvec,
+    Qsort,
+)
+from .base import Region, Workload, sweep, zigzag_passes
+from .profile import WorkloadProfile, profile_workload, render_profiles
+from .synthetic import HotCold, SequentialScan, UniformRandom, ZipfAccess
+from .trace_io import RecordedWorkload, load_trace, save_trace
+
+__all__ = [
+    "Workload",
+    "Region",
+    "sweep",
+    "zigzag_passes",
+    "Mvec",
+    "Gauss",
+    "Qsort",
+    "Fft",
+    "ImageFilter",
+    "KernelBuild",
+    "PAPER_WORKLOADS",
+    "SequentialScan",
+    "UniformRandom",
+    "ZipfAccess",
+    "HotCold",
+    "RecordedWorkload",
+    "save_trace",
+    "load_trace",
+    "WorkloadProfile",
+    "profile_workload",
+    "render_profiles",
+]

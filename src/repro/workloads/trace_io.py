@@ -1,0 +1,99 @@
+"""Record and replay page-reference traces.
+
+The pager only sees the fault stream, so a recorded trace is a complete,
+portable workload description: capture a trace once (from a model or a
+real system's page-fault log), then replay it against any paging
+configuration.  The file format is a plain text header plus one line per
+reference — diff-able, greppable, and stable across versions.
+
+Format::
+
+    # repro-trace v1
+    # name: gauss
+    # page_size: 8192
+    <page_id> <R|W> <cpu_microseconds>
+    ...
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterator, Union
+
+from .base import Ref, Workload
+
+__all__ = ["save_trace", "load_trace", "RecordedWorkload"]
+
+_MAGIC = "# repro-trace v1"
+
+
+def save_trace(
+    workload: Workload, path: Union[str, Path], limit: int = None
+) -> int:
+    """Write ``workload``'s trace to ``path``; returns references written."""
+    path = Path(path)
+    written = 0
+    with path.open("w") as f:
+        f.write(f"{_MAGIC}\n")
+        f.write(f"# name: {workload.name}\n")
+        f.write(f"# page_size: {workload.page_size}\n")
+        for page_id, is_write, cpu in workload.trace():
+            f.write(f"{page_id} {'W' if is_write else 'R'} {cpu * 1e6:.3f}\n")
+            written += 1
+            if limit is not None and written >= limit:
+                break
+    return written
+
+
+class RecordedWorkload(Workload):
+    """A workload replayed from a trace file."""
+
+    def __init__(self, path: Union[str, Path]):
+        path = Path(path)
+        name, page_size, refs = self._parse(path)
+        super().__init__(page_size)
+        self.name = name
+        self._refs = refs
+        if refs:
+            max_page = max(page for page, _, _ in refs)
+            self.layout.add("recorded", (max_page + 1) * page_size)
+
+    @staticmethod
+    def _parse(path: Path):
+        name = path.stem
+        page_size = 8192
+        refs = []
+        with path.open() as f:
+            first = f.readline().rstrip("\n")
+            if first != _MAGIC:
+                raise ValueError(
+                    f"{path}: not a repro trace (missing {_MAGIC!r} header)"
+                )
+            for lineno, line in enumerate(f, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    body = line[1:].strip()
+                    if body.startswith("name:"):
+                        name = body[5:].strip()
+                    elif body.startswith("page_size:"):
+                        page_size = int(body[10:].strip())
+                    continue
+                parts = line.split()
+                if len(parts) != 3 or parts[1] not in ("R", "W"):
+                    raise ValueError(f"{path}:{lineno}: malformed reference {line!r}")
+                refs.append((int(parts[0]), parts[1] == "W", float(parts[2]) / 1e6))
+        return name, page_size, refs
+
+    def trace(self) -> Iterator[Ref]:
+        return iter(self._refs)
+
+    def __len__(self) -> int:
+        return len(self._refs)
+
+
+def load_trace(path: Union[str, Path]) -> RecordedWorkload:
+    """Load a trace file as a replayable workload."""
+    return RecordedWorkload(path)

@@ -1,0 +1,54 @@
+"""ASCII chart tests."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+
+
+def test_marks_appear_for_each_series():
+    text = ascii_chart(
+        {"a": [(0, 0), (10, 10)], "b": [(0, 10), (10, 0)]}, width=20, height=8
+    )
+    assert "*" in text and "o" in text
+    assert "* a" in text and "o b" in text
+
+
+def test_title_and_labels():
+    text = ascii_chart(
+        {"s": [(1, 2), (3, 4)]}, width=16, height=6, title="T", x_label="x", y_label="y"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "x: x   y: y" in text
+
+
+def test_extremes_on_axes():
+    text = ascii_chart({"s": [(0, 5), (100, 50)]}, width=20, height=8)
+    assert "50" in text and "5" in text  # y-axis labels
+    assert "0" in text and "100" in text  # x-axis labels
+
+
+def test_single_point_does_not_divide_by_zero():
+    text = ascii_chart({"s": [(5, 7)]}, width=10, height=5)
+    assert "*" in text
+
+
+def test_monotone_series_renders_monotone():
+    """Higher y values must land on earlier (upper) rows."""
+    text = ascii_chart({"s": [(0, 0), (1, 1), (2, 2)]}, width=12, height=6)
+    rows = [i for i, line in enumerate(text.splitlines()) if "*" in line]
+    cols = []
+    for i in rows:
+        line = text.splitlines()[i]
+        cols.append(line.index("*"))
+    # Upper rows (smaller index) correspond to larger x here.
+    assert cols == sorted(cols, reverse=True)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": []})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 0)]}, width=2, height=2)

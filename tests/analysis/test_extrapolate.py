@@ -1,0 +1,92 @@
+"""Unit tests for the §4.3 decomposition/extrapolation model."""
+
+import pytest
+
+from repro.analysis import (
+    FFT_24MB_BREAKDOWN,
+    all_memory_bound,
+    decompose,
+    extrapolate,
+)
+from repro.analysis.extrapolate import Decomposition
+from repro.vm import CompletionReport
+
+
+def make_report(**overrides):
+    values = dict(
+        name="test",
+        etime=130.76,
+        utime=66.138,
+        systime=3.133,
+        inittime=0.21,
+        pageins=2055,
+        pageouts=2718,
+        faults=5000,
+        page_transfers=5452,
+    )
+    values.update(overrides)
+    return CompletionReport(**values)
+
+
+def test_decompose_reproduces_paper_arithmetic():
+    """Feed the paper's own §4.3 numbers through our model: it must
+    reproduce the paper's pptime, btime, and 10x prediction."""
+    d = decompose(make_report(), per_page_protocol_cpu=0.0016)
+    assert d.pptime == pytest.approx(8.7232)  # 5452 * 1.6 ms
+    assert d.btime == pytest.approx(61.279 - 8.7232, abs=1e-3)
+    predicted = d.predicted_etime(10.0)
+    assert predicted == pytest.approx(FFT_24MB_BREAKDOWN["predicted_etime_10x"], abs=0.01)
+
+
+def test_components_sum_to_etime():
+    d = decompose(make_report())
+    total = d.utime + d.systime + d.inittime + d.pptime + d.btime
+    assert total == pytest.approx(d.etime)
+
+
+def test_paging_overhead_fraction():
+    d = decompose(make_report())
+    assert d.paging_overhead_fraction == pytest.approx(61.279 / 130.76, abs=1e-3)
+
+
+def test_infinite_bandwidth_leaves_protocol_cost():
+    d = decompose(make_report())
+    limit = d.predicted_etime(1e12)
+    assert limit == pytest.approx(d.utime + d.systime + d.inittime + d.pptime, abs=1e-3)
+
+
+def test_all_memory_bound():
+    d = decompose(make_report())
+    assert all_memory_bound(d) == pytest.approx(66.138 + 3.133 + 0.21)
+
+
+def test_extrapolate_monotone_in_bandwidth():
+    d = decompose(make_report())
+    times = [extrapolate(d, x) for x in (1, 2, 5, 10, 100)]
+    assert times == sorted(times, reverse=True)
+
+
+def test_factor_one_is_identity():
+    d = decompose(make_report())
+    assert d.predicted_etime(1.0) == pytest.approx(d.etime)
+
+
+def test_pptime_capped_at_ptime():
+    """A run with huge protocol cost cannot have negative btime."""
+    d = decompose(make_report(), per_page_protocol_cpu=1.0)
+    assert d.btime == 0.0
+    assert d.pptime <= d.ptime + 1e-9
+
+
+def test_validation():
+    d = decompose(make_report())
+    with pytest.raises(ValueError):
+        d.predicted_etime(0)
+    with pytest.raises(ValueError):
+        decompose(make_report(), per_page_protocol_cpu=-1)
+
+
+def test_summary_text():
+    d = decompose(make_report())
+    text = d.summary()
+    assert "utime" in text and "btime" in text and "transfers" in text

@@ -1,0 +1,82 @@
+"""Analytic-model validation against first principles and the simulator."""
+
+import pytest
+
+from repro.analysis.model import AnalyticModel, disk_page_time, ethernet_page_time
+from repro.config import DEC_ALPHA_3000_300, DEC_RZ55
+
+
+def test_ethernet_page_time_matches_paper_scale():
+    """~9 ms per 8 KB page including the 1.6 ms protocol share (§4.4)."""
+    t = ethernet_page_time()
+    assert 0.008 < t < 0.011
+    assert ethernet_page_time(with_request=True) > t
+
+
+def test_disk_page_time_components():
+    streamed = disk_page_time(sequential=True)
+    random_access = disk_page_time(sequential=False)
+    assert streamed == pytest.approx(8192 / DEC_RZ55.sustained_bandwidth)
+    assert random_access > streamed + DEC_RZ55.avg_rotational_latency
+
+
+def test_disk_page_time_scales_with_swap_area():
+    compact = disk_page_time(swap_area_fraction=0.01)
+    sprawling = disk_page_time(swap_area_fraction=1.0)
+    assert compact < sprawling
+
+
+@pytest.mark.parametrize(
+    "policy,n_servers,tolerance",
+    [
+        ("no-reliability", 2, 0.06),
+        ("parity-logging", 4, 0.08),
+        ("mirroring", 2, 0.08),
+        ("write-through", 2, 0.08),
+        ("disk", 2, 0.15),
+    ],
+)
+def test_model_predicts_simulation(policy, n_servers, tolerance):
+    """Felten/Zahorjan-style closed form vs the full simulator (GAUSS)."""
+    from repro.core import build_cluster
+    from repro.workloads import Gauss
+
+    kwargs = dict(policy=policy)
+    if policy == "parity-logging":
+        kwargs.update(n_servers=4, overflow_fraction=0.10)
+    elif policy != "disk":
+        kwargs["n_servers"] = n_servers
+    cluster = build_cluster(**kwargs)
+    report = cluster.run(Gauss())
+    model = AnalyticModel(machine=DEC_ALPHA_3000_300)
+    predicted = model.predict(
+        utime=report.utime,
+        pageins=report.pageins,
+        pageouts=report.pageouts,
+        faults=report.faults,
+        policy=policy,
+        n_servers=n_servers,
+    )
+    error = abs(predicted - report.etime) / report.etime
+    assert error < tolerance, (
+        f"{policy}: model {predicted:.1f}s vs sim {report.etime:.1f}s "
+        f"({error:.1%} off)"
+    )
+
+
+def test_model_policy_ordering_matches_figure_2():
+    """Even without simulating, the model ranks the policies correctly."""
+    model = AnalyticModel(machine=DEC_ALPHA_3000_300)
+    profile = dict(utime=11.3, pageins=1600, pageouts=2000, faults=4400)
+    times = {
+        policy: model.predict(policy=policy, n_servers=4 if policy == "parity-logging" else 2, **profile)
+        for policy in ("no-reliability", "parity-logging", "mirroring", "disk")
+    }
+    order = sorted(times, key=times.get)
+    assert order == ["no-reliability", "parity-logging", "mirroring", "disk"]
+
+
+def test_model_unknown_policy_rejected():
+    model = AnalyticModel(machine=DEC_ALPHA_3000_300)
+    with pytest.raises(ValueError):
+        model.predict(utime=1, pageins=1, pageouts=1, faults=1, policy="raid6")

@@ -1,0 +1,54 @@
+"""Unit tests for result-table rendering and shape checks."""
+
+from repro.analysis import comparison_table, format_table, shape_check
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bb"], [[1, 22], [333, 4]], title="t")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert lines[2].startswith("---")
+    assert len(lines) == 5
+
+
+def test_comparison_table_pairs_values():
+    measured = {"gauss": {"disk": 78.7, "no-reliability": 45.3}}
+    paper = {"gauss": {"disk": 79.61, "no-reliability": 40.62}}
+    text = comparison_table(measured, paper, ["no-reliability", "disk"])
+    assert "45.30 / 40.62" in text
+    assert "78.70 / 79.61" in text
+
+
+def test_comparison_table_missing_values():
+    text = comparison_table({"x": {"disk": 1.0}}, {}, ["disk", "other"])
+    assert "1.00 / -" in text
+    assert "- / -" in text
+
+
+def test_shape_check_order_match():
+    measured = {"a": 1.0, "b": 2.0, "c": 3.0}
+    paper = {"a": 10.0, "b": 20.0, "c": 30.0}
+    check = shape_check(measured, paper)
+    assert check["order_matches"]
+    assert check["measured_order"] == ["a", "b", "c"]
+    assert check["max_relative_gap_error"] == 0.0
+
+
+def test_shape_check_order_mismatch():
+    measured = {"a": 1.0, "b": 3.0, "c": 2.0}
+    paper = {"a": 1.0, "b": 2.0, "c": 3.0}
+    check = shape_check(measured, paper)
+    assert not check["order_matches"]
+
+
+def test_shape_check_gap_error():
+    measured = {"base": 1.0, "x": 3.0}  # ours: 3x gap
+    paper = {"base": 1.0, "x": 2.0}  # paper: 2x gap
+    check = shape_check(measured, paper)
+    assert check["max_relative_gap_error"] == 0.5  # |3-2|/2
+
+
+def test_shape_check_ignores_uncommon_keys():
+    check = shape_check({"a": 1.0, "only-ours": 9.0}, {"a": 1.0, "only-paper": 5.0})
+    assert check["measured_order"] == ["a"]

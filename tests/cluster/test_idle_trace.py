@@ -1,0 +1,77 @@
+"""Unit tests for the Figure-1 idle-memory trace."""
+
+import pytest
+
+from repro.cluster import IdleMemoryTrace
+from repro.units import days, hours
+
+
+def test_defaults_match_paper_lab():
+    trace = IdleMemoryTrace()
+    assert trace.n_workstations == 16
+    assert trace.total_mb == 800.0
+
+
+def test_floor_respected_all_week():
+    trace = IdleMemoryTrace()
+    assert all(mb >= 300 for _, mb in trace.series(step=hours(0.5)))
+
+
+def test_nights_higher_than_business_hours():
+    trace = IdleMemoryTrace()
+    # Monday (trace starts Thursday): 3am vs 11am.
+    monday = days(4)
+    assert trace.free_mb(monday + hours(3)) > trace.free_mb(monday + hours(11))
+
+
+def test_weekend_stays_high():
+    trace = IdleMemoryTrace()
+    saturday_noon = days(2) + hours(12)
+    assert trace.free_mb(saturday_noon) > 650
+
+
+def test_weekday_names_start_thursday():
+    trace = IdleMemoryTrace()
+    assert trace.weekday_name(0) == "Thursday"
+    assert trace.weekday_name(days(2)) == "Saturday"
+    assert trace.weekday_name(days(6) + hours(23)) == "Wednesday"
+    assert trace.is_weekend(days(3))      # Sunday
+    assert not trace.is_weekend(days(4))  # Monday
+
+
+def test_sampling_is_deterministic():
+    a = IdleMemoryTrace(seed=42)
+    b = IdleMemoryTrace(seed=42)
+    t = days(1) + hours(14)
+    assert a.free_mb(t) == b.free_mb(t)
+
+
+def test_different_seeds_differ():
+    t = days(1) + hours(14)
+    assert IdleMemoryTrace(seed=1).free_mb(t) != IdleMemoryTrace(seed=2).free_mb(t)
+
+
+def test_free_pages_conversion():
+    trace = IdleMemoryTrace()
+    t = hours(3)
+    assert trace.free_pages(t) == int(trace.free_mb(t) * (1 << 20) / 8192)
+
+
+def test_series_length_and_summary():
+    trace = IdleMemoryTrace()
+    series = trace.series(step=hours(6))
+    assert len(series) == 7 * 4 + 1
+    summary = trace.summary()
+    assert 300 <= summary["min_mb"] < summary["mean_mb"] < summary["max_mb"] <= 800
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IdleMemoryTrace(n_workstations=0)
+    with pytest.raises(ValueError):
+        IdleMemoryTrace(busy_idle_fraction=0.9, night_idle_fraction=0.5)
+    trace = IdleMemoryTrace()
+    with pytest.raises(ValueError):
+        trace.free_mb(-1.0)
+    with pytest.raises(ValueError):
+        trace.series(step=0)

@@ -1,0 +1,220 @@
+"""Unit tests for Workstation, ServerRegistry, and the load models."""
+
+import pytest
+
+from repro.cluster import (
+    CpuBoundLoop,
+    EditorSession,
+    MemorySurge,
+    ServerRegistry,
+    Workstation,
+)
+from repro.config import DEC_ALPHA_3000_300, MachineSpec
+from repro.sim import Simulator
+from repro.units import megabytes
+
+
+def make_ws(sim, ram_mb=32, reserve=0):
+    spec = MachineSpec(
+        name="ws", ram_bytes=megabytes(ram_mb), kernel_resident_bytes=megabytes(8)
+    )
+    return Workstation(sim, "ws-0", spec, reserve_pages=reserve)
+
+
+# ------------------------------------------------------------- Workstation
+def test_free_pages_accounting():
+    sim = Simulator()
+    ws = make_ws(sim, ram_mb=32, reserve=16)
+    total = ws.total_pages
+    native = ws.native_pages
+    assert ws.free_pages == total - native - 16
+
+
+def test_grant_and_revoke():
+    sim = Simulator()
+    ws = make_ws(sim)
+    granted = ws.grant(100)
+    assert granted == 100
+    assert ws.granted_pages == 100
+    ws.revoke(40)
+    assert ws.granted_pages == 60
+
+
+def test_grant_capped_at_free():
+    sim = Simulator()
+    ws = make_ws(sim)
+    granted = ws.grant(10**9)
+    assert granted == ws.granted_pages
+    assert ws.free_pages == 0
+
+
+def test_revoke_too_much_rejected():
+    sim = Simulator()
+    ws = make_ws(sim)
+    ws.grant(10)
+    with pytest.raises(ValueError):
+        ws.revoke(11)
+
+
+def test_pressure_callback_fires_on_squeeze():
+    sim = Simulator()
+    ws = make_ws(sim)
+    ws.grant(ws.free_pages)  # take everything
+    deficits = []
+    ws.pressure_callback = deficits.append
+    ws.set_native_pages(ws.native_pages + 50)
+    assert deficits == [50]
+
+
+def test_no_pressure_when_room():
+    sim = Simulator()
+    ws = make_ws(sim)
+    deficits = []
+    ws.pressure_callback = deficits.append
+    ws.set_native_pages(ws.native_pages + 10)
+    assert deficits == []
+
+
+def test_cpu_time_scales_with_load():
+    sim = Simulator()
+    ws = make_ws(sim)
+
+    def burn(ws):
+        yield from ws.cpu_time(1.0)
+        return sim.now
+
+    assert sim.run_until_complete(sim.process(burn(ws))) == pytest.approx(1.0)
+    ws.add_cpu_load(0.5)
+    sim2 = Simulator()
+    ws2 = make_ws(sim2)
+    ws2.add_cpu_load(0.5)
+
+    def burn2(ws):
+        yield from ws.cpu_time(1.0)
+        return sim2.now
+
+    assert sim2.run_until_complete(sim2.process(burn2(ws2))) == pytest.approx(1.5)
+
+
+def test_cpu_load_validation():
+    sim = Simulator()
+    ws = make_ws(sim)
+    with pytest.raises(ValueError):
+        ws.add_cpu_load(-1)
+    with pytest.raises(ValueError):
+        ws.remove_cpu_load(0.5)
+
+
+# ----------------------------------------------------------------- Registry
+class FakeServer:
+    def __init__(self, name, free_pages, alive=True, advising=False):
+        self.name = name
+        self.free_pages = free_pages
+        self.is_alive = alive
+        self.advising = advising
+
+
+def test_registry_best_prefers_most_free():
+    reg = ServerRegistry()
+    reg.register(FakeServer("a", 10))
+    reg.register(FakeServer("b", 50))
+    reg.register(FakeServer("c", 30))
+    assert reg.best().name == "b"
+
+
+def test_registry_skips_dead_and_advising():
+    reg = ServerRegistry()
+    reg.register(FakeServer("dead", 100, alive=False))
+    reg.register(FakeServer("busy", 100, advising=True))
+    reg.register(FakeServer("ok", 10))
+    assert reg.best().name == "ok"
+
+
+def test_registry_exclude_and_min_pages():
+    reg = ServerRegistry()
+    reg.register(FakeServer("a", 50))
+    reg.register(FakeServer("b", 20))
+    assert reg.best(exclude={"a"}).name == "b"
+    assert reg.best(min_pages=30, exclude={"a"}) is None
+
+
+def test_registry_pick_distinct():
+    reg = ServerRegistry()
+    for name, free in (("a", 10), ("b", 20), ("c", 30)):
+        reg.register(FakeServer(name, free))
+    picked = reg.pick_distinct(2)
+    assert [s.name for s in picked] == ["c", "b"]
+    with pytest.raises(LookupError):
+        reg.pick_distinct(4)
+
+
+def test_registry_reregister_replaces():
+    reg = ServerRegistry()
+    reg.register(FakeServer("a", 10))
+    reg.register(FakeServer("a", 99))
+    assert len(reg) == 1
+    assert reg.get("a").free_pages == 99
+
+
+def test_registry_requires_interface():
+    reg = ServerRegistry()
+    with pytest.raises(TypeError):
+        reg.register(object())
+
+
+def test_registry_unregister():
+    reg = ServerRegistry()
+    reg.register(FakeServer("a", 10))
+    reg.unregister("a")
+    assert reg.get("a") is None
+
+
+# -------------------------------------------------------------- load models
+def test_editor_session_occupies_memory():
+    sim = Simulator()
+    ws = make_ws(sim, ram_mb=64)
+    baseline = ws.native_pages
+    EditorSession(ws)
+    sim.run(until=60.0)
+    assert ws.native_pages > baseline
+
+
+def test_editor_session_stop_restores():
+    sim = Simulator()
+    ws = make_ws(sim, ram_mb=64)
+    baseline = ws.native_pages
+    editor = EditorSession(ws)
+    sim.run(until=10.0)
+    editor.stop()
+    sim.run(until=11.0)
+    assert ws.native_pages == baseline
+
+
+def test_cpu_bound_loop_adds_and_removes_load():
+    sim = Simulator()
+    ws = make_ws(sim)
+    hog = CpuBoundLoop(ws, slowdown_factor=0.5)
+    assert ws.cpu_load == 0.5
+    hog.stop()
+    assert ws.cpu_load == 0.0
+    hog.stop()  # idempotent
+    assert ws.cpu_load == 0.0
+
+
+def test_memory_surge_applies_and_reverts():
+    sim = Simulator()
+    ws = make_ws(sim, ram_mb=64)
+    baseline = ws.native_pages
+    MemorySurge(ws, surge_mb=8, at_time=5.0, duration=10.0)
+    sim.run(until=6.0)
+    assert ws.native_pages > baseline
+    sim.run(until=20.0)
+    assert ws.native_pages == baseline
+
+
+def test_memory_surge_in_past_rejected():
+    sim = Simulator()
+    ws = make_ws(sim)
+    sim.run(until=10.0)
+    with pytest.raises(ValueError):
+        MemorySurge(ws, surge_mb=1, at_time=5.0)

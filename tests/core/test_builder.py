@@ -1,0 +1,106 @@
+"""build_cluster assembly and validation tests."""
+
+import pytest
+
+from repro.config import SwitchedNetworkSpec
+from repro.core import POLICY_NAMES, build_cluster
+from repro.errors import ConfigurationError
+from repro.net import EthernetCsmaCd, SwitchedNetwork, TokenRing
+from repro.net.token_ring import TokenRingSpec
+
+
+def test_all_policy_names_buildable():
+    for policy in POLICY_NAMES:
+        kwargs = dict(policy=policy)
+        if policy == "mirroring":
+            kwargs["n_servers"] = 2
+        cluster = build_cluster(**kwargs)
+        assert cluster.machine is not None
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ConfigurationError):
+        build_cluster(policy="raid5")
+
+
+def test_mirroring_needs_two_servers():
+    with pytest.raises(ConfigurationError):
+        build_cluster(policy="mirroring", n_servers=1)
+
+
+def test_zero_servers_rejected():
+    with pytest.raises(ConfigurationError):
+        build_cluster(policy="no-reliability", n_servers=0)
+
+
+def test_disk_policy_has_no_servers():
+    cluster = build_cluster(policy="disk")
+    assert cluster.servers == []
+    assert cluster.policy is None
+    assert cluster.pager.name == "disk"
+
+
+def test_parity_policies_get_parity_server():
+    for policy in ("parity", "parity-logging"):
+        cluster = build_cluster(policy=policy, n_servers=4)
+        assert cluster.parity_server is not None
+        assert cluster.parity_server not in cluster.servers
+
+
+def test_network_selection():
+    assert isinstance(build_cluster().network, EthernetCsmaCd)
+    assert isinstance(
+        build_cluster(switched_spec=SwitchedNetworkSpec()).network, SwitchedNetwork
+    )
+    assert isinstance(
+        build_cluster(token_ring_spec=TokenRingSpec()).network, TokenRing
+    )
+
+
+def test_conflicting_network_specs_rejected():
+    with pytest.raises(ConfigurationError):
+        build_cluster(
+            switched_spec=SwitchedNetworkSpec(), token_ring_spec=TokenRingSpec()
+        )
+
+
+def test_all_hosts_attached_to_network():
+    cluster = build_cluster(policy="parity-logging", n_servers=4)
+    assert cluster.network.is_attached("client")
+    for server in cluster.servers + [cluster.parity_server]:
+        assert cluster.network.is_attached(server.host.name)
+
+
+def test_registry_populated_with_policy_servers():
+    cluster = build_cluster(policy="no-reliability", n_servers=3)
+    assert len(cluster.registry) == 3
+
+
+def test_overflow_fraction_reaches_servers():
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        overflow_fraction=0.10,
+        server_capacity_pages=100,
+    )
+    for server in cluster.servers:
+        assert server.capacity_pages == 110
+
+
+def test_seed_controls_ethernet_randomness():
+    """Different seeds change collision timing; same seed reproduces."""
+    from repro.workloads import Mvec
+
+    def run(seed):
+        cluster = build_cluster(policy="mirroring", n_servers=2, seed=seed)
+        return cluster.run(Mvec(n=1800)).etime
+
+    assert run(1) == run(1)
+
+
+def test_spare_server_registration():
+    cluster = build_cluster(policy="no-reliability", n_servers=2)
+    before = len(cluster.registry)
+    spare = cluster.add_spare_server()
+    assert len(cluster.registry) == before + 1
+    assert cluster.registry.get(spare.name) is spare

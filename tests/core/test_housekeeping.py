@@ -1,0 +1,107 @@
+"""Housekeeping and direct server-to-server migration tests (§2.1)."""
+
+import pytest
+
+from repro.core import build_cluster
+from repro.vm import page_bytes
+
+PAGE = 8192
+
+
+def drive(cluster, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return cluster.sim.run_until_complete(cluster.sim.process(body(gen)))
+
+
+def make_cluster(**kwargs):
+    defaults = dict(
+        policy="no-reliability", n_servers=2, content_mode=True,
+        server_capacity_pages=128,
+    )
+    defaults.update(kwargs)
+    return build_cluster(**defaults)
+
+
+def test_migration_uses_direct_server_transfer():
+    cluster = make_cluster()
+    spare = cluster.add_spare_server()
+    # The spare must be in the policy's rotation to receive migrations.
+    cluster.policy.servers.append(spare)
+    for page_id in range(16):
+        drive(cluster, cluster.pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    loaded = cluster.servers[0]
+    held_before = loaded.stored_pages
+    moved = drive(cluster, cluster.pager.migrate_from(loaded))
+    assert moved == held_before
+    assert loaded.counters["migrated_out"] == held_before
+    # Pages went server-to-server, not through the client's disk.
+    assert cluster.pager.pages_on_local_disk == 0
+    for page_id in range(16):
+        assert drive(cluster, cluster.pager.pagein(page_id)) == page_bytes(
+            page_id, 1, PAGE
+        )
+
+
+def test_migration_clears_advising_flag():
+    cluster = make_cluster(server_capacity_pages=8)
+    spare = cluster.add_spare_server(capacity_pages=128)
+    cluster.policy.servers.append(spare)
+    for page_id in range(16):
+        drive(cluster, cluster.pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    loaded = cluster.servers[0]
+    loaded.advising = True
+    drive(cluster, cluster.pager.migrate_from(loaded))
+    assert not loaded.advising
+
+
+def test_housekeeping_migrates_and_replicates_back():
+    cluster = make_cluster(server_capacity_pages=8)
+    sim, pager = cluster.sim, cluster.pager
+    # Overflow both tiny servers: 16 slots total, 24 pages -> 8 on disk.
+    for page_id in range(24):
+        drive(cluster, pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    assert pager.pages_on_local_disk == 8
+    # A roomy spare joins; housekeeping should replicate the disk pages
+    # back to remote memory on its next tick.
+    spare = cluster.add_spare_server(capacity_pages=128)
+    cluster.policy.servers.append(spare)
+    pager.start_housekeeping(interval=5.0)
+    sim.run(until=sim.now + 12.0)
+    assert pager.pages_on_local_disk == 0
+    assert pager.counters["replicated_back"] == 8
+    for page_id in range(24):
+        assert drive(cluster, pager.pagein(page_id)) == page_bytes(page_id, 1, PAGE)
+
+
+def test_housekeeping_handles_advising_servers():
+    cluster = make_cluster(server_capacity_pages=64)
+    spare = cluster.add_spare_server(capacity_pages=128)
+    cluster.policy.servers.append(spare)
+    sim, pager = cluster.sim, cluster.pager
+    for page_id in range(32):
+        drive(cluster, pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    loaded = cluster.servers[0]
+    loaded.advising = True
+    held = loaded.stored_pages
+    pager.start_housekeeping(interval=3.0)
+    sim.run(until=sim.now + 8.0)
+    assert loaded.stored_pages < held
+    assert pager.counters["migrated_pages"] >= 1
+
+
+def test_housekeeping_stop():
+    cluster = make_cluster()
+    pager = cluster.pager
+    pager.start_housekeeping(interval=2.0)
+    cluster.sim.run(until=3.0)
+    pager.stop_housekeeping()
+    cluster.sim.run(until=10.0)  # must not raise or act further
+
+
+def test_housekeeping_validation():
+    cluster = make_cluster()
+    with pytest.raises(ValueError):
+        cluster.pager.start_housekeeping(interval=0)

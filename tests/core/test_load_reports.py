@@ -1,0 +1,103 @@
+"""Periodic load-report tests (§3.2)."""
+
+import pytest
+
+from repro.core import build_cluster
+from repro.core.load_reports import ClusterView, LoadReporter
+from repro.vm import page_bytes
+
+PAGE = 8192
+
+
+def make_reporting_cluster(interval=2.0):
+    cluster = build_cluster(
+        policy="no-reliability", n_servers=2, content_mode=True,
+        server_capacity_pages=64,
+    )
+    view = ClusterView(cluster.sim)
+    reporters = [
+        LoadReporter(server, "client", view, interval=interval)
+        for server in cluster.servers
+    ]
+    return cluster, view, reporters
+
+
+def test_no_view_before_first_report():
+    cluster, view, _ = make_reporting_cluster(interval=5.0)
+    assert view.free_pages("server-0") is None
+    assert view.age("server-0") == float("inf")
+
+
+def test_reports_arrive_periodically():
+    cluster, view, reporters = make_reporting_cluster(interval=2.0)
+    cluster.sim.run(until=11.0)
+    assert all(r.reports_sent == 5 for r in reporters)
+    assert view.free_pages("server-0") == 64
+    assert view.age("server-0") <= 2.0 + 0.01
+
+
+def test_view_is_stale_between_reports():
+    """The client's picture lags reality by up to one interval."""
+    cluster, view, _ = make_reporting_cluster(interval=5.0)
+    sim, pager = cluster.sim, cluster.pager
+    sim.run(until=5.5)  # first report: both servers empty
+    before = view.free_pages("server-0")
+
+    def flow():
+        for page_id in range(16):
+            yield from pager.pageout(page_id, page_bytes(page_id, 1, PAGE))
+
+    sim.run_until_complete(sim.process(flow()))
+    # Reality changed; the view hasn't (next report at t=10).
+    assert cluster.servers[0].free_pages < 64
+    assert view.free_pages("server-0") == before
+    sim.run(until=10.5)
+    assert view.free_pages("server-0") == cluster.servers[0].free_pages
+
+
+def test_crashed_server_stops_reporting():
+    cluster, view, reporters = make_reporting_cluster(interval=2.0)
+    cluster.sim.run(until=3.0)
+    sent_before = reporters[0].reports_sent
+    cluster.servers[0].crash()
+    cluster.sim.run(until=9.0)
+    assert reporters[0].reports_sent == sent_before
+    # Its information goes stale — how the client *notices* silence.
+    assert view.age("server-0") > 2.0
+
+
+def test_best_server_by_reported_view():
+    cluster, view, _ = make_reporting_cluster(interval=1.0)
+    sim, pager = cluster.sim, cluster.pager
+
+    def flow():
+        for page_id in range(20):  # server-0 gets 10, server-1 gets 10
+            yield from pager.pageout(page_id, page_bytes(page_id, 1, PAGE))
+        for page_id in range(20, 40):  # fill server-0 further
+            cluster.servers[0]._store[("fill", page_id)] = None
+
+    sim.run_until_complete(sim.process(flow()))
+    sim.run(until=sim.now + 1.5)
+    assert view.best_server_name() == "server-1"
+
+
+def test_advising_server_excluded_from_best():
+    cluster, view, _ = make_reporting_cluster(interval=1.0)
+    cluster.servers[0].advising = True
+    cluster.sim.run(until=1.5)
+    assert view.best_server_name() == "server-1"
+
+
+def test_reporter_stop():
+    cluster, view, reporters = make_reporting_cluster(interval=1.0)
+    cluster.sim.run(until=2.5)
+    reporters[0].stop()
+    sent = reporters[0].reports_sent
+    cluster.sim.run(until=6.0)
+    assert reporters[0].reports_sent == sent
+
+
+def test_interval_validation():
+    cluster, view, _ = make_reporting_cluster()
+    with pytest.raises(ValueError):
+        LoadReporter(cluster.servers[0], "client", view, interval=0)

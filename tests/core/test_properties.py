@@ -1,0 +1,140 @@
+"""Property-based tests of the reliability policies.
+
+The paper's correctness claim is an invariant, so we test it as one:
+*after any sequence of pageouts, repageouts, pageins, releases, and at
+most one server crash, every live page's latest contents are
+retrievable byte-for-byte.*  Hypothesis drives randomised schedules
+through all three redundancy schemes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import build_cluster
+from repro.vm import page_bytes
+
+PAGE = 8192
+N_PAGES = 12
+
+
+@st.composite
+def schedules(draw):
+    """A schedule: ops over a small page set, plus a crash position."""
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["pageout", "pagein", "release"]),
+                st.integers(0, N_PAGES - 1),
+            ),
+            min_size=4,
+            max_size=40,
+        )
+    )
+    crash_at = draw(st.integers(0, len(ops)))
+    crash_server = draw(st.integers(0, 3))
+    return ops, crash_at, crash_server
+
+
+def run_schedule(policy, ops, crash_at, crash_server):
+    kwargs = dict(n_servers=4, content_mode=True, server_capacity_pages=128)
+    if policy == "parity-logging":
+        kwargs["overflow_fraction"] = 0.50
+    cluster = build_cluster(policy=policy, **kwargs)
+    sim, pager = cluster.sim, cluster.pager
+    versions = {}
+
+    def drive(gen):
+        def body(gen):
+            result = yield from gen
+            return result
+
+        return sim.run_until_complete(sim.process(body(gen)))
+
+    for index, (op, page_id) in enumerate(ops):
+        if index == crash_at:
+            cluster.servers[crash_server].crash()
+        if op == "pageout":
+            versions[page_id] = versions.get(page_id, 0) + 1
+            drive(pager.pageout(page_id, page_bytes(page_id, versions[page_id], PAGE)))
+        elif op == "pagein":
+            if page_id in versions:
+                got = drive(pager.pagein(page_id))
+                assert got == page_bytes(page_id, versions[page_id], PAGE)
+        else:  # release
+            pager.release(page_id)
+            versions.pop(page_id, None)
+    if crash_at >= len(ops):
+        cluster.servers[crash_server].crash()
+    # Final invariant: every live page retrievable at its last version.
+    for page_id, version in versions.items():
+        got = drive(pager.pagein(page_id))
+        assert got == page_bytes(page_id, version, PAGE), (
+            f"{policy}: page {page_id} v{version} corrupted after schedule"
+        )
+    return cluster
+
+
+@pytest.mark.parametrize("policy", ["mirroring", "parity-logging", "write-through"])
+@settings(max_examples=25, deadline=None)
+@given(schedule=schedules())
+def test_single_crash_never_loses_data(policy, schedule):
+    ops, crash_at, crash_server = schedule
+    run_schedule(policy, ops, crash_at, crash_server)
+
+
+@settings(max_examples=25, deadline=None)
+@given(schedule=schedules())
+def test_parity_logging_group_invariants(schedule):
+    """Structural invariants hold after any schedule:
+
+    * every group has at most one member per server;
+    * sealed groups smaller than S only arise from recovery cancellation;
+    * every active location's key is actually held by its server;
+    * the client-side buffer exists exactly for unsealed groups.
+    """
+    ops, crash_at, crash_server = schedule
+    cluster = run_schedule("parity-logging", ops, crash_at, crash_server)
+    policy = cluster.policy
+    for group in policy._groups.values():
+        names = [m.server.name for m in group.members]
+        assert len(names) == len(set(names))
+        if group.sealed:
+            assert group.buffer is None
+        else:
+            assert group.buffer is not None
+    for page_id, member in policy._location.items():
+        assert member.active
+        assert member.server.holds(member.key), (
+            f"location map points at missing key {member.key}"
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pageouts=st.lists(st.integers(0, 7), min_size=1, max_size=30),
+    n_servers=st.integers(2, 5),
+)
+def test_parity_logging_transfer_arithmetic(pageouts, n_servers):
+    """Transfers = pageouts + sealed groups, exactly (no crash)."""
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=n_servers,
+        content_mode=True,
+        server_capacity_pages=256,
+        overflow_fraction=1.0,
+    )
+    sim, pager = cluster.sim, cluster.pager
+    versions = {}
+
+    def drive(gen):
+        def body(gen):
+            yield from gen
+
+        sim.run_until_complete(sim.process(body(gen)))
+
+    for page_id in pageouts:
+        versions[page_id] = versions.get(page_id, 0) + 1
+        drive(pager.pageout(page_id, page_bytes(page_id, versions[page_id], PAGE)))
+    sealed = len(pageouts) // n_servers
+    assert cluster.policy.transfers == len(pageouts) + sealed

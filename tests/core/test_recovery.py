@@ -1,0 +1,208 @@
+"""Crash-recovery correctness: a single server crash loses nothing.
+
+All tests run in content mode: every reconstructed page is compared
+byte-for-byte with what the client last paged out — XOR parity is
+computed over real data, not simulated away.
+"""
+
+import pytest
+
+from repro.core import CrashInjector, build_cluster
+from repro.errors import RecoveryError
+from repro.vm import page_bytes
+
+PAGE = 8192
+
+
+def cluster_for(policy, **kwargs):
+    defaults = dict(n_servers=4, content_mode=True, server_capacity_pages=256)
+    if policy == "parity-logging":
+        defaults["overflow_fraction"] = 0.25
+    defaults.update(kwargs)
+    return build_cluster(policy=policy, **defaults)
+
+
+def drive(cluster, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return cluster.sim.run_until_complete(cluster.sim.process(body(gen)))
+
+
+def pageout_all(cluster, pages):
+    for page_id, version in pages.items():
+        drive(cluster, cluster.pager.pageout(page_id, page_bytes(page_id, version, PAGE)))
+
+
+def assert_all_recoverable(cluster, pages):
+    for page_id, version in pages.items():
+        got = drive(cluster, cluster.pager.pagein(page_id))
+        assert got == page_bytes(page_id, version, PAGE), f"page {page_id} corrupt"
+
+
+RELIABLE = ["mirroring", "parity", "parity-logging", "write-through"]
+
+
+@pytest.mark.parametrize("policy", RELIABLE)
+def test_single_server_crash_loses_nothing(policy):
+    cluster = cluster_for(policy)
+    pages = {p: 1 for p in range(24)}
+    pageout_all(cluster, pages)
+    cluster.servers[0].crash()
+    # The next pagein hits the crash, triggers recovery, and retries.
+    assert_all_recoverable(cluster, pages)
+    assert cluster.pager.counters["recoveries"] == 1
+
+
+@pytest.mark.parametrize("policy", RELIABLE)
+def test_crash_after_repageouts_recovers_latest_versions(policy):
+    cluster = cluster_for(policy)
+    pages = {p: 1 for p in range(16)}
+    pageout_all(cluster, pages)
+    # Supersede half the pages.
+    for page_id in range(0, 16, 2):
+        pages[page_id] = 2
+    pageout_all(cluster, {p: v for p, v in pages.items() if v == 2})
+    cluster.servers[1].crash()
+    assert_all_recoverable(cluster, pages)
+
+
+@pytest.mark.parametrize("policy", RELIABLE)
+def test_crash_during_pageout_stream(policy):
+    """Kill a server mid-stream (after N pageouts land on it)."""
+    cluster = cluster_for(policy)
+    injector = CrashInjector(cluster.sim)
+    injector.crash_after_pageouts(cluster.servers[0], pageouts=5)
+
+    def stream(cluster):
+        for page_id in range(64):
+            yield from cluster.pager.pageout(
+                page_id, page_bytes(page_id, 1, PAGE)
+            )
+
+    cluster.sim.run_until_complete(cluster.sim.process(stream(cluster)))
+    assert not cluster.servers[0].is_alive
+    assert_all_recoverable(cluster, {p: 1 for p in range(64)})
+
+
+def test_parity_logging_unsealed_group_recovers_via_client_buffer():
+    """Footnote 2: the client's own parity buffer covers the open group."""
+    cluster = cluster_for("parity-logging", n_servers=4)
+    # Three pageouts: group is open (seals at four).
+    pages = {p: 1 for p in range(3)}
+    pageout_all(cluster, pages)
+    assert not any(g.sealed for g in cluster.policy._groups.values() if g.members)
+    cluster.servers[0].crash()
+    assert_all_recoverable(cluster, pages)
+
+
+def test_parity_logging_crash_with_inactive_versions():
+    """Stale incarnations on the crashed server are cancelled, not
+    restored; active pages elsewhere in their groups stay recoverable."""
+    cluster = cluster_for("parity-logging", n_servers=4)
+    pages = {p: 1 for p in range(8)}
+    pageout_all(cluster, pages)
+    for page_id in (0, 4):
+        pages[page_id] = 2
+    pageout_all(cluster, {0: 2, 4: 2})
+    cluster.servers[2].crash()
+    assert_all_recoverable(cluster, pages)
+
+
+def test_parity_logging_parity_server_crash_rebuilds_parity():
+    cluster = cluster_for("parity-logging", n_servers=4)
+    cluster.add_spare_server()  # replacement home for the parity pages
+    pages = {p: 1 for p in range(16)}
+    pageout_all(cluster, pages)
+    cluster.parity_server.crash()
+
+    def recover(cluster):
+        yield from cluster.policy.recover(cluster.parity_server)
+
+    drive(cluster, recover(cluster))
+    # Parity now lives on the replacement; a data-server crash after the
+    # rebuild must still be fully recoverable.
+    cluster.servers[3].crash()
+    assert_all_recoverable(cluster, pages)
+
+
+def test_parity_logging_survives_crash_then_second_crash_fails():
+    """Single-failure tolerance: a second overlapping crash is fatal."""
+    cluster = cluster_for("parity-logging", n_servers=4)
+    pages = {p: 1 for p in range(16)}
+    pageout_all(cluster, pages)
+    cluster.servers[0].crash()
+    assert_all_recoverable(cluster, pages)  # first crash: fine
+    # Crash two of the remaining servers simultaneously.
+    cluster.servers[1].crash()
+    cluster.servers[2].crash()
+    with pytest.raises((RecoveryError, Exception)):
+        assert_all_recoverable(cluster, pages)
+
+
+def test_mirroring_recovery_restores_two_copy_redundancy():
+    cluster = cluster_for("mirroring")
+    pages = {p: 1 for p in range(12)}
+    pageout_all(cluster, pages)
+    crashed = cluster.servers[0]
+    crashed.crash()
+    assert_all_recoverable(cluster, pages)
+    # After recovery, every page again has two live copies.
+    for page_id in pages:
+        primary, mirror = cluster.policy._placement[page_id]
+        assert primary.is_alive and mirror.is_alive
+        assert primary.holds(page_id) and mirror.holds(page_id)
+
+
+def test_write_through_recovery_repopulates_from_disk():
+    cluster = cluster_for("write-through")
+    pages = {p: 1 for p in range(12)}
+    pageout_all(cluster, pages)
+    cluster.servers[0].crash()
+    assert_all_recoverable(cluster, pages)
+    assert cluster.policy.counters["disk_reads"] > 0
+
+
+def test_recovery_time_recorded():
+    cluster = cluster_for("parity-logging")
+    pages = {p: 1 for p in range(16)}
+    pageout_all(cluster, pages)
+    cluster.servers[0].crash()
+    assert_all_recoverable(cluster, pages)
+    assert cluster.pager.recovery_times.count == 1
+    assert cluster.pager.recovery_times.mean > 0
+
+
+def test_mirroring_recovery_cheaper_than_parity_logging():
+    """§2.2: mirroring's recovery overhead is minimal; parity must XOR
+    whole groups."""
+
+    def recovery_time(policy):
+        cluster = cluster_for(policy)
+        pages = {p: 1 for p in range(32)}
+        pageout_all(cluster, pages)
+        cluster.servers[0].crash()
+        assert_all_recoverable(cluster, pages)
+        return cluster.pager.recovery_times.mean
+
+    assert recovery_time("mirroring") < recovery_time("parity-logging")
+
+
+def test_crash_injector_at_time():
+    cluster = cluster_for("mirroring")
+    injector = CrashInjector(cluster.sim)
+    injector.crash_at(cluster.servers[0], at_time=1.0)
+    cluster.sim.run(until=2.0)
+    assert not cluster.servers[0].is_alive
+    assert injector.crashes == [(1.0, cluster.servers[0].name)]
+
+
+def test_crash_injector_validation():
+    cluster = cluster_for("mirroring")
+    cluster.sim.run(until=5.0)
+    injector = CrashInjector(cluster.sim)
+    with pytest.raises(ValueError):
+        injector.crash_at(cluster.servers[0], at_time=1.0)
+    with pytest.raises(ValueError):
+        injector.crash_after_pageouts(cluster.servers[0], pageouts=-1)

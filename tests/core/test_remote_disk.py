@@ -1,0 +1,110 @@
+"""Remote-disk pager unit tests (the Comer & Griffioen substrate)."""
+
+import pytest
+
+from repro.cluster import Workstation
+from repro.config import DEC_ALPHA_3000_300
+from repro.core import RemoteDiskPager, RemoteDiskServer
+from repro.errors import PageNotFound, ServerCrashed
+from repro.net import EthernetCsmaCd, ProtocolStack
+from repro.sim import RngRegistry, Simulator
+from repro.vm import page_bytes
+
+PAGE = 8192
+
+
+def make_setup(n_servers=2):
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=2))
+    net.attach("client")
+    stack = ProtocolStack(net)
+    servers = [
+        RemoteDiskServer(
+            Workstation(sim, f"dd-{i}", DEC_ALPHA_3000_300), stack, name=f"ds-{i}"
+        )
+        for i in range(n_servers)
+    ]
+    pager = RemoteDiskPager("client", stack, servers)
+    return sim, pager, servers
+
+
+def drive(sim, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return sim.run_until_complete(sim.process(body(gen)))
+
+
+def test_roundtrip():
+    sim, pager, _ = make_setup()
+    data = page_bytes(3, 1, PAGE)
+    drive(sim, pager.pageout(3, data))
+    assert drive(sim, pager.pagein(3)) == data
+    assert pager.transfers == 2
+
+
+def test_pagein_slower_than_remote_memory():
+    """The whole point: the far end is a platter, not DRAM."""
+    from repro.core import build_cluster
+
+    sim, pager, _ = make_setup()
+    drive(sim, pager.pageout(1, None))
+    start = sim.now
+    drive(sim, pager.pagein(1))
+    disk_cost = sim.now - start
+
+    memory = build_cluster(policy="no-reliability", n_servers=2)
+
+    def mem_flow():
+        yield from memory.pager.pageout(1, None)
+        start = memory.sim.now
+        yield from memory.pager.pagein(1)
+        return memory.sim.now - start
+
+    memory_cost = memory.sim.run_until_complete(memory.sim.process(mem_flow()))
+    assert disk_cost > memory_cost + 0.005  # at least a rotation's worth
+
+
+def test_round_robin_placement_sticky():
+    sim, pager, servers = make_setup(n_servers=2)
+    for page_id in range(4):
+        drive(sim, pager.pageout(page_id, None))
+    assert servers[0].counters["stores"] == 2
+    assert servers[1].counters["stores"] == 2
+    # Re-pageout goes back to the same server.
+    drive(sim, pager.pageout(0, None))
+    assert servers[0].counters["stores"] + servers[1].counters["stores"] == 5
+    assert pager._placement[0] is pager._placement[2]
+
+
+def test_unknown_page():
+    sim, pager, _ = make_setup()
+    with pytest.raises(PageNotFound):
+        drive(sim, pager.pagein(77))
+
+
+def test_crashed_server_raises():
+    sim, pager, servers = make_setup()
+    drive(sim, pager.pageout(1, None))
+    pager._placement[1].crash()
+    with pytest.raises(ServerCrashed):
+        drive(sim, pager.pagein(1))
+
+
+def test_release_frees_slot():
+    sim, pager, _ = make_setup()
+    drive(sim, pager.pageout(1, None))
+    server = pager._placement[1]
+    assert server.holds(1)
+    pager.release(1)
+    assert not server.holds(1)
+
+
+def test_needs_at_least_one_server():
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=2))
+    net.attach("client")
+    stack = ProtocolStack(net)
+    with pytest.raises(ValueError):
+        RemoteDiskPager("client", stack, [])

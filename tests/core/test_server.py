@@ -1,0 +1,249 @@
+"""Unit tests for the memory server."""
+
+import pytest
+
+from repro.cluster import Workstation
+from repro.config import DEC_ALPHA_3000_300, MachineSpec
+from repro.errors import PageNotFound, ServerCrashed, ServerUnavailable
+from repro.net import EthernetCsmaCd, ProtocolStack
+from repro.sim import RngRegistry, Simulator
+from repro.units import megabytes
+from repro.core import MemoryServer
+from repro.vm import page_bytes, xor_bytes
+
+
+def make_server(sim, capacity=16, overflow=0.0, ram_mb=64):
+    spec = MachineSpec(
+        name="donor",
+        ram_bytes=megabytes(ram_mb),
+        kernel_resident_bytes=megabytes(8),
+    )
+    host = Workstation(sim, "donor-0", spec)
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=3))
+    net.attach("client")
+    stack = ProtocolStack(net)
+    return MemoryServer(host, stack, capacity_pages=capacity, overflow_fraction=overflow)
+
+
+def drive(sim, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return sim.run_until_complete(sim.process(body(gen)))
+
+
+def test_server_grants_capacity_from_host():
+    sim = Simulator()
+    server = make_server(sim, capacity=32)
+    assert server.capacity_pages == 32
+    assert server.host.granted_pages == 32
+    assert server.free_pages == 32
+
+
+def test_overflow_fraction_grants_extra():
+    sim = Simulator()
+    server = make_server(sim, capacity=100, overflow=0.10)
+    assert server.capacity_pages == 110
+
+
+def test_server_rejected_when_host_too_small():
+    sim = Simulator()
+    spec = MachineSpec(
+        name="tiny", ram_bytes=megabytes(9), kernel_resident_bytes=megabytes(8)
+    )
+    host = Workstation(sim, "tiny-0", spec)
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=3))
+    stack = ProtocolStack(net)
+    with pytest.raises(ServerUnavailable):
+        MemoryServer(host, stack, capacity_pages=4096)
+
+
+def test_store_and_fetch_roundtrip():
+    sim = Simulator()
+    server = make_server(sim)
+    data = page_bytes(1, 1, 64)
+
+    def flow(server):
+        yield from server.store("k1", data)
+        got = yield from server.fetch("k1")
+        return got
+
+    assert drive(sim, flow(server)) == data
+    assert server.stored_pages == 1
+    assert server.counters["pageouts"] == 1
+    assert server.counters["pageins"] == 1
+
+
+def test_fetch_missing_key():
+    sim = Simulator()
+    server = make_server(sim)
+
+    def flow(server):
+        yield from server.fetch("ghost")
+
+    with pytest.raises(PageNotFound):
+        drive(sim, flow(server))
+
+
+def test_store_beyond_capacity_unavailable_and_advises():
+    sim = Simulator()
+    server = make_server(sim, capacity=2)
+
+    def fill(server):
+        yield from server.store("a", None)
+        yield from server.store("b", None)
+
+    drive(sim, fill(server))
+    assert server.free_pages == 0
+
+    def overflow(server):
+        yield from server.store("c", None)
+
+    with pytest.raises(ServerUnavailable):
+        drive(sim, overflow(server))
+    assert server.advising
+
+
+def test_free_clears_advising():
+    sim = Simulator()
+    server = make_server(sim, capacity=4)
+
+    def fill(server):
+        for key in "abcd":
+            yield from server.store(key, None)
+
+    drive(sim, fill(server))
+    server.advising = True
+    server.free(["a", "b"])
+    assert not server.advising
+    assert server.free_pages == 2
+
+
+def test_xor_update_returns_delta():
+    sim = Simulator()
+    server = make_server(sim)
+    old = page_bytes(1, 1, 64)
+    new = page_bytes(1, 2, 64)
+
+    def flow(server):
+        yield from server.store("k", old)
+        delta = yield from server.xor_update("k", new)
+        stored = yield from server.fetch("k")
+        return delta, stored
+
+    delta, stored = drive(sim, flow(server))
+    assert delta == xor_bytes(old, new)
+    assert stored == new
+
+
+def test_xor_update_missing_key():
+    sim = Simulator()
+    server = make_server(sim)
+
+    def flow(server):
+        yield from server.xor_update("ghost", b"x" * 64)
+
+    with pytest.raises(PageNotFound):
+        drive(sim, flow(server))
+
+
+def test_xor_into_accumulates_parity():
+    sim = Simulator()
+    server = make_server(sim)
+    a = page_bytes(1, 1, 64)
+    b = page_bytes(2, 1, 64)
+
+    def flow(server):
+        yield from server.xor_into("p", a)
+        yield from server.xor_into("p", b)
+        got = yield from server.fetch("p")
+        return got
+
+    assert drive(sim, flow(server)) == xor_bytes(a, b)
+
+
+def test_crash_loses_pages_and_raises():
+    sim = Simulator()
+    server = make_server(sim)
+
+    def store(server):
+        yield from server.store("k", None)
+
+    drive(sim, store(server))
+    server.crash()
+    assert not server.is_alive
+    assert server.stored_pages == 0
+
+    def fetch(server):
+        yield from server.fetch("k")
+
+    with pytest.raises(ServerCrashed):
+        drive(sim, fetch(server))
+
+
+def test_free_on_crashed_server_is_noop():
+    sim = Simulator()
+    server = make_server(sim)
+    server.crash()
+    server.free(["anything"])  # must not raise
+
+
+def test_restart_comes_back_empty():
+    sim = Simulator()
+    server = make_server(sim)
+
+    def store(server):
+        yield from server.store("k", None)
+
+    drive(sim, store(server))
+    server.crash()
+    server.restart()
+    assert server.is_alive
+    assert not server.holds("k")
+
+
+def test_host_pressure_sheds_pages_and_advises():
+    sim = Simulator()
+    server = make_server(sim, capacity=16, ram_mb=64)
+    host = server.host
+
+    def fill(server):
+        for i in range(16):
+            yield from server.store(i, None)
+
+    drive(sim, fill(server))
+    # Native demand surges enough to squeeze the grant.
+    host.set_native_pages(host.total_pages - 8)
+    assert server.advising
+    assert server.counters["shed_to_disk"] > 0
+    # Shed pages are still retrievable (from the host's disk, slower).
+
+    def fetch(server):
+        got = yield from server.fetch(0)
+        return got
+
+    drive(sim, fetch(server))
+    assert server.counters["pageins_from_disk"] >= 1
+
+
+def test_cpu_utilization_tracked():
+    sim = Simulator()
+    server = make_server(sim)
+
+    def flow(server):
+        for i in range(10):
+            yield from server.store(i, None)
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(flow(server)))
+    util = server.cpu_utilization()
+    assert 0 < util < 0.15  # §4.5: always under 15%
+
+
+def test_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        make_server(sim, capacity=0)
+    with pytest.raises(ValueError):
+        make_server(sim, overflow=-0.1)

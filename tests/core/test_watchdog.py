@@ -1,0 +1,98 @@
+"""Watchdog tests: proactive crash detection from report silence."""
+
+import pytest
+
+from repro.core import build_cluster
+from repro.core.load_reports import ClusterView, LoadReporter
+from repro.core.watchdog import Watchdog
+from repro.vm import page_bytes
+
+PAGE = 8192
+INTERVAL = 2.0
+
+
+def make_watched_cluster(policy="parity-logging"):
+    kwargs = dict(n_servers=4, content_mode=True, server_capacity_pages=128)
+    if policy == "parity-logging":
+        kwargs["overflow_fraction"] = 0.25
+    cluster = build_cluster(policy=policy, **kwargs)
+    view = ClusterView(cluster.sim)
+    reporters = [
+        LoadReporter(s, "client", view, interval=INTERVAL) for s in cluster.servers
+    ]
+    watchdog = Watchdog(cluster.pager, view, report_interval=INTERVAL)
+    return cluster, view, watchdog
+
+
+def drive(cluster, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return cluster.sim.run_until_complete(cluster.sim.process(body(gen)))
+
+
+def test_silence_triggers_proactive_recovery():
+    cluster, view, watchdog = make_watched_cluster()
+    for page_id in range(16):
+        drive(cluster, cluster.pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    cluster.sim.run(until=cluster.sim.now + 3 * INTERVAL)  # reports flowing
+    victim = cluster.servers[0]
+    victim.crash()
+    # Without any client request, the watchdog notices the silence.
+    cluster.sim.run(until=cluster.sim.now + 6 * INTERVAL)
+    assert watchdog.detections and watchdog.detections[0][1] == victim.name
+    assert cluster.pager.counters["recoveries"] == 1
+    # Redundancy already restored: every page retrievable.
+    for page_id in range(16):
+        got = drive(cluster, cluster.pager.pagein(page_id))
+        assert got == page_bytes(page_id, 1, PAGE)
+
+
+def test_healthy_servers_never_declared():
+    cluster, view, watchdog = make_watched_cluster()
+    cluster.sim.run(until=20 * INTERVAL)
+    assert watchdog.detections == []
+    assert cluster.pager.counters["recoveries"] == 0
+
+
+def test_detection_latency_bounded():
+    cluster, view, watchdog = make_watched_cluster()
+    cluster.sim.run(until=3 * INTERVAL)
+    crash_time = cluster.sim.now
+    cluster.servers[1].crash()
+    cluster.sim.run(until=crash_time + 10 * INTERVAL)
+    assert len(watchdog.detections) == 1
+    detected_at = watchdog.detections[0][0]
+    # Silence threshold (3 intervals) plus one polling interval of slack.
+    assert detected_at - crash_time <= (watchdog.suspect_after + 1.5) * INTERVAL
+
+
+def test_watchdog_stop():
+    cluster, view, watchdog = make_watched_cluster()
+    cluster.sim.run(until=2 * INTERVAL)
+    watchdog.stop()
+    cluster.servers[0].crash()
+    cluster.sim.run(until=cluster.sim.now + 8 * INTERVAL)
+    assert watchdog.detections == []
+
+
+def test_unrecoverable_policy_is_noted_not_fatal():
+    cluster = build_cluster(policy="no-reliability", n_servers=2)
+    view = ClusterView(cluster.sim)
+    reporters = [
+        LoadReporter(s, "client", view, interval=INTERVAL) for s in cluster.servers
+    ]
+    watchdog = Watchdog(cluster.pager, view, report_interval=INTERVAL)
+    cluster.sim.run(until=3 * INTERVAL)
+    cluster.servers[0].crash()
+    cluster.sim.run(until=cluster.sim.now + 8 * INTERVAL)  # must not raise
+    assert watchdog.detections
+
+
+def test_watchdog_validation():
+    cluster, view, _ = make_watched_cluster()
+    with pytest.raises(ValueError):
+        Watchdog(cluster.pager, view, report_interval=0)
+    with pytest.raises(ValueError):
+        Watchdog(cluster.pager, view, report_interval=1.0, suspect_after=1.0)

@@ -1,0 +1,177 @@
+"""Unit tests for swap-map allocation and the disk paging backends."""
+
+import pytest
+
+from repro.config import DEC_RZ55, PAGE_SIZE
+from repro.errors import PageNotFound, SwapSpaceExhausted
+from repro.sim import Simulator
+from repro.disk import Disk, FileBackend, PartitionBackend, SwapMap
+
+
+def drive(sim, generator):
+    return sim.run_until_complete(sim.process(generator))
+
+
+def wrap(gen):
+    """Adapt a backend generator into a process body returning elapsed."""
+
+    def body(sim, gen):
+        yield from gen
+        return sim.now
+
+    return body
+
+
+# ---------------------------------------------------------------- SwapMap
+def test_swap_map_assign_is_stable():
+    m = SwapMap(8)
+    slot = m.assign(page_id=42)
+    assert m.assign(page_id=42) == slot
+    assert m.slot_of(42) == slot
+    assert 42 in m
+
+
+def test_swap_map_allocates_lowest_first():
+    m = SwapMap(8)
+    assert m.assign(1) == 0
+    assert m.assign(2) == 1
+
+
+def test_swap_map_reuses_freed_lowest():
+    m = SwapMap(8)
+    for pid in range(4):
+        m.assign(pid)
+    m.release(0)  # frees slot 0
+    m.release(2)  # frees slot 2
+    assert m.assign(99) == 0  # lowest free slot reused first
+    assert m.assign(98) == 2
+
+
+def test_swap_map_exhaustion():
+    m = SwapMap(2)
+    m.assign(1)
+    m.assign(2)
+    with pytest.raises(SwapSpaceExhausted):
+        m.assign(3)
+
+
+def test_swap_map_release_absent_is_noop():
+    m = SwapMap(2)
+    m.release(123)  # must not raise
+    assert m.free == 2
+
+
+def test_swap_map_counts():
+    m = SwapMap(4)
+    m.assign(1)
+    assert m.used == 1
+    assert m.free == 3
+
+
+def test_swap_map_validation():
+    with pytest.raises(ValueError):
+        SwapMap(0)
+
+
+# ------------------------------------------------------- PartitionBackend
+def test_partition_write_then_read_roundtrip():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    backend = PartitionBackend(disk, PAGE_SIZE, n_slots=128)
+
+    def body(sim, backend):
+        yield from backend.write_page(7)
+        yield from backend.read_page(7)
+        return sim.now
+
+    elapsed = drive(sim, body(sim, backend))
+    assert elapsed > 0
+    assert backend.holds(7)
+    assert disk.counters["writes"] == 1
+    assert disk.counters["reads"] == 1
+
+
+def test_partition_read_missing_page():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    backend = PartitionBackend(disk, PAGE_SIZE, n_slots=8)
+
+    def body(sim, backend):
+        yield from backend.read_page(5)
+
+    with pytest.raises(PageNotFound):
+        drive(sim, body(sim, backend))
+
+
+def test_partition_release_frees_slot():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    backend = PartitionBackend(disk, PAGE_SIZE, n_slots=1)
+
+    def write(backend, pid):
+        def body(sim, backend):
+            yield from backend.write_page(pid)
+
+        return body(sim, backend)
+
+    drive(sim, write(backend, 1))
+    backend.release_page(1)
+    drive(sim, write(backend, 2))  # would raise if slot 1 weren't freed
+    assert backend.holds(2)
+    assert not backend.holds(1)
+
+
+def test_partition_area_centred_on_platter():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    backend = PartitionBackend(disk, PAGE_SIZE, n_slots=128)
+    area = 128 * PAGE_SIZE
+    assert backend.base_offset == (DEC_RZ55.capacity_bytes - area) // 2
+
+
+def test_partition_area_too_large_rejected():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    too_many = DEC_RZ55.capacity_bytes // PAGE_SIZE + 1
+    with pytest.raises(ValueError):
+        PartitionBackend(disk, PAGE_SIZE, n_slots=too_many)
+
+
+def test_partition_bad_base_offset_rejected():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    with pytest.raises(ValueError):
+        PartitionBackend(
+            disk, PAGE_SIZE, n_slots=16, base_offset=DEC_RZ55.capacity_bytes
+        )
+
+
+# ------------------------------------------------------------ FileBackend
+def test_file_backend_slower_than_partition():
+    """The VFS path costs more CPU and scatters placement (paper §3.1)."""
+
+    def total(backend_cls):
+        sim = Simulator()
+        disk = Disk(sim, DEC_RZ55)
+        backend = backend_cls(disk, PAGE_SIZE, n_slots=512)
+
+        def body(sim, backend):
+            for pid in range(64):
+                yield from backend.write_page(pid)
+            for pid in range(64):
+                yield from backend.read_page(pid)
+            return sim.now
+
+        return drive(sim, body(sim, backend))
+
+    assert total(FileBackend) > total(PartitionBackend)
+
+
+def test_file_backend_scatter_stays_in_area():
+    sim = Simulator()
+    disk = Disk(sim, DEC_RZ55)
+    backend = FileBackend(disk, PAGE_SIZE, n_slots=64)
+    lo = backend.base_offset
+    hi = backend.base_offset + 64 * PAGE_SIZE
+    for slot in range(64):
+        assert lo <= backend._offset(slot) < hi

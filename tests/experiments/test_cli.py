@@ -1,0 +1,87 @@
+"""CLI tests: argument parsing and (cheap) end-to-end subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_knows_all_subcommands():
+    parser = build_parser()
+    for command in (
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "breakdown",
+        "latency",
+        "busy",
+        "loaded",
+        "scaling",
+        "netcmp",
+        "hetero",
+        "adaptive",
+        "remotedisk",
+        "multiclient",
+        "diurnal",
+        "compression",
+        "profile",
+        "ablate",
+        "all",
+    ):
+        args = parser.parse_args([command])
+        assert args.command == command
+
+
+def test_missing_subcommand_errors():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_bad_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fig2", "--apps", "doom"])
+
+
+def test_fig1_end_to_end(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "800" in out
+
+
+def test_latency_end_to_end(capsys):
+    assert main(["latency", "--transfers", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "per page transfer" in out
+
+
+def test_fig2_subset_end_to_end(capsys):
+    assert main(["fig2", "--apps", "mvec", "--policies", "no-reliability", "disk"]) == 0
+    out = capsys.readouterr().out
+    assert "mvec" in out and "ranking matches" in out
+
+
+def test_fig3_custom_sizes(capsys):
+    assert main(["fig3", "--sizes", "17", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "17.0" in out and "20.0" in out
+
+
+def test_argument_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["loaded"])
+    assert args.loads == [0.0, 0.3, 0.6]
+    args = parser.parse_args(["scaling", "--servers", "2", "4"])
+    assert args.servers == [2, 4]
+
+
+def test_profile_subcommand(capsys):
+    assert main(["profile", "--apps", "mvec"]) == 0
+    out = capsys.readouterr().out
+    assert "mvec" in out and "pageouts" in out
+
+
+def test_ablate_choice_validation():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["ablate", "--which", "nonsense"])

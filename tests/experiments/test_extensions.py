@@ -1,0 +1,42 @@
+"""Scaled-down tests of the extension experiments (full runs are
+benchmarks)."""
+
+import pytest
+
+from repro.experiments import (
+    run_adaptive,
+    run_heterogeneous,
+    run_network_comparison,
+    run_server_scaling,
+)
+from repro.workloads import Mvec
+
+
+def small_mvec():
+    return Mvec(n=1700)  # ~23 MB: pages, but quickly
+
+
+def test_server_scaling_transfer_arithmetic():
+    results = run_server_scaling(server_counts=(2, 4), workload_factory=small_mvec)
+    for s, r in results.items():
+        extra = r["parity_logging_transfers"] - r["no_reliability_transfers"]
+        assert abs(extra / r["pageouts"] - 1.0 / s) < 0.02
+
+
+def test_network_comparison_idle_parity():
+    """With no background load both MACs complete the workload."""
+    results = run_network_comparison(loads=(0.0,), workload_factory=small_mvec)
+    assert results["ethernet"][0.0] > 0
+    assert results["token-ring"][0.0] > 0
+
+
+def test_heterogeneous_prefers_fast_links():
+    results = run_heterogeneous(workload_factory=small_mvec)
+    assert results["bandwidth-aware"]["fast_share"] >= 0.99
+    assert results["round-robin"]["fast_share"] < 0.75
+
+
+def test_adaptive_routes_to_disk_under_heavy_load():
+    results = run_adaptive(background_load=0.8, workload_factory=small_mvec)
+    assert results["adaptive"]["disk_routed"] > 0
+    assert results["fixed-network"]["disk_routed"] == 0

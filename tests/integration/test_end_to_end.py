@@ -1,0 +1,142 @@
+"""End-to-end integration: workloads through the full stack.
+
+These are the cross-module checks: VM -> RMP -> policy -> protocol ->
+Ethernet -> server, with content verification and crash injection, all
+in one simulation.
+"""
+
+import pytest
+
+from repro.core import CrashInjector, build_cluster
+from repro.errors import RecoveryError
+from repro.workloads import Gauss, Mvec, SequentialScan
+
+GAUSS_SMALL = dict(n=900)  # ~6.2 MB matrix: fast but still pages on a small machine
+
+
+def small_machine_kwargs():
+    from repro.config import MachineSpec
+    from repro.units import megabytes
+
+    return dict(
+        machine_spec=MachineSpec(
+            name="small",
+            ram_bytes=megabytes(8),
+            kernel_resident_bytes=megabytes(2),
+        )
+    )
+
+
+def test_gauss_all_policies_complete_and_agree_on_fault_counts():
+    """The paging device must not change *what* pages; only the timing."""
+    fault_profiles = {}
+    for policy in ("disk", "no-reliability", "mirroring", "parity-logging"):
+        kwargs = dict(policy=policy, n_servers=4)
+        if policy == "parity-logging":
+            kwargs["overflow_fraction"] = 0.10
+        cluster = build_cluster(**kwargs, **small_machine_kwargs())
+        report = cluster.run(Gauss(**GAUSS_SMALL))
+        fault_profiles[policy] = (report.pageins, report.pageouts, report.faults)
+    assert len(set(fault_profiles.values())) == 1, fault_profiles
+
+
+def test_content_mode_full_workload_roundtrip():
+    """Every pagein across a whole paging workload verifies (content mode)."""
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        overflow_fraction=0.25,
+        content_mode=True,
+        **small_machine_kwargs(),
+    )
+    report = cluster.run(Gauss(**GAUSS_SMALL))
+    assert report.pageins > 100  # the machine verified each one
+
+
+def test_crash_mid_workload_application_completes():
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        overflow_fraction=0.25,
+        content_mode=True,
+        **small_machine_kwargs(),
+    )
+    injector = CrashInjector(cluster.sim)
+    injector.crash_after_pageouts(cluster.servers[0], pageouts=15)
+    report = cluster.run(Gauss(**GAUSS_SMALL))
+    assert len(injector.crashes) == 1
+    assert cluster.pager.counters["recoveries"] == 1
+    assert report.etime > 0
+
+
+def test_crash_under_no_reliability_kills_the_run():
+    """The motivating failure: without redundancy, a server crash is fatal."""
+    cluster = build_cluster(
+        policy="no-reliability", n_servers=2, **small_machine_kwargs()
+    )
+    injector = CrashInjector(cluster.sim)
+    injector.crash_after_pageouts(cluster.servers[0], pageouts=15)
+    with pytest.raises(RecoveryError):
+        cluster.run(Gauss(**GAUSS_SMALL))
+
+
+def test_remote_beats_disk_for_paging_workload():
+    def etime(policy):
+        cluster = build_cluster(policy=policy, n_servers=2, **small_machine_kwargs())
+        return cluster.run(Gauss(**GAUSS_SMALL)).etime
+
+    assert etime("no-reliability") < etime("disk")
+
+
+def test_non_paging_workload_is_policy_independent():
+    """A workload that fits in memory must run identically everywhere."""
+    times = set()
+    for policy in ("disk", "no-reliability", "parity-logging"):
+        kwargs = dict(policy=policy, n_servers=4)
+        if policy == "parity-logging":
+            kwargs["overflow_fraction"] = 0.10
+        cluster = build_cluster(**kwargs)
+        report = cluster.run(SequentialScan(n_pages=256, passes=3))
+        assert report.pageins == 0
+        times.add(round(report.etime, 6))
+    assert len(times) == 1
+
+
+def test_mvec_profile_pageouts_but_no_pageins():
+    cluster = build_cluster(policy="no-reliability", n_servers=2)
+    report = cluster.run(Mvec())
+    assert report.pageouts > 1000
+    assert report.pageins == 0
+
+
+def test_etime_decomposition_consistent_across_stack():
+    from repro.analysis import decompose
+
+    cluster = build_cluster(policy="parity-logging", n_servers=4,
+                            overflow_fraction=0.10, **small_machine_kwargs())
+    report = cluster.run(Gauss(**GAUSS_SMALL))
+    d = decompose(report)
+    assert d.etime == pytest.approx(
+        d.utime + d.systime + d.inittime + d.pptime + d.btime
+    )
+    assert d.page_transfers == cluster.policy.transfers
+
+
+def test_server_memory_accounting_balances():
+    cluster = build_cluster(
+        policy="no-reliability", n_servers=2, content_mode=True,
+        server_capacity_pages=128,
+    )
+    sim, pager = cluster.sim, cluster.pager
+
+    def flow():
+        from repro.vm import page_bytes
+
+        for page_id in range(64):
+            yield from pager.pageout(page_id, page_bytes(page_id, 1, 8192))
+
+    sim.run_until_complete(sim.process(flow()))
+    stored = sum(s.stored_pages for s in cluster.servers)
+    assert stored == 64
+    for server in cluster.servers:
+        assert server.stored_pages + server.free_pages == server.capacity_pages

@@ -1,0 +1,72 @@
+"""Every example script must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_has_at_least_three_examples():
+    scripts = list(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "PARITY LOGGING" in out
+    assert "faster than the local disk" in out
+
+
+def test_crash_survival(capsys):
+    run_example("crash_survival.py")
+    out = capsys.readouterr().out
+    assert "crashed at" in out
+    assert "recoveries: 1" in out
+
+
+def test_policy_shootout_single_app(capsys):
+    run_example("policy_shootout.py", argv=["mvec"])
+    out = capsys.readouterr().out
+    assert "ranking matches" in out
+    assert "stencil" in out
+
+
+def test_faster_networks(capsys):
+    run_example("faster_networks.py")
+    out = capsys.readouterr().out
+    assert "10x bandwidth" in out
+    assert "simulated 100 Mbit/s" in out
+
+
+def test_busy_cluster(capsys):
+    run_example("busy_cluster.py")
+    out = capsys.readouterr().out
+    assert "within 7%" in out
+    assert "verified byte-for-byte after migration" in out
+
+
+def test_supercomputer(capsys):
+    run_example("supercomputer.py")
+    out = capsys.readouterr().out
+    assert "supercomputer donor" in out
+    assert "overflowed to the local disk" in out
+
+
+def test_trace_replay(capsys, tmp_path):
+    run_example("trace_replay.py", argv=[str(tmp_path / "g.trace")])
+    out = capsys.readouterr().out
+    assert "recorded" in out
+    assert "only the paging device differed" in out

@@ -1,0 +1,37 @@
+"""Message/NetworkStats unit tests."""
+
+import pytest
+
+from repro.net import Message, NetworkStats
+from repro.sim import Simulator
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(src="a", dst="a", nbytes=10)
+    with pytest.raises(ValueError):
+        Message(src="a", dst="b", nbytes=0)
+
+
+def test_message_ids_unique():
+    a = Message(src="a", dst="b", nbytes=1)
+    b = Message(src="a", dst="b", nbytes=1)
+    assert a.msg_id != b.msg_id
+
+
+def test_stats_accumulate_latency():
+    sim = Simulator()
+    stats = NetworkStats(sim)
+    message = Message(src="a", dst="b", nbytes=100, enqueued_at=0.0)
+    sim.run(until=0.5)
+    stats.delivered(message)
+    assert stats.counters["messages"] == 1
+    assert stats.counters["bytes"] == 100
+    assert stats.message_latency.mean == pytest.approx(0.5)
+
+
+def test_utilization_zero_when_idle():
+    sim = Simulator()
+    stats = NetworkStats(sim)
+    sim.run(until=10.0)
+    assert stats.utilization() == 0.0

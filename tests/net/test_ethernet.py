@@ -1,0 +1,194 @@
+"""Unit tests for the CSMA/CD Ethernet model."""
+
+import pytest
+
+from repro.config import PAGE_SIZE, EthernetSpec
+from repro.sim import RngRegistry, Simulator
+from repro.net import EthernetCsmaCd
+
+
+def make_net(sim, hosts=("a", "b"), spec=None):
+    net = EthernetCsmaCd(sim, spec=spec, rngs=RngRegistry(seed=11))
+    for host in hosts:
+        net.attach(host)
+    return net
+
+
+def run_transfer(sim, net, src, dst, nbytes):
+    def driver(sim, net):
+        yield net.transfer(src, dst, nbytes)
+        return sim.now
+
+    return sim.run_until_complete(sim.process(driver(sim, net)))
+
+
+def test_single_frame_latency():
+    sim = Simulator()
+    net = make_net(sim)
+    spec = net.spec
+    elapsed = run_transfer(sim, net, "a", "b", 1000)
+    # gap + contention slot + frame wire time
+    expected = spec.interframe_gap + spec.slot_time + spec.frame_time(1000)
+    assert elapsed == pytest.approx(expected, rel=1e-9)
+
+
+def test_page_fragments_into_mtu_frames():
+    sim = Simulator()
+    net = make_net(sim)
+    run_transfer(sim, net, "a", "b", PAGE_SIZE)
+    # 8192 = 5 * 1500 + 692 -> 6 frames
+    assert net.stats.counters["frames"] == 6
+    assert net.stats.counters["messages"] == 1
+    assert net.stats.counters["bytes"] == PAGE_SIZE
+
+
+def test_page_wire_time_matches_paper_scale():
+    """An 8 KB page should take 7-10 ms on an idle 10 Mbit/s Ethernet."""
+    sim = Simulator()
+    net = make_net(sim)
+    elapsed = run_transfer(sim, net, "a", "b", PAGE_SIZE)
+    assert 0.006 < elapsed < 0.010
+
+
+def test_transfer_to_unknown_host_rejected():
+    sim = Simulator()
+    net = make_net(sim, hosts=("a",))
+    with pytest.raises(KeyError):
+        net.transfer("a", "ghost", 100)
+
+
+def test_transfer_from_unknown_host_rejected():
+    sim = Simulator()
+    net = make_net(sim, hosts=("a",))
+    with pytest.raises(KeyError):
+        net.transfer("ghost", "a", 100)
+
+
+def test_message_to_self_rejected():
+    sim = Simulator()
+    net = make_net(sim)
+    with pytest.raises(ValueError):
+        net.transfer("a", "a", 100)
+
+
+def test_zero_byte_message_rejected():
+    sim = Simulator()
+    net = make_net(sim)
+    with pytest.raises(ValueError):
+        net.transfer("a", "b", 0)
+
+
+def test_concurrent_senders_serialize():
+    """Two simultaneous senders: the wire carries one frame at a time."""
+    sim = Simulator()
+    net = make_net(sim, hosts=("a", "b", "c", "d"))
+    done_times = {}
+
+    def sender(sim, net, src, dst, tag):
+        yield net.transfer(src, dst, 1400)
+        done_times[tag] = sim.now
+
+    sim.process(sender(sim, net, "a", "b", "first"))
+    sim.process(sender(sim, net, "c", "d", "second"))
+    sim.run()
+    # Simultaneous start -> they collide at least once, then backoff
+    # separates them; both complete, at different times.
+    assert net.stats.counters["collisions"] >= 1
+    assert len(done_times) == 2
+    assert done_times["first"] != done_times["second"]
+    single = net.spec.frame_time(1400)
+    assert min(done_times.values()) > single  # paid contention overhead
+
+
+def test_collision_counting_under_contention():
+    sim = Simulator()
+    hosts = [f"h{i}" for i in range(8)]
+    net = make_net(sim, hosts=hosts)
+
+    def sender(sim, net, src, dst):
+        for _ in range(5):
+            yield net.transfer(src, dst, 1400)
+
+    for i in range(0, 8, 2):
+        sim.process(sender(sim, net, hosts[i], hosts[i + 1]))
+    sim.run()
+    assert net.stats.counters["messages"] == 20
+    assert net.collisions > 0
+
+
+def test_sequential_transfers_no_collisions():
+    sim = Simulator()
+    net = make_net(sim)
+
+    def sender(sim, net):
+        for _ in range(10):
+            yield net.transfer("a", "b", 1400)
+
+    sim.run_until_complete(sim.process(sender(sim, net)))
+    assert net.collisions == 0
+    assert net.stats.counters["frames"] == 10
+
+
+def test_effective_bandwidth_near_nominal_when_uncontended():
+    """A single bulk sender should reach close to the raw 10 Mbit/s."""
+    sim = Simulator()
+    net = make_net(sim)
+    total = 100 * PAGE_SIZE
+
+    def sender(sim, net):
+        for _ in range(100):
+            yield net.transfer("a", "b", PAGE_SIZE)
+
+    sim.run_until_complete(sim.process(sender(sim, net)))
+    goodput = total / sim.now
+    nominal = net.spec.bandwidth
+    assert goodput > 0.75 * nominal
+
+
+def test_heavy_contention_collapses_goodput():
+    """§4.6: many contending stations crush effective bandwidth."""
+    sim = Simulator()
+    pairs = 10
+    hosts = [f"h{i}" for i in range(2 * pairs)]
+    net = make_net(sim, hosts=hosts)
+    messages_per_sender = 20
+
+    def sender(sim, net, src, dst):
+        for _ in range(messages_per_sender):
+            yield net.transfer(src, dst, 1400)
+
+    procs = [
+        sim.process(sender(sim, net, hosts[2 * i], hosts[2 * i + 1]))
+        for i in range(pairs)
+    ]
+    for p in procs:
+        sim.run_until_complete(p)
+    goodput = (pairs * messages_per_sender * 1400) / sim.now
+    # Effective bandwidth is well below nominal under heavy contention.
+    assert goodput < 0.8 * net.spec.bandwidth
+    assert net.collisions > pairs
+
+
+def test_utilization_tracked():
+    sim = Simulator()
+    net = make_net(sim)
+    run_transfer(sim, net, "a", "b", 1400)
+    assert 0.0 < net.stats.utilization() <= 1.0
+
+
+def test_detach_host():
+    sim = Simulator()
+    net = make_net(sim)
+    assert net.is_attached("b")
+    net.detach("b")
+    assert not net.is_attached("b")
+    with pytest.raises(KeyError):
+        net.transfer("a", "b", 100)
+
+
+def test_message_latency_stats():
+    sim = Simulator()
+    net = make_net(sim)
+    run_transfer(sim, net, "a", "b", 1400)
+    assert net.stats.message_latency.count == 1
+    assert net.stats.message_latency.mean > 0

@@ -1,0 +1,99 @@
+"""Network-partition behaviour (§2.2): stall, don't crash."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.net import EthernetCsmaCd, SwitchedNetwork, TokenRing
+from repro.sim import RngRegistry, Simulator
+
+
+def each_network(sim):
+    yield EthernetCsmaCd(sim, rngs=RngRegistry(seed=1))
+    yield SwitchedNetwork(sim)
+    yield TokenRing(sim)
+
+
+@pytest.mark.parametrize("kind", ["ethernet", "switched", "token-ring"])
+def test_transfer_stalls_across_partition_and_resumes_on_heal(kind):
+    sim = Simulator()
+    net = {
+        "ethernet": lambda: EthernetCsmaCd(sim, rngs=RngRegistry(seed=1)),
+        "switched": lambda: SwitchedNetwork(sim),
+        "token-ring": lambda: TokenRing(sim),
+    }[kind]()
+    net.attach("client")
+    net.attach("server")
+    done_at = []
+
+    def sender(sim, net):
+        yield net.transfer("client", "server", PAGE_SIZE)
+        done_at.append(sim.now)
+
+    net.partition({"client"})  # client cut off from the server
+    sim.process(sender(sim, net))
+    sim.run(until=5.0)
+    assert done_at == [], f"{kind}: transfer crossed a partition"
+
+    def healer(sim, net):
+        yield sim.timeout(5.0)  # heal at t=10
+        net.heal()
+
+    sim.process(healer(sim, net))
+    sim.run(until=60.0)
+    assert len(done_at) == 1
+    assert done_at[0] >= 10.0
+
+
+def test_partition_within_segment_unaffected():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    for host in ("a", "b", "c"):
+        net.attach(host)
+    net.partition({"a", "b"})
+    done = []
+
+    def sender(sim, net):
+        yield net.transfer("a", "b", 1000)  # same segment: fine
+        done.append(sim.now)
+
+    sim.run_until_complete(sim.process(sender(sim, net)))
+    assert len(done) == 1
+
+
+def test_is_partitioned_flag_and_heal():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    assert not net.is_partitioned
+    net.partition({"x"})
+    assert net.is_partitioned
+    net.heal()
+    assert not net.is_partitioned
+
+
+def test_client_blocks_through_partition_then_completes():
+    """End to end: the paging client stalls during a partition (it does
+    NOT crash or lose data) and finishes after the network recovers."""
+    from repro.core import build_cluster
+    from repro.vm import page_bytes
+
+    cluster = build_cluster(
+        policy="no-reliability", n_servers=2, content_mode=True
+    )
+    sim, pager, net = cluster.sim, cluster.pager, cluster.network
+    progress = []
+
+    def flow():
+        yield from pager.pageout(1, page_bytes(1, 1, PAGE_SIZE))
+        net.partition({"client"})
+        progress.append(("partitioned", sim.now))
+        got = yield from pager.pagein(1)  # must stall, then succeed
+        progress.append(("pagein", sim.now))
+        assert got == page_bytes(1, 1, PAGE_SIZE)
+
+    proc = sim.process(flow())
+    sim.run(until=30.0)
+    assert progress[-1][0] == "partitioned"  # still blocked
+    net.heal()
+    sim.run_until_complete(proc)
+    assert progress[-1][0] == "pagein"
+    assert progress[-1][1] >= 30.0

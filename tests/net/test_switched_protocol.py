@@ -1,0 +1,278 @@
+"""Unit tests for the switched network, protocol stack, and traffic."""
+
+import pytest
+
+from repro.config import (
+    PAGE_SIZE,
+    ProtocolSpec,
+    SwitchedNetworkSpec,
+    fast_network,
+)
+from repro.sim import RngRegistry, Simulator
+from repro.net import (
+    EthernetCsmaCd,
+    PoissonTrafficSource,
+    ProtocolStack,
+    SwitchedNetwork,
+    attach_background_load,
+)
+
+
+def run_transfer(sim, net, src, dst, nbytes):
+    def driver(sim, net):
+        yield net.transfer(src, dst, nbytes)
+        return sim.now
+
+    return sim.run_until_complete(sim.process(driver(sim, net)))
+
+
+# -------------------------------------------------------- switched network
+def test_switched_page_latency_scales_with_bandwidth():
+    times = {}
+    for factor in (1, 10):
+        sim = Simulator()
+        net = SwitchedNetwork(sim, spec=fast_network(factor))
+        net.attach("a")
+        net.attach("b")
+        times[factor] = run_transfer(sim, net, "a", "b", PAGE_SIZE)
+    # 10x bandwidth: close to 10x lower serialisation-dominated latency.
+    ratio = times[1] / times[10]
+    assert 7.0 < ratio <= 10.5
+
+
+def test_switched_no_collisions_concurrent_disjoint_pairs():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    for host in ("a", "b", "c", "d"):
+        net.attach(host)
+    done = {}
+
+    def sender(sim, net, src, dst):
+        yield net.transfer(src, dst, 14600)
+        done[src] = sim.now
+
+    sim.process(sender(sim, net, "a", "b"))
+    sim.process(sender(sim, net, "c", "d"))
+    sim.run()
+    # Disjoint pairs proceed fully in parallel: identical finish times.
+    assert done["a"] == pytest.approx(done["c"])
+
+
+def test_switched_same_uplink_serializes():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    for host in ("a", "b", "c"):
+        net.attach(host)
+    done = []
+
+    def sender(sim, net, dst):
+        yield net.transfer("a", dst, 14600)
+        done.append(sim.now)
+
+    sim.process(sender(sim, net, "b"))
+    sim.process(sender(sim, net, "c"))
+    sim.run()
+    assert len(done) == 2
+    # Second message waits for the first's uplink serialisation.
+    assert max(done) >= 2 * min(d for d in done) * 0.8
+
+
+def test_switched_unknown_host_rejected():
+    sim = Simulator()
+    net = SwitchedNetwork(sim)
+    net.attach("a")
+    with pytest.raises(KeyError):
+        net.transfer("a", "ghost", 10)
+
+
+def test_fast_network_validation():
+    with pytest.raises(ValueError):
+        fast_network(0)
+
+
+def test_switched_spec_validation():
+    with pytest.raises(ValueError):
+        SwitchedNetworkSpec(bandwidth=0)
+
+
+# --------------------------------------------------------- protocol stack
+def make_stack(sim, hosts=("client", "server")):
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=5))
+    for host in hosts:
+        net.attach(host)
+    return ProtocolStack(net)
+
+
+def test_fetch_page_latency_matches_paper():
+    """§4.4: one page transfer is ~11 ms = 1.6 protocol + ~9.6 wire."""
+    sim = Simulator()
+    stack = make_stack(sim)
+
+    def driver(stack):
+        yield from stack.fetch_page("client", "server", PAGE_SIZE)
+        return stack.sim.now
+
+    elapsed = sim.run_until_complete(sim.process(driver(stack)))
+    assert 0.0085 < elapsed < 0.013
+
+
+def test_page_transfer_counted():
+    sim = Simulator()
+    stack = make_stack(sim)
+
+    def driver(stack):
+        yield from stack.send_page("client", "server", PAGE_SIZE)
+
+    sim.run_until_complete(sim.process(driver(stack)))
+    assert stack.counters["page_transfers"] == 1
+
+
+def test_protocol_cpu_charged_to_both_endpoints():
+    sim = Simulator()
+    stack = make_stack(sim)
+
+    def driver(stack):
+        yield from stack.send_page("client", "server", PAGE_SIZE)
+
+    sim.run_until_complete(sim.process(driver(stack)))
+    per_page = stack.spec.per_page_cpu
+    assert stack.cpu_account("client").busy_seconds == pytest.approx(per_page / 2)
+    assert stack.cpu_account("server").busy_seconds == pytest.approx(per_page / 2)
+
+
+def test_header_overhead_added():
+    sim = Simulator()
+    stack = make_stack(sim)
+
+    def driver(stack):
+        yield from stack.send("client", "server", 14600)
+
+    sim.run_until_complete(sim.process(driver(stack)))
+    # 14600 payload at 1460/segment -> 10 segments -> +400 header bytes
+    assert stack.network.stats.counters["bytes"] == 14600 + 10 * 40
+
+
+def test_control_message_pays_no_page_cpu():
+    sim = Simulator()
+    stack = make_stack(sim)
+
+    def driver(stack):
+        yield from stack.send("client", "server", 64)
+
+    sim.run_until_complete(sim.process(driver(stack)))
+    assert stack.counters["page_transfers"] == 0
+    assert stack.cpu_account("client").busy_seconds == 0.0
+
+
+def test_cpu_account_utilization():
+    from repro.net import CpuAccount
+
+    account = CpuAccount("host")
+    account.charge(2.0)
+    assert account.utilization(10.0) == pytest.approx(0.2)
+    assert account.utilization(0.0) == 0.0
+    with pytest.raises(ValueError):
+        account.charge(-1.0)
+
+
+# ---------------------------------------------------------------- traffic
+def test_traffic_source_injects_messages():
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=9))
+    source = PoissonTrafficSource(
+        net, "src", "dst", offered_load=0.5, rng=RngRegistry(seed=2).stream("t")
+    )
+    sim.run(until=1.0)
+    # At 50% of 10 Mbit/s with 1460 B messages: ~428 msgs/s expected.
+    assert 200 < source.sent < 700
+
+
+def test_traffic_source_stop():
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=9))
+    source = PoissonTrafficSource(
+        net, "src", "dst", offered_load=0.5, rng=RngRegistry(seed=2).stream("t")
+    )
+    sim.run(until=0.5)
+    sent_at_stop = source.sent
+    source.stop()
+    sim.run(until=1.5)
+    assert source.sent == sent_at_stop
+
+
+def test_attach_background_load_creates_sources():
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=9))
+    sources = attach_background_load(net, total_load=0.4, n_sources=4)
+    assert len(sources) == 4
+    assert all(net.is_attached(s.src) for s in sources)
+    sim.run(until=0.2)
+    assert sum(s.sent for s in sources) > 0
+
+
+def test_background_load_slows_foreground_transfer():
+    def page_time(load):
+        sim = Simulator()
+        net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=9))
+        net.attach("client")
+        net.attach("server")
+        if load:
+            attach_background_load(net, total_load=load, n_sources=4)
+
+        def driver(sim, net):
+            start = sim.now
+            for _ in range(20):
+                yield net.transfer("client", "server", PAGE_SIZE)
+            return sim.now - start
+
+        return sim.run_until_complete(sim.process(driver(sim, net)))
+
+    idle = page_time(0.0)
+    loaded = page_time(0.6)
+    assert loaded > 1.3 * idle
+
+
+def test_traffic_validation():
+    sim = Simulator()
+    net = EthernetCsmaCd(sim)
+    with pytest.raises(ValueError):
+        PoissonTrafficSource(net, "s", "d", offered_load=0.0)
+    with pytest.raises(ValueError):
+        PoissonTrafficSource(net, "s", "d", offered_load=0.5, message_bytes=0)
+    with pytest.raises(ValueError):
+        attach_background_load(net, total_load=0.5, n_sources=0)
+
+
+def test_compression_shrinks_wire_bytes():
+    from dataclasses import replace
+
+    from repro.config import TCP_IP_1996
+    from repro.units import milliseconds
+
+    sim = Simulator()
+    net = EthernetCsmaCd(sim, rngs=RngRegistry(seed=5))
+    net.attach("client")
+    net.attach("server")
+    spec = replace(TCP_IP_1996, compression_ratio=2.0,
+                   compression_cpu=milliseconds(0.8))
+    stack = ProtocolStack(net, spec=spec)
+
+    def driver(stack):
+        yield from stack.send_page("client", "server", PAGE_SIZE)
+
+    sim.run_until_complete(sim.process(driver(stack)))
+    # Half the payload on the wire (plus headers), one compressed page.
+    assert stack.network.stats.counters["bytes"] < PAGE_SIZE * 0.6
+    assert stack.counters["compressed_pages"] == 1
+    # CPU charged: protocol + compress + decompress, split across ends.
+    expected = (spec.per_page_cpu + 2 * spec.compression_cpu) / 2
+    assert stack.cpu_account("client").busy_seconds == pytest.approx(expected)
+
+
+def test_compression_validation():
+    from repro.config import ProtocolSpec
+
+    with pytest.raises(ValueError):
+        ProtocolSpec(compression_ratio=0.5)
+    with pytest.raises(ValueError):
+        ProtocolSpec(compression_cpu=-1)

@@ -1,0 +1,124 @@
+"""Unit tests for the token-ring network model."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.net import TokenRing, TokenRingSpec
+from repro.sim import RngRegistry, Simulator
+from repro.net.traffic import attach_background_load
+from repro.units import megabits_per_second
+
+
+def make_ring(sim, hosts=("a", "b"), spec=None):
+    ring = TokenRing(sim, spec=spec)
+    for host in hosts:
+        ring.attach(host)
+    return ring
+
+
+def run_transfer(sim, net, src, dst, nbytes):
+    def driver(sim, net):
+        yield net.transfer(src, dst, nbytes)
+        return sim.now
+
+    return sim.run_until_complete(sim.process(driver(sim, net)))
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TokenRingSpec(bandwidth=0)
+    with pytest.raises(ValueError):
+        TokenRingSpec(token_pass_time=-1)
+
+
+def test_single_message_delivery():
+    sim = Simulator()
+    ring = make_ring(sim)
+    elapsed = run_transfer(sim, ring, "a", "b", 4000)
+    spec = ring.spec
+    assert elapsed == pytest.approx(spec.token_pass_time + spec.frame_time(4000))
+
+
+def test_page_fragments_at_larger_mtu():
+    sim = Simulator()
+    ring = make_ring(sim)
+    run_transfer(sim, ring, "a", "b", PAGE_SIZE)
+    # 8192 = 2 * 4096 -> 2 frames at the token ring's 4 KB MTU.
+    assert ring.stats.counters["frames"] == 2
+
+
+def test_unknown_hosts_rejected():
+    sim = Simulator()
+    ring = make_ring(sim, hosts=("a",))
+    with pytest.raises(KeyError):
+        ring.transfer("a", "ghost", 10)
+    with pytest.raises(KeyError):
+        ring.transfer("ghost", "a", 10)
+
+
+def test_no_collisions_ever():
+    sim = Simulator()
+    hosts = [f"h{i}" for i in range(8)]
+    ring = make_ring(sim, hosts=hosts)
+
+    def sender(sim, ring, src, dst):
+        for _ in range(10):
+            yield ring.transfer(src, dst, 1400)
+
+    for i in range(0, 8, 2):
+        sim.process(sender(sim, ring, hosts[i], hosts[i + 1]))
+    sim.run()
+    assert ring.stats.counters["messages"] == 40
+    assert ring.stats.counters["collisions"] == 0
+
+
+def test_round_robin_fairness():
+    """Two contending stations finish interleaved, not one-then-other."""
+    sim = Simulator()
+    ring = make_ring(sim, hosts=("a", "b", "c", "d"))
+    finish = {}
+
+    def sender(sim, ring, src, dst, tag):
+        for i in range(10):
+            yield ring.transfer(src, dst, 4000)
+        finish[tag] = sim.now
+
+    sim.process(sender(sim, ring, "a", "b", "first"))
+    sim.process(sender(sim, ring, "c", "d", "second"))
+    sim.run()
+    # Fair round robin: both finish within one frame time of each other.
+    spread = abs(finish["first"] - finish["second"])
+    assert spread <= 2 * ring.spec.frame_time(4000)
+
+
+def test_goodput_stays_high_under_contention():
+    """The §4.6 contrast: token passing degrades gracefully where
+    CSMA/CD collapses."""
+    sim = Simulator()
+    spec = TokenRingSpec(bandwidth=megabits_per_second(10))
+    hosts = [f"h{i}" for i in range(10)]
+    ring = make_ring(sim, hosts=hosts, spec=spec)
+    per_sender = 30
+
+    def sender(sim, ring, src, dst):
+        for _ in range(per_sender):
+            yield ring.transfer(src, dst, 1400)
+
+    procs = [
+        sim.process(sender(sim, ring, hosts[2 * i], hosts[2 * i + 1]))
+        for i in range(5)
+    ]
+    for p in procs:
+        sim.run_until_complete(p)
+    goodput = 5 * per_sender * 1400 / sim.now
+    assert goodput > 0.75 * spec.bandwidth
+
+
+def test_background_traffic_compatible():
+    sim = Simulator()
+    spec = TokenRingSpec(bandwidth=megabits_per_second(10))
+    ring = make_ring(sim, spec=spec)
+    sources = attach_background_load(ring, total_load=0.3, n_sources=2)
+    run_transfer(sim, ring, "a", "b", PAGE_SIZE)
+    sim.run(until=0.5)
+    assert sum(s.sent for s in sources) > 0

@@ -1,0 +1,359 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    SimulationError,
+    Simulator,
+)
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        yield sim.timeout(3.5)
+        seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [3.5]
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(proc(sim, 5, "c"))
+    sim.process(proc(sim, 1, "a"))
+    sim.process(proc(sim, 3, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_instant_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, tag):
+        yield sim.timeout(2.0)
+        order.append(tag)
+
+    for tag in "abcde":
+        sim.process(proc(sim, tag))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_run_until_limits_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        while True:
+            yield sim.timeout(1.0)
+            seen.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run(until=3.5)
+    assert seen == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_run_until_in_past_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_process_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == 42
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return "child-result"
+
+    def parent(sim):
+        result = yield sim.process(child(sim))
+        return (sim.now, result)
+
+    p = sim.process(parent(sim))
+    assert sim.run_until_complete(p) == (2.0, "child-result")
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    gate = sim.event()
+    got = []
+
+    def waiter(sim, gate):
+        got.append((yield gate))
+
+    def opener(sim, gate):
+        yield sim.timeout(4.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim, gate))
+    sim.process(opener(sim, gate))
+    sim.run()
+    assert got == ["open"]
+
+
+def test_event_failure_raises_in_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    caught = []
+
+    def waiter(sim, gate):
+        try:
+            yield gate
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    def failer(sim, gate):
+        yield sim.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    sim.process(waiter(sim, gate))
+    sim.process(failer(sim, gate))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_event_failure_raises_at_kernel():
+    sim = Simulator()
+    gate = sim.event()
+    gate.fail(RuntimeError("nobody listening"))
+    with pytest.raises(RuntimeError, match="nobody listening"):
+        sim.run()
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    gate = sim.event()
+    gate.succeed(1)
+    with pytest.raises(SimulationError):
+        gate.succeed(2)
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")
+
+
+def test_yield_non_event_is_error():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="must yield events"):
+        sim.run()
+
+
+def test_process_exception_propagates_to_parent():
+    sim = Simulator()
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child died")
+
+    def parent(sim):
+        try:
+            yield sim.process(child(sim))
+        except ValueError as exc:
+            return f"caught: {exc}"
+
+    p = sim.process(parent(sim))
+    assert sim.run_until_complete(p) == "caught: child died"
+
+
+def test_yield_already_processed_event():
+    sim = Simulator()
+
+    def proc(sim):
+        t = sim.timeout(1.0, value="early")
+        yield sim.timeout(5.0)
+        # t fired long ago; yielding it must resume immediately.
+        value = yield t
+        return (sim.now, value)
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == (5.0, "early")
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    causes = []
+
+    def victim(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            causes.append((sim.now, intr.cause))
+
+    def attacker(sim, victim_proc):
+        yield sim.timeout(2.0)
+        victim_proc.interrupt(cause="crash")
+
+    v = sim.process(victim(sim))
+    sim.process(attacker(sim, v))
+    sim.run()
+    assert causes == [(2.0, "crash")]
+
+
+def test_interrupt_dead_process_rejected():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc(sim):
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(9.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        return (sim.now, fast in result, slow in result)
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == (1.0, True, False)
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc(sim):
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(4.0, value="b")
+        result = yield sim.all_of([a, b])
+        return (sim.now, result[a], result[b])
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == (4.0, "a", "b")
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.all_of([])
+        return sim.now
+
+    p = sim.process(proc(sim))
+    assert sim.run_until_complete(p) == 0.0
+
+
+def test_all_of_failure_propagates():
+    sim = Simulator()
+    gate = sim.event()
+
+    def proc(sim, gate):
+        ok = sim.timeout(1.0)
+        try:
+            yield sim.all_of([ok, gate])
+        except RuntimeError:
+            return "failed"
+
+    def failer(sim, gate):
+        yield sim.timeout(0.5)
+        gate.fail(RuntimeError("x"))
+
+    p = sim.process(proc(sim, gate))
+    sim.process(failer(sim, gate))
+    assert sim.run_until_complete(p) == "failed"
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+
+    def stuck(sim):
+        yield sim.event()  # never triggered
+
+    p = sim.process(stuck(sim))
+    with pytest.raises(SimulationError, match="stalled"):
+        sim.run_until_complete(p)
+
+
+def test_stop_simulation_from_process():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim):
+        while True:
+            yield sim.timeout(1.0)
+            seen.append(sim.now)
+            if sim.now >= 3.0:
+                sim.stop()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0]
+
+
+def test_peek_empty_heap():
+    assert Simulator().peek() == float("inf")
+
+
+def test_step_empty_heap_rejected():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        _ = sim.event().value

@@ -1,0 +1,126 @@
+"""Property-based tests of the simulation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator, Store
+
+
+@settings(max_examples=100, deadline=None)
+@given(delays=st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=50))
+def test_events_observed_in_nondecreasing_time_order(delays):
+    """However timeouts are scheduled, they fire in time order."""
+    sim = Simulator()
+    observed = []
+
+    def proc(sim, delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(proc(sim, delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+    assert sim.now == pytest.approx(max(delays))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(0, 100, allow_nan=False), min_size=2, max_size=30
+    )
+)
+def test_equal_delays_fire_fifo(delays):
+    """Ties at one instant break in scheduling order (determinism)."""
+    sim = Simulator()
+    order = []
+
+    def proc(sim, index, delay):
+        yield sim.timeout(delay)
+        order.append(index)
+
+    fixed = 5.0
+    for index, _ in enumerate(delays):
+        sim.process(proc(sim, index, fixed))
+    sim.run()
+    assert order == list(range(len(delays)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_runs_are_reproducible(data):
+    """Two identical schedules produce identical event sequences."""
+    delays = data.draw(
+        st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=20)
+    )
+
+    def run_once():
+        sim = Simulator()
+        log = []
+
+        def proc(sim, index, delay):
+            yield sim.timeout(delay)
+            log.append((index, sim.now))
+
+        for index, delay in enumerate(delays):
+            sim.process(proc(sim, index, delay))
+        sim.run()
+        return log
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=40),
+    capacity=st.one_of(st.none(), st.integers(1, 10)),
+)
+def test_store_is_fifo_under_any_capacity(items, capacity):
+    sim = Simulator()
+    store = Store(sim, capacity=capacity)
+    received = []
+
+    def producer(sim, store):
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(0.001)
+
+    def consumer(sim, store):
+        for _ in items:
+            received.append((yield store.get()))
+            yield sim.timeout(0.003)
+
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert received == items
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    holds=st.lists(st.floats(0.001, 1.0, allow_nan=False), min_size=2, max_size=20),
+    capacity=st.integers(1, 4),
+)
+def test_resource_never_oversubscribed(holds, capacity):
+    from repro.sim import Resource
+
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    concurrency = {"now": 0, "max": 0}
+
+    def user(sim, resource, hold):
+        yield resource.acquire()
+        concurrency["now"] += 1
+        concurrency["max"] = max(concurrency["max"], concurrency["now"])
+        yield sim.timeout(hold)
+        concurrency["now"] -= 1
+        resource.release()
+
+    for hold in holds:
+        sim.process(user(sim, resource, hold))
+    sim.run()
+    assert concurrency["max"] <= capacity
+    assert concurrency["now"] == 0
+    assert resource.in_use == 0

@@ -1,0 +1,252 @@
+"""Unit tests for Resource, Store, and Container."""
+
+import pytest
+
+from repro.sim import Container, Resource, SimulationError, Simulator, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    log = []
+
+    def user(sim, res, tag, hold):
+        yield res.acquire()
+        log.append(("got", tag, sim.now))
+        yield sim.timeout(hold)
+        res.release()
+
+    sim.process(user(sim, res, "a", 5))
+    sim.process(user(sim, res, "b", 5))
+    sim.process(user(sim, res, "c", 5))
+    sim.run()
+    assert log == [("got", "a", 0.0), ("got", "b", 0.0), ("got", "c", 5.0)]
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag):
+        yield res.acquire()
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release()
+
+    for tag in "abcd":
+        sim.process(user(sim, res, tag))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_resource_release_without_acquire():
+    sim = Simulator()
+    res = Resource(sim)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_bad_capacity():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_resource_queue_length():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def holder(sim, res):
+        yield res.acquire()
+        yield sim.timeout(10)
+        res.release()
+
+    def waiter(sim, res):
+        yield res.acquire()
+        res.release()
+
+    sim.process(holder(sim, res))
+    sim.process(waiter(sim, res))
+    sim.run(until=1.0)
+    assert res.in_use == 1
+    assert res.queue_length == 1
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+
+    def producer(sim, store):
+        yield store.put("x")
+        yield store.put("y")
+
+    def consumer(sim, store, out):
+        out.append((yield store.get()))
+        out.append((yield store.get()))
+
+    out = []
+    sim.process(producer(sim, store))
+    sim.process(consumer(sim, store, out))
+    sim.run()
+    assert out == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, store, out):
+        item = yield store.get()
+        out.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(7.0)
+        yield store.put("late")
+
+    sim.process(consumer(sim, store, out))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert out == [(7.0, "late")]
+
+
+def test_store_fifo_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    out = []
+
+    def consumer(sim, store, out, tag):
+        item = yield store.get()
+        out.append((tag, item))
+
+    sim.process(consumer(sim, store, out, "first"))
+    sim.process(consumer(sim, store, out, "second"))
+
+    def producer(sim, store):
+        yield sim.timeout(1)
+        yield store.put(1)
+        yield store.put(2)
+
+    sim.process(producer(sim, store))
+    sim.run()
+    assert out == [("first", 1), ("second", 2)]
+
+
+def test_store_capacity_blocks_put():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    log = []
+
+    def producer(sim, store, log):
+        yield store.put("a")
+        log.append(("put-a", sim.now))
+        yield store.put("b")
+        log.append(("put-b", sim.now))
+
+    def consumer(sim, store):
+        yield sim.timeout(5.0)
+        yield store.get()
+
+    sim.process(producer(sim, store, log))
+    sim.process(consumer(sim, store))
+    sim.run()
+    assert log == [("put-a", 0.0), ("put-b", 5.0)]
+
+
+def test_store_try_get():
+    sim = Simulator()
+    store = Store(sim)
+    assert store.try_get() is None
+    store.put("x")
+    assert store.try_get() == "x"
+    assert len(store) == 0
+
+
+def test_store_items_snapshot():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert store.items == (1, 2)
+
+
+# --------------------------------------------------------------- Container
+def test_container_get_blocks():
+    sim = Simulator()
+    pool = Container(sim, capacity=10, init=0)
+    out = []
+
+    def taker(sim, pool, out):
+        yield pool.get(4)
+        out.append(sim.now)
+
+    def giver(sim, pool):
+        yield sim.timeout(3.0)
+        pool.put(5)
+
+    sim.process(taker(sim, pool, out))
+    sim.process(giver(sim, pool))
+    sim.run()
+    assert out == [3.0]
+    assert pool.level == 1
+
+
+def test_container_fifo_getters():
+    sim = Simulator()
+    pool = Container(sim, capacity=10, init=0)
+    order = []
+
+    def taker(sim, pool, order, tag, amount):
+        yield pool.get(amount)
+        order.append(tag)
+
+    sim.process(taker(sim, pool, order, "big", 6))
+    sim.process(taker(sim, pool, order, "small", 1))
+
+    def giver(sim, pool):
+        yield sim.timeout(1.0)
+        pool.put(2)  # not enough for "big": "small" must still wait (FIFO)
+        yield sim.timeout(1.0)
+        pool.put(6)
+
+    sim.process(giver(sim, pool))
+    sim.run()
+    assert order == ["big", "small"]
+
+
+def test_container_overflow_rejected():
+    sim = Simulator()
+    pool = Container(sim, capacity=5, init=5)
+    with pytest.raises(SimulationError):
+        pool.put(1)
+
+
+def test_container_impossible_get_rejected():
+    sim = Simulator()
+    pool = Container(sim, capacity=5)
+    with pytest.raises(SimulationError):
+        pool.get(6)
+
+
+def test_container_try_get():
+    sim = Simulator()
+    pool = Container(sim, capacity=5, init=3)
+    assert pool.try_get(2)
+    assert pool.level == 1
+    assert not pool.try_get(2)
+    assert pool.level == 1
+
+
+def test_container_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=5, init=6)
+    pool = Container(sim, capacity=5)
+    with pytest.raises(ValueError):
+        pool.put(-1)
+    with pytest.raises(ValueError):
+        pool.get(-1)

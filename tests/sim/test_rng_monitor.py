@@ -1,0 +1,144 @@
+"""Unit tests for RNG streams and measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.sim import Counter, RngRegistry, Tally, TimeWeighted, UtilizationTracker
+
+
+# ---------------------------------------------------------------------- RNG
+def test_streams_are_deterministic_across_registries():
+    a = RngRegistry(seed=7).stream("net.backoff")
+    b = RngRegistry(seed=7).stream("net.backoff")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_streams_differ_by_name():
+    rngs = RngRegistry(seed=7)
+    a = [rngs.stream("a").random() for _ in range(5)]
+    b = [rngs.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_streams_differ_by_seed():
+    a = [RngRegistry(seed=1).stream("x").random() for _ in range(5)]
+    b = [RngRegistry(seed=2).stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_stream_identity_cached():
+    rngs = RngRegistry(seed=0)
+    assert rngs.stream("x") is rngs.stream("x")
+
+
+def test_fork_is_independent():
+    root = RngRegistry(seed=3)
+    fork = root.fork("child")
+    a = [root.stream("x").random() for _ in range(5)]
+    b = [fork.stream("x").random() for _ in range(5)]
+    assert a != b
+
+
+def test_fork_deterministic():
+    a = RngRegistry(seed=3).fork("child").stream("x").random()
+    b = RngRegistry(seed=3).fork("child").stream("x").random()
+    assert a == b
+
+
+# ------------------------------------------------------------------ Counter
+def test_counter_accumulates():
+    c = Counter()
+    c.add("pageins")
+    c.add("pageins", 4)
+    assert c["pageins"] == 5
+    assert c["missing"] == 0
+    assert c.as_dict() == {"pageins": 5}
+
+
+def test_counter_rejects_negative():
+    with pytest.raises(ValueError):
+        Counter().add("x", -1)
+
+
+# -------------------------------------------------------------------- Tally
+def test_tally_statistics():
+    t = Tally()
+    for v in [2.0, 4.0, 6.0]:
+        t.observe(v)
+    assert t.count == 3
+    assert t.mean == pytest.approx(4.0)
+    assert t.total == pytest.approx(12.0)
+    assert t.minimum == 2.0
+    assert t.maximum == 6.0
+    assert t.variance == pytest.approx(8.0 / 3.0)
+
+
+def test_tally_empty_is_nan():
+    t = Tally()
+    assert math.isnan(t.mean)
+    assert math.isnan(t.variance)
+
+
+def test_tally_samples_and_percentile():
+    t = Tally(keep_samples=True)
+    for v in range(1, 101):
+        t.observe(float(v))
+    assert t.percentile(50) == 50.0
+    assert t.percentile(100) == 100.0
+    assert t.percentile(1) == 1.0
+
+
+def test_tally_samples_disabled():
+    t = Tally()
+    t.observe(1.0)
+    with pytest.raises(ValueError):
+        _ = t.samples
+
+
+def test_percentile_range_check():
+    t = Tally(keep_samples=True)
+    with pytest.raises(ValueError):
+        t.percentile(101)
+
+
+# ------------------------------------------------------------- TimeWeighted
+def test_time_weighted_average():
+    tw = TimeWeighted(now=0.0, level=0.0)
+    tw.record(10.0, 4.0)  # level 0 for [0,10)
+    tw.record(20.0, 0.0)  # level 4 for [10,20)
+    assert tw.average(20.0) == pytest.approx(2.0)
+
+
+def test_time_weighted_extends_current_level():
+    tw = TimeWeighted(now=0.0, level=2.0)
+    assert tw.average(10.0) == pytest.approx(2.0)
+
+
+def test_time_weighted_rejects_backwards_time():
+    tw = TimeWeighted(now=5.0)
+    with pytest.raises(ValueError):
+        tw.record(4.0, 1.0)
+
+
+# ------------------------------------------------------- UtilizationTracker
+def test_utilization_fraction():
+    u = UtilizationTracker(now=0.0)
+    u.busy(2.0)
+    u.idle(6.0)
+    assert u.utilization(8.0) == pytest.approx(0.5)
+
+
+def test_utilization_nested_busy():
+    u = UtilizationTracker(now=0.0)
+    u.busy(0.0)
+    u.busy(1.0)  # nested: still one busy interval
+    u.idle(2.0)
+    u.idle(4.0)
+    assert u.utilization(4.0) == pytest.approx(1.0)
+
+
+def test_utilization_unmatched_idle():
+    u = UtilizationTracker()
+    with pytest.raises(ValueError):
+        u.idle(1.0)

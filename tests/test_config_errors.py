@@ -1,0 +1,140 @@
+"""Unit tests for configuration presets, units, and the error hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.config import (
+    DEC_ALPHA_3000_300,
+    DEC_RZ55,
+    ETHERNET_10MBPS,
+    PAGE_SIZE,
+    TCP_IP_1996,
+    EthernetSpec,
+    MachineSpec,
+    ProtocolSpec,
+    fast_network,
+)
+from repro.units import (
+    KB,
+    MB,
+    days,
+    hours,
+    kilobytes,
+    megabits_per_second,
+    megabytes,
+    microseconds,
+    milliseconds,
+    minutes,
+    transfer_time,
+)
+
+
+# ------------------------------------------------------------------- units
+def test_byte_multiples():
+    assert KB == 1024
+    assert MB == 1024 * 1024
+    assert kilobytes(2) == 2048
+    assert megabytes(1.5) == 1536 * 1024
+
+
+def test_bandwidth_conversion():
+    # 10 Mbit/s = 1.25 decimal MB/s.
+    assert megabits_per_second(10) == 1_250_000
+
+
+def test_time_helpers():
+    assert milliseconds(1.6) == pytest.approx(0.0016)
+    assert microseconds(51.2) == pytest.approx(51.2e-6)
+    assert minutes(2) == 120
+    assert hours(1) == 3600
+    assert days(1) == 86400
+
+
+def test_transfer_time():
+    assert transfer_time(1_250_000, megabits_per_second(10)) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        transfer_time(10, 0)
+    with pytest.raises(ValueError):
+        transfer_time(-1, 100)
+
+
+# ----------------------------------------------------------------- presets
+def test_paper_machine_preset():
+    spec = DEC_ALPHA_3000_300
+    assert spec.ram_bytes == 32 * MB
+    assert spec.page_size == PAGE_SIZE == 8192
+    assert spec.total_frames == 4096
+    assert 0 < spec.user_frames < spec.total_frames
+
+
+def test_ethernet_preset_frame_time():
+    # A full 1500 B frame on 10 Mbit/s: (1500+26)/1.25e6 ≈ 1.22 ms.
+    assert ETHERNET_10MBPS.frame_time(1500) == pytest.approx(1526 / 1_250_000)
+
+
+def test_rz55_preset():
+    assert DEC_RZ55.avg_seek == pytest.approx(0.016)
+    assert DEC_RZ55.sustained_bandwidth == DEC_RZ55.bandwidth / 2
+    assert DEC_RZ55.rotation_time == pytest.approx(1 / 60)
+
+
+def test_protocol_preset():
+    assert TCP_IP_1996.per_page_cpu == pytest.approx(0.0016)
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec(ram_bytes=0)
+    with pytest.raises(ValueError):
+        MachineSpec(kernel_resident_bytes=64 * MB)  # exceeds RAM
+    with pytest.raises(ValueError):
+        MachineSpec(cpu_speed=0)
+
+
+def test_ethernet_spec_validation():
+    with pytest.raises(ValueError):
+        EthernetSpec(bandwidth=0)
+    with pytest.raises(ValueError):
+        EthernetSpec(mtu=0)
+
+
+def test_protocol_spec_validation():
+    with pytest.raises(ValueError):
+        ProtocolSpec(per_page_cpu=-1)
+
+
+def test_fast_network_scales_bandwidth():
+    assert fast_network(10).bandwidth == megabits_per_second(100)
+
+
+# ------------------------------------------------------------------ errors
+def test_error_hierarchy():
+    assert issubclass(errors.PagingError, errors.ReproError)
+    assert issubclass(errors.PageNotFound, errors.PagingError)
+    assert issubclass(errors.SwapSpaceExhausted, errors.PagingError)
+    assert issubclass(errors.ServerCrashed, errors.PagingError)
+    assert issubclass(errors.ServerUnavailable, errors.PagingError)
+    assert issubclass(errors.RecoveryError, errors.ReproError)
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.NetworkPartitioned, errors.ReproError)
+
+
+def test_error_payloads():
+    e = errors.PageNotFound(42, where="server-1")
+    assert e.page_id == 42 and "server-1" in str(e)
+    e = errors.ServerCrashed("s0")
+    assert e.server_name == "s0"
+    e = errors.ServerUnavailable("s1", reason="full")
+    assert e.server_name == "s1" and e.reason == "full"
+
+
+def test_catching_base_class_catches_all():
+    for exc in (
+        errors.PageNotFound(1),
+        errors.SwapSpaceExhausted(),
+        errors.ServerCrashed("x"),
+        errors.RecoveryError(),
+        errors.NetworkPartitioned(),
+    ):
+        with pytest.raises(errors.ReproError):
+            raise exc

@@ -1,0 +1,64 @@
+"""Unit tests for page contents, XOR, and versioning."""
+
+import pytest
+
+from repro.vm import PageVersioner, page_bytes, xor_bytes, zero_page
+
+
+def test_page_bytes_deterministic():
+    assert page_bytes(5, 1, 64) == page_bytes(5, 1, 64)
+
+
+def test_page_bytes_distinct_by_page_and_version():
+    a = page_bytes(1, 1, 64)
+    b = page_bytes(2, 1, 64)
+    c = page_bytes(1, 2, 64)
+    assert a != b and a != c and b != c
+
+
+def test_page_bytes_length():
+    for size in (8, 13, 64, 8192):
+        assert len(page_bytes(3, 4, size)) == size
+
+
+def test_page_bytes_bad_size():
+    with pytest.raises(ValueError):
+        page_bytes(1, 1, 0)
+
+
+def test_zero_page():
+    assert zero_page(16) == b"\x00" * 16
+    with pytest.raises(ValueError):
+        zero_page(0)
+
+
+def test_xor_roundtrip():
+    a = page_bytes(1, 1, 64)
+    b = page_bytes(2, 3, 64)
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_identity_and_self():
+    a = page_bytes(7, 7, 32)
+    assert xor_bytes(a, zero_page(32)) == a
+    assert xor_bytes(a, a) == zero_page(32)
+
+
+def test_xor_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"abc")
+
+
+def test_versioner_bump_and_contents():
+    v = PageVersioner(page_size=64, content_mode=True)
+    assert v.version_of(9) == 0
+    assert v.bump(9) == 1
+    assert v.bump(9) == 2
+    assert v.contents(9) == page_bytes(9, 2, 64)
+    assert v.expected(9, 1) == page_bytes(9, 1, 64)
+
+
+def test_versioner_metadata_mode_contents_none():
+    v = PageVersioner(page_size=64, content_mode=False)
+    v.bump(1)
+    assert v.contents(1) is None

@@ -1,0 +1,42 @@
+"""Dedicated page-table tests."""
+
+from repro.vm import PageTable, PageTableEntry
+
+
+def test_entry_created_lazily_with_clear_state():
+    table = PageTable()
+    assert table.get(5) is None
+    pte = table.entry(5)
+    assert not pte.resident and not pte.dirty and not pte.referenced
+    assert not pte.on_backing_store
+    assert table.get(5) is pte
+
+
+def test_entry_is_stable():
+    table = PageTable()
+    assert table.entry(1) is table.entry(1)
+
+
+def test_resident_tracking():
+    table = PageTable()
+    for page_id in range(6):
+        pte = table.entry(page_id)
+        pte.resident = page_id % 2 == 0
+    assert table.resident_count == 3
+    assert sorted(table.resident_pages()) == [0, 2, 4]
+
+
+def test_len_and_contains():
+    table = PageTable()
+    table.entry(3)
+    assert len(table) == 1
+    assert 3 in table
+    assert 4 not in table
+
+
+def test_repr_flags():
+    pte = PageTableEntry(7)
+    pte.resident = True
+    pte.dirty = True
+    text = repr(pte)
+    assert "R" in text and "D" in text

@@ -1,0 +1,161 @@
+"""Unit and property tests for the replacement policies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import (
+    ClockReplacement,
+    FifoReplacement,
+    LruReplacement,
+    make_replacement,
+)
+
+ALL = [FifoReplacement, LruReplacement, ClockReplacement]
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_insert_evict_single(cls):
+    policy = cls()
+    policy.insert(1)
+    assert len(policy) == 1
+    assert policy.evict() == 1
+    assert len(policy) == 0
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_double_insert_rejected(cls):
+    policy = cls()
+    policy.insert(1)
+    with pytest.raises(ValueError):
+        policy.insert(1)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_evict_empty_rejected(cls):
+    with pytest.raises(IndexError):
+        cls().evict()
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_touch_nonresident_rejected(cls):
+    with pytest.raises(KeyError):
+        cls().touch(5)
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_remove_absent_is_noop(cls):
+    policy = cls()
+    policy.remove(99)
+    assert len(policy) == 0
+
+
+@pytest.mark.parametrize("cls", ALL)
+def test_remove_prevents_eviction(cls):
+    policy = cls()
+    policy.insert(1)
+    policy.insert(2)
+    policy.remove(1)
+    assert policy.evict() == 2
+
+
+def test_fifo_ignores_touches():
+    policy = FifoReplacement()
+    policy.insert(1)
+    policy.insert(2)
+    policy.touch(1)
+    assert policy.evict() == 1  # insertion order, references irrelevant
+
+
+def test_lru_touch_changes_victim():
+    policy = LruReplacement()
+    policy.insert(1)
+    policy.insert(2)
+    policy.touch(1)
+    assert policy.evict() == 2
+
+
+def test_clock_second_chance():
+    policy = ClockReplacement()
+    policy.insert(1)
+    policy.insert(2)
+    policy.touch(1)  # 1 gets a second chance
+    assert policy.evict() == 2
+    # After its reprieve, 1 is evictable next.
+    assert policy.evict() == 1
+
+
+def test_clock_all_referenced_degrades_to_fifo():
+    policy = ClockReplacement()
+    for pid in (1, 2, 3):
+        policy.insert(pid)
+        policy.touch(pid)
+    assert policy.evict() == 1  # one full lap clears bits, then FIFO
+
+
+def test_make_replacement():
+    assert make_replacement("fifo").name == "fifo"
+    assert make_replacement("lru").name == "lru"
+    assert make_replacement("clock").name == "clock"
+    with pytest.raises(ValueError):
+        make_replacement("optimal")
+
+
+# --------------------------------------------------------- property tests
+@st.composite
+def policy_operations(draw):
+    """A random sequence of insert/touch/evict operations."""
+    return draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "touch", "evict"]),
+                st.integers(min_value=0, max_value=20),
+            ),
+            max_size=200,
+        )
+    )
+
+
+@pytest.mark.parametrize("cls", ALL)
+@settings(max_examples=50, deadline=None)
+@given(ops=policy_operations())
+def test_policy_invariants(cls, ops):
+    """Under arbitrary op sequences: membership is consistent, evictions
+    only return resident pages, and sizes never go negative."""
+    policy = cls()
+    resident = set()
+    for op, pid in ops:
+        if op == "insert":
+            if pid in resident:
+                with pytest.raises(ValueError):
+                    policy.insert(pid)
+            else:
+                policy.insert(pid)
+                resident.add(pid)
+        elif op == "touch":
+            if pid in resident:
+                policy.touch(pid)
+            else:
+                with pytest.raises(KeyError):
+                    policy.touch(pid)
+        else:  # evict
+            if resident:
+                victim = policy.evict()
+                assert victim in resident
+                resident.discard(victim)
+            else:
+                with pytest.raises(IndexError):
+                    policy.evict()
+        assert len(policy) == len(resident)
+
+
+@pytest.mark.parametrize("cls", ALL)
+@settings(max_examples=30, deadline=None)
+@given(pages=st.lists(st.integers(0, 50), min_size=1, max_size=100, unique=True))
+def test_eviction_drains_everything(cls, pages):
+    policy = cls()
+    for pid in pages:
+        policy.insert(pid)
+    evicted = {policy.evict() for _ in pages}
+    assert evicted == set(pages)
+    assert len(policy) == 0

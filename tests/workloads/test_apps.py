@@ -1,0 +1,152 @@
+"""Unit tests for the six paper application workload models."""
+
+import pytest
+
+from repro.workloads import (
+    PAPER_WORKLOADS,
+    Fft,
+    Gauss,
+    ImageFilter,
+    KernelBuild,
+    Mvec,
+    Qsort,
+)
+
+ALL_APPS = [Mvec, Gauss, Qsort, Fft, ImageFilter, KernelBuild]
+
+
+@pytest.mark.parametrize("cls", ALL_APPS)
+def test_trace_refs_are_wellformed(cls):
+    wl = cls()
+    n = 0
+    for page, is_write, cpu in wl.trace():
+        assert 0 <= page < wl.footprint_pages
+        assert isinstance(is_write, bool)
+        assert cpu >= 0.0
+        n += 1
+        if n > 50_000:
+            break
+    assert n > 0
+
+
+@pytest.mark.parametrize("cls", ALL_APPS)
+def test_trace_is_deterministic(cls):
+    a = list(cls().trace())
+    b = list(cls().trace())
+    assert a == b
+
+
+@pytest.mark.parametrize("cls", ALL_APPS)
+def test_trace_touches_every_page(cls):
+    wl = cls()
+    touched = {page for page, _, _ in wl.trace()}
+    assert touched == set(range(wl.footprint_pages))
+
+
+def test_paper_suite_contains_six_apps():
+    suite = PAPER_WORKLOADS()
+    assert [wl.name for wl in suite] == [
+        "mvec",
+        "gauss",
+        "qsort",
+        "fft",
+        "filter",
+        "cc",
+    ]
+
+
+def test_mvec_is_write_only_single_touch():
+    wl = Mvec(n=200)
+    seen_matrix = set()
+    for page, is_write, _ in wl.trace():
+        assert is_write
+        if wl.matrix.start_page <= page < wl.matrix.end_page:
+            assert page not in seen_matrix, "matrix pages must not be revisited"
+            seen_matrix.add(page)
+    assert len(seen_matrix) == wl.matrix.n_pages
+
+
+def test_mvec_footprint_matches_matrix_size():
+    wl = Mvec(n=1024)  # 1024^2 * 8 = 8 MB exactly
+    assert wl.matrix.n_pages == 1024 * 1024 * 8 // 8192
+
+
+def test_gauss_pass_count_scales_touches():
+    short = sum(1 for _ in Gauss(n=400, passes=2).trace())
+    long = sum(1 for _ in Gauss(n=400, passes=4).trace())
+    assert long > short
+    matrix_pages = Gauss(n=400).matrix.n_pages
+    assert short == matrix_pages * 3  # init + 2 passes
+
+
+def test_qsort_recursion_terminates_and_covers():
+    wl = Qsort(records=200_000)
+    refs = list(wl.trace())
+    pages = {p for p, _, _ in refs}
+    assert pages == set(range(wl.array.n_pages))
+
+
+def test_qsort_partition_converges_from_both_ends():
+    wl = Qsort(records=200_000)
+    first = list(wl._partition(0, 10, 0.0))
+    order = [p for p, _, _ in first]
+    assert order == [0, 9, 1, 8, 2, 7, 3, 6, 4, 5]
+
+
+def test_fft_from_megabytes_footprint():
+    for mb in (17, 18.5, 20, 21.6, 23.2, 24):
+        wl = Fft.from_megabytes(mb)
+        assert wl.footprint_bytes / (1 << 20) == pytest.approx(mb, abs=0.2)
+
+
+def test_fft_default_is_700k_elements_24mb_working_set():
+    wl = Fft()
+    assert wl.elements == 700_000
+    # The paper's §4.3 run measured a ~24 MB FFT working set.
+    assert 22 < wl.footprint_bytes / (1 << 20) < 25
+
+
+def test_fft_passes_alternate_arrays():
+    wl = Fft(elements=20_000, passes=2)
+    refs = list(wl.trace())
+    writes = {p for p, w, _ in refs if w}
+    # Both arrays get written (src on init + pass 2, dst on pass 1).
+    assert any(wl.src.start_page <= p < wl.src.end_page for p in writes)
+    assert any(wl.dst.start_page <= p < wl.dst.end_page for p in writes)
+
+
+def test_filter_three_regions_and_two_passes():
+    wl = ImageFilter(image_bytes=1 << 20)
+    assert wl.image.n_pages == wl.temp.n_pages == wl.output.n_pages
+    refs = list(wl.trace())
+    temp_touches = sum(
+        1 for p, _, _ in refs if wl.temp.start_page <= p < wl.temp.end_page
+    )
+    # Temp is written in pass 1 and read in pass 2: two touches per page.
+    assert temp_touches == 2 * wl.temp.n_pages
+
+
+def test_kernel_build_link_rereads_objects():
+    wl = KernelBuild(units=5, object_pages=4, scratch_pages=8, compiler_pages=8)
+    refs = list(wl.trace())
+    obj0 = wl.objects[0]
+    touches = [i for i, (p, _, _) in enumerate(refs) if p == obj0.start_page]
+    # Written at compile time, then read twice at link time.
+    assert len(touches) == 3
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        Mvec(n=0)
+    with pytest.raises(ValueError):
+        Gauss(n=0)
+    with pytest.raises(ValueError):
+        Gauss(passes=0)
+    with pytest.raises(ValueError):
+        Qsort(records=0)
+    with pytest.raises(ValueError):
+        Fft(elements=0)
+    with pytest.raises(ValueError):
+        ImageFilter(image_bytes=0)
+    with pytest.raises(ValueError):
+        KernelBuild(units=0)

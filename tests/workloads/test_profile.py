@@ -1,0 +1,80 @@
+"""Workload-profiler tests."""
+
+import pytest
+
+from repro.vm import InstantPager
+from repro.sim import Simulator
+from repro.workloads import (
+    Gauss,
+    Mvec,
+    SequentialScan,
+    profile_workload,
+    render_profiles,
+)
+
+
+def test_instant_pager_roundtrip():
+    from repro.vm import page_bytes
+
+    sim = Simulator()
+    pager = InstantPager(sim)
+    data = page_bytes(1, 1, 64)
+
+    def flow():
+        yield from pager.pageout(1, data)
+        got = yield from pager.pagein(1)
+        return got
+
+    assert sim.run_until_complete(sim.process(flow())) == data
+    assert pager.transfers == 2
+
+
+def test_instant_pager_missing_page():
+    from repro.errors import PageNotFound
+
+    sim = Simulator()
+    pager = InstantPager(sim)
+
+    def flow():
+        yield from pager.pagein(9)
+
+    with pytest.raises(PageNotFound):
+        sim.run_until_complete(sim.process(flow()))
+
+
+def test_instant_pager_costs_no_simulated_time():
+    sim = Simulator()
+    pager = InstantPager(sim)
+
+    def flow():
+        for page_id in range(50):
+            yield from pager.pageout(page_id, None)
+            yield from pager.pagein(page_id)
+
+    sim.run_until_complete(sim.process(flow()))
+    assert sim.now == 0.0
+
+
+def test_profile_mvec_shape():
+    profile = profile_workload(Mvec())
+    assert profile.pageins == 0  # the MVEC signature
+    assert profile.pageouts > 1000
+    assert profile.write_back_ratio > 0
+
+
+def test_profile_counts_references():
+    wl = SequentialScan(n_pages=10, passes=3)
+    profile = profile_workload(wl)
+    assert profile.references == 30
+    assert profile.faults == 10  # everything fits after first touch
+
+
+def test_profile_deterministic():
+    a = profile_workload(Gauss(n=400))
+    b = profile_workload(Gauss(n=400))
+    assert a == b
+
+
+def test_render_profiles():
+    text = render_profiles([profile_workload(Mvec(n=500))])
+    assert "mvec" in text and "pageouts" in text

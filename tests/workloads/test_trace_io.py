@@ -1,0 +1,77 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.workloads import (
+    Gauss,
+    RecordedWorkload,
+    SequentialScan,
+    load_trace,
+    save_trace,
+)
+
+
+def test_roundtrip_preserves_references(tmp_path):
+    original = SequentialScan(n_pages=20, passes=2, write=True, cpu_per_page=0.0015)
+    path = tmp_path / "scan.trace"
+    written = save_trace(original, path)
+    replayed = load_trace(path)
+    original_refs = list(original.trace())
+    replay_refs = list(replayed.trace())
+    assert written == len(original_refs) == len(replay_refs)
+    for (p1, w1, c1), (p2, w2, c2) in zip(original_refs, replay_refs):
+        assert p1 == p2 and w1 == w2
+        assert c1 == pytest.approx(c2, abs=1e-9)
+
+
+def test_metadata_preserved(tmp_path):
+    path = tmp_path / "g.trace"
+    save_trace(Gauss(n=200), path, limit=100)
+    replayed = load_trace(path)
+    assert replayed.name == "gauss"
+    assert replayed.page_size == 8192
+
+
+def test_limit_truncates(tmp_path):
+    path = tmp_path / "t.trace"
+    written = save_trace(SequentialScan(n_pages=50, passes=4), path, limit=25)
+    assert written == 25
+    assert len(load_trace(path)) == 25
+
+
+def test_footprint_from_max_page(tmp_path):
+    path = tmp_path / "t.trace"
+    save_trace(SequentialScan(n_pages=30), path)
+    replayed = load_trace(path)
+    assert replayed.footprint_pages == 30
+
+
+def test_replay_runs_on_machine(tmp_path):
+    from repro.core import build_cluster
+
+    path = tmp_path / "t.trace"
+    save_trace(SequentialScan(n_pages=64, passes=2, write=True), path)
+    cluster = build_cluster(policy="no-reliability", n_servers=2)
+    report = cluster.run(load_trace(path))
+    assert report.faults >= 64
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("not a trace\n1 R 10\n")
+    with pytest.raises(ValueError, match="not a repro trace"):
+        load_trace(path)
+
+
+def test_malformed_line_rejected(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("# repro-trace v1\n1 Q 10\n")
+    with pytest.raises(ValueError, match="malformed"):
+        load_trace(path)
+
+
+def test_blank_lines_and_comments_skipped(tmp_path):
+    path = tmp_path / "ok.trace"
+    path.write_text("# repro-trace v1\n# name: x\n\n# a comment\n3 W 100.0\n")
+    replayed = load_trace(path)
+    assert list(replayed.trace()) == [(3, True, pytest.approx(1e-4))]
