@@ -1,38 +1,15 @@
-"""Discrete-event simulation kernel.
+"""Verbatim copy of the seed discrete-event kernel (pre-optimization).
 
-Every model in this package (network, disk, virtual memory, the remote
-memory pager itself) runs on top of this kernel.  It is a small,
-deterministic, generator-based engine in the style of SimPy:
-
-* A :class:`Simulator` owns the virtual clock and the event heap.
-* An :class:`Event` is a one-shot occurrence that other processes may wait
-  on; it either *succeeds* with a value or *fails* with an exception.
-* A :class:`Process` wraps a generator.  The generator yields events; the
-  process resumes when the yielded event fires, receiving the event's
-  value (or having its exception raised at the ``yield``).
-
-Determinism matters for reproducible experiments: events scheduled for the
-same instant fire in FIFO scheduling order (a monotonically increasing
-sequence number breaks ties), and nothing in the kernel reads the wall
-clock or an unseeded RNG.
-
-Example
--------
->>> sim = Simulator()
->>> def worker(sim, results):
-...     yield sim.timeout(5.0)
-...     results.append(sim.now)
->>> results = []
->>> _ = sim.process(worker(sim, results))
->>> sim.run()
->>> results
-[5.0]
+Kept solely as the A/B baseline for benchmarks/bench_kernel.py: the
+microbenchmark runs the same workload on this module and on
+repro.sim.core and reports the throughput ratio.  Do not import this
+from production code.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
-from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
 __all__ = [
@@ -114,7 +91,7 @@ class Event:
     @property
     def value(self) -> Any:
         """The success value, or raise the failure exception."""
-        if self._state == PENDING:
+        if not self.triggered:
             raise SimulationError("event value accessed before it triggered")
         if self._exception is not None:
             raise self._exception
@@ -128,24 +105,22 @@ class Event:
     # -- outcome assignment -------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self._state != PENDING:
+        if self.triggered:
             raise SimulationError(f"{self!r} already triggered")
         self._value = value
         self._state = TRIGGERED
-        sim = self.sim
-        heappush(sim._heap, (sim._now, next(sim._seq), self))
+        self.sim._schedule(self, 0.0)
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure ``exception``."""
-        if self._state != PENDING:
+        if self.triggered:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._state = TRIGGERED
-        sim = self.sim
-        heappush(sim._heap, (sim._now, next(sim._seq), self))
+        self.sim._schedule(self, 0.0)
         return self
 
     def defuse(self) -> None:
@@ -170,27 +145,18 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation.
-
-    Timeouts dominate the kernel's allocation profile (the VM layer
-    yields one per compute chunk and per fault-service step), so the
-    constructor writes every slot directly and pushes its heap entry
-    inline instead of chaining through ``Event.__init__``/``_schedule``.
-    """
+    """An event that fires ``delay`` simulated seconds after creation."""
 
     __slots__ = ("delay",)
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        self.sim = sim
-        self.callbacks = []
-        self._value = value
-        self._exception = None
-        self._defused = False
+        super().__init__(sim)
         self.delay = delay
+        self._value = value
         self._state = TRIGGERED
-        heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
+        sim._schedule(self, delay)
 
 
 class _ConditionValue:
@@ -285,7 +251,7 @@ class Process(Event):
     from the generator succeeds the process event with the returned value.
     """
 
-    __slots__ = ("generator", "name", "_target", "_send", "_throw", "_relay", "_resume_cb")
+    __slots__ = ("generator", "name", "_target")
 
     def __init__(
         self,
@@ -297,16 +263,8 @@ class Process(Event):
             raise TypeError(f"Process requires a generator, got {generator!r}")
         super().__init__(sim)
         self.generator = generator
-        # Bound-method caches: _step runs once per event the process waits
-        # on, so shaving the per-step attribute lookups is measurable.
-        self._send = generator.send
-        self._throw = generator.throw
-        self._resume_cb = self._resume
         self.name = name or getattr(generator, "__name__", "process")
         self._target: Optional[Event] = None
-        # Reused relay event for resuming after already-processed targets
-        # (see _step); allocated lazily on first use.
-        self._relay: Optional[Event] = None
         # Kick off on the next kernel iteration at the current instant.
         bootstrap = Event(sim)
         bootstrap.callbacks.append(self._resume)
@@ -343,15 +301,6 @@ class Process(Event):
             except ValueError:
                 pass
             self._target = None
-        relay = self._relay
-        if relay is not None and relay._state == TRIGGERED:
-            # The process was waiting on its relay (an already-processed
-            # target) when interrupted; detach so the still-queued relay
-            # cannot resume it a second time.
-            try:
-                relay.callbacks.remove(self._resume)
-            except ValueError:
-                pass
         self._step(event)
 
     def _resume(self, event: Event) -> None:
@@ -363,10 +312,10 @@ class Process(Event):
         sim._active_process = self
         try:
             if event._exception is not None:
-                event._defused = True
-                target = self._throw(event._exception)
+                event.defuse()
+                target = self.generator.throw(event._exception)
             else:
-                target = self._send(event._value)
+                target = self.generator.send(event._value)
         except StopIteration as stop:
             sim._active_process = None
             self.succeed(stop.value)
@@ -380,27 +329,20 @@ class Process(Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}; processes must yield events"
             )
-        if target._state == PROCESSED:
-            # Already done: resume on the next kernel iteration.  A process
-            # waits on at most one event, so one relay per process can be
-            # recycled instead of allocating a fresh Event every time; the
-            # TRIGGERED guard covers the rare case where the previous relay
-            # is still queued (an interrupt cut in before it fired).
-            relay = self._relay
-            if relay is None or relay._state != PROCESSED:
-                relay = self._relay = Event(sim)
-                relay._defused = True
+        if target.processed:
+            # Already done: resume on the next kernel iteration.
+            relay = Event(sim)
             relay._value = target._value
-            exception = target._exception
-            relay._exception = exception
-            if exception is not None:
-                target._defused = True
+            relay._exception = target._exception
+            if target._exception is not None:
+                relay._defused = True
+                target.defuse()
             relay._state = TRIGGERED
-            relay.callbacks.append(self._resume_cb)
-            heappush(sim._heap, (sim._now, next(sim._seq), relay))
+            relay.callbacks.append(self._resume)
+            sim._schedule(relay, 0.0)
         else:
             self._target = target
-            target.callbacks.append(self._resume_cb)
+            target.callbacks.append(self._resume)
 
 
 class Simulator:
@@ -408,12 +350,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        # Heap entries are (time, seq, event).  Urgent events use negative
-        # sequence numbers, which sort before every normal entry at the
-        # same instant (and LIFO among themselves) without a separate
-        # priority field — one tuple slot and one comparison fewer on
-        # every push/pop than the classic 4-tuple layout.
-        self._heap: List[Tuple[float, int, Event]] = []
+        self._heap: List[Tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
 
@@ -453,7 +390,7 @@ class Simulator:
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float, urgent: bool = False) -> None:
         seq = -next(self._seq) if urgent else next(self._seq)
-        heappush(self._heap, (self._now + delay, seq, event))
+        heapq.heappush(self._heap, (self._now + delay, 0 if urgent else 1, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -463,7 +400,9 @@ class Simulator:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
-        when, _, event = heappop(self._heap)
+        when, _, _, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")  # pragma: no cover
         self._now = when
         event._process()
 
@@ -475,19 +414,11 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"run(until={until}) is in the past (now={self._now})")
-        heap = self._heap
-        pop = heappop
         try:
-            if until is None:
-                while heap:
-                    when, _, event = pop(heap)
-                    self._now = when
-                    event._process()
-            else:
-                while heap and heap[0][0] <= until:
-                    when, _, event = pop(heap)
-                    self._now = when
-                    event._process()
+            while self._heap:
+                if until is not None and self._heap[0][0] > until:
+                    break
+                self.step()
         except StopSimulation:
             return
         if until is not None:
@@ -499,17 +430,13 @@ class Simulator:
         Raises :class:`SimulationError` if the heap drains (or ``limit`` is
         reached) with the process still alive — a deadlock indicator.
         """
-        heap = self._heap
-        pop = heappop
-        while process._state == PENDING:
-            if not heap or heap[0][0] > limit:
+        while not process.triggered:
+            if not self._heap or self.peek() > limit:
                 raise SimulationError(
                     f"simulation stalled at t={self._now} with process "
                     f"{process.name!r} still alive"
                 )
-            when, _, event = pop(heap)
-            self._now = when
-            event._process()
+            self.step()
         return process.value
 
     def stop(self) -> None:

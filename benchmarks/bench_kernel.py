@@ -1,0 +1,184 @@
+"""Simulator-kernel throughput: optimized hot path vs the frozen seed.
+
+Two complementary measurements, emitted as one JSON summary:
+
+* **events/sec microbenchmark** — raw :class:`Simulator` throughput on
+  the two hot paths every experiment exercises (the timeout chain that
+  paces compute, and the relay path taken when a process yields an
+  already-processed event), run A/B against the verbatim seed kernel
+  preserved in :mod:`_seed_kernel`;
+* **fig2-suite wall-clock** — the full six-application x four-policy
+  grid through :class:`repro.runner.ExperimentRunner` at ``--jobs 1``
+  vs ``--jobs N``, measuring what process-level parallelism buys
+  end-to-end (near-linear only on a multi-core host; ``cpu_count`` is
+  recorded alongside so single-core numbers read honestly).
+
+Run as a script for the JSON trajectory record::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py --out bench_kernel.json
+
+or under pytest (collected with the other ``bench_*`` modules) for a
+threshold-free smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for _path in (_HERE, _SRC):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import _seed_kernel  # noqa: E402  (the seed kernel, frozen at v0)
+
+from repro.sim import core as _opt_kernel  # noqa: E402
+
+KERNELS = {"seed": _seed_kernel, "optimized": _opt_kernel}
+
+
+# --------------------------------------------------------------------------
+# Events/sec microbenchmarks.
+# --------------------------------------------------------------------------
+
+def bench_timeout_chain(kernel, n_events: int) -> float:
+    """Events/sec for one process yielding ``n_events`` timeouts."""
+    sim = kernel.Simulator()
+
+    def chain():
+        timeout = sim.timeout
+        for _ in range(n_events):
+            yield timeout(1.0)
+
+    sim.process(chain(), name="chain")
+    start = perf_counter()
+    sim.run()
+    return n_events / (perf_counter() - start)
+
+
+def bench_relay_path(kernel, n_iterations: int) -> float:
+    """Events/sec when every other yield hits an already-processed event.
+
+    Each iteration schedules three events — the bare event, a zero
+    timeout that lets it process, and the relay wake-up — so the rate is
+    ``3 * n_iterations`` over the wall time.
+    """
+    sim = kernel.Simulator()
+    Event = kernel.Event
+
+    def bouncer():
+        timeout = sim.timeout
+        for _ in range(n_iterations):
+            ev = Event(sim)
+            ev.succeed(None)
+            yield timeout(0.0)
+            yield ev  # already PROCESSED: exercises the relay path
+
+    sim.process(bouncer(), name="bouncer")
+    start = perf_counter()
+    sim.run()
+    return 3 * n_iterations / (perf_counter() - start)
+
+
+def measure_kernels(n_events: int = 200_000, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` events/sec per kernel per hot path."""
+    results: dict = {}
+    for path_name, bench, n in (
+        ("timeout_chain", bench_timeout_chain, n_events),
+        ("relay_path", bench_relay_path, n_events // 3),
+    ):
+        rates = {
+            name: max(bench(kernel, n) for _ in range(repeats))
+            for name, kernel in KERNELS.items()
+        }
+        results[path_name] = {
+            "events_per_sec": {k: round(v) for k, v in rates.items()},
+            "speedup": round(rates["optimized"] / rates["seed"], 3),
+        }
+    return results
+
+
+# --------------------------------------------------------------------------
+# Fig 2 suite wall-clock: serial vs parallel runner.
+# --------------------------------------------------------------------------
+
+def bench_fig2_suite(jobs: int) -> float:
+    """Wall-clock seconds for the full fig2 grid at ``jobs`` workers."""
+    from repro.experiments import run_fig2
+    from repro.runner import ExperimentRunner
+
+    runner = ExperimentRunner(jobs=jobs, use_cache=False)
+    start = perf_counter()
+    run_fig2(runner=runner)
+    return perf_counter() - start
+
+
+def measure_fig2(jobs: int = 4) -> dict:
+    serial = bench_fig2_suite(1)
+    parallel = bench_fig2_suite(jobs)
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial, 3),
+        "parallel_seconds": round(parallel, 3),
+        "speedup": round(serial / parallel, 3),
+    }
+
+
+def run_benchmarks(n_events: int = 200_000, repeats: int = 3,
+                   jobs: int = 4, skip_fig2: bool = False) -> dict:
+    summary = {"kernel": measure_kernels(n_events, repeats)}
+    if not skip_fig2:
+        summary["fig2_suite"] = measure_fig2(jobs)
+    return summary
+
+
+# --------------------------------------------------------------------------
+# pytest smoke check (no thresholds: CI boxes vary wildly).
+# --------------------------------------------------------------------------
+
+def test_kernel_throughput_smoke(benchmark, once):
+    results = once(
+        benchmark, measure_kernels, n_events=30_000, repeats=1
+    )
+    print("\n" + json.dumps(results, indent=2))
+    for path in results.values():
+        for rate in path["events_per_sec"].values():
+            assert rate > 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=200_000,
+                        help="timeout-chain length (default 200000)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per kernel (default 3)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count for the fig2 run")
+    parser.add_argument("--skip-fig2", action="store_true",
+                        help="microbenchmark only")
+    parser.add_argument("--out", default="-", metavar="PATH",
+                        help="write JSON here ('-' = stdout)")
+    args = parser.parse_args(argv)
+
+    summary = run_benchmarks(
+        n_events=args.events, repeats=args.repeats,
+        jobs=args.jobs, skip_fig2=args.skip_fig2,
+    )
+    text = json.dumps(summary, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,7 @@ from .errors import (
     ServerUnavailable,
     SwapSpaceExhausted,
 )
+from .runner import ExperimentRunner, RunResult, RunSpec
 from .vm import CompletionReport, Machine
 from .workloads import (
     PAPER_WORKLOADS,
@@ -89,6 +90,9 @@ __all__ = [
     "CrashInjector",
     "Machine",
     "CompletionReport",
+    "RunSpec",
+    "RunResult",
+    "ExperimentRunner",
     "Workload",
     "PAPER_WORKLOADS",
     "Mvec",

@@ -18,6 +18,7 @@ import sys
 from typing import List, Optional
 
 from . import experiments as exp
+from .runner import configure_default_runner
 
 __all__ = ["main", "build_parser"]
 
@@ -164,11 +165,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("fig1", help="idle cluster memory over a week")
+    # Execution flags shared by every subcommand: how many worker
+    # processes to fan independent runs over, and whether/where to use
+    # the on-disk result cache.
+    runner_flags = argparse.ArgumentParser(add_help=False)
+    group = runner_flags.add_argument_group("execution")
+    group.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent runs (0 = all cores; default 1)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every run, bypassing the on-disk result cache",
+    )
+    group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+
+    p = sub.add_parser(
+        "fig1", parents=[runner_flags], help="idle cluster memory over a week")
     p.add_argument("--seed", type=int, default=1995)
     p.set_defaults(func=_cmd_fig1)
 
-    p = sub.add_parser("fig2", help="six applications x four policies")
+    p = sub.add_parser(
+        "fig2", parents=[runner_flags], help="six applications x four policies")
     p.add_argument("--apps", nargs="+", choices=_APPS, default=None)
     p.add_argument(
         "--policies",
@@ -178,11 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_fig2)
 
-    p = sub.add_parser("fig3", help="FFT completion vs input size")
+    p = sub.add_parser(
+        "fig3", parents=[runner_flags], help="FFT completion vs input size")
     p.add_argument("--sizes", nargs="+", type=float, default=None, metavar="MB")
     p.set_defaults(func=_cmd_fig3)
 
-    p = sub.add_parser("fig4", help="FFT under faster networks")
+    p = sub.add_parser(
+        "fig4", parents=[runner_flags], help="FFT under faster networks")
     p.add_argument("--sizes", nargs="+", type=float, default=None, metavar="MB")
     p.add_argument(
         "--no-simulate",
@@ -191,69 +214,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=_cmd_fig4)
 
-    p = sub.add_parser("fig5", help="write-through vs parity logging")
+    p = sub.add_parser(
+        "fig5", parents=[runner_flags], help="write-through vs parity logging")
     p.add_argument(
         "--apps", nargs="+", choices=["mvec", "gauss", "qsort", "fft"], default=None
     )
     p.set_defaults(func=_cmd_fig5)
 
-    p = sub.add_parser("breakdown", help="the §4.3 FFT-24MB decomposition")
+    p = sub.add_parser(
+        "breakdown", parents=[runner_flags], help="the §4.3 FFT-24MB decomposition")
     p.add_argument("--size", type=float, default=24.0, metavar="MB")
     p.set_defaults(func=_cmd_breakdown)
 
-    p = sub.add_parser("latency", help="§4.4 per-page latency microbenchmark")
+    p = sub.add_parser(
+        "latency", parents=[runner_flags], help="§4.4 per-page latency microbenchmark")
     p.add_argument("--transfers", type=int, default=200)
     p.set_defaults(func=_cmd_latency)
 
-    p = sub.add_parser("busy", help="§4.5 busy workstations as servers")
+    p = sub.add_parser(
+        "busy", parents=[runner_flags], help="§4.5 busy workstations as servers")
     p.add_argument(
         "--apps", nargs="+", choices=["fft", "gauss", "mvec", "qsort"],
         default=["fft", "gauss", "mvec"],
     )
     p.set_defaults(func=_cmd_busy)
 
-    p = sub.add_parser("loaded", help="§4.6 loaded Ethernet")
+    p = sub.add_parser(
+        "loaded", parents=[runner_flags], help="§4.6 loaded Ethernet")
     p.add_argument("--loads", nargs="+", type=float, default=[0.0, 0.3, 0.6])
     p.set_defaults(func=_cmd_loaded)
 
-    p = sub.add_parser("scaling", help="parity logging vs server count")
+    p = sub.add_parser(
+        "scaling", parents=[runner_flags], help="parity logging vs server count")
     p.add_argument("--servers", nargs="+", type=int, default=[2, 4, 8])
     p.set_defaults(func=_cmd_scaling)
 
-    p = sub.add_parser("netcmp", help="token ring vs Ethernet under load")
+    p = sub.add_parser(
+        "netcmp", parents=[runner_flags], help="token ring vs Ethernet under load")
     p.add_argument("--loads", nargs="+", type=float, default=[0.0, 0.4, 0.8])
     p.set_defaults(func=_cmd_netcmp)
 
-    p = sub.add_parser("hetero", help="§5 heterogeneous-network hierarchy")
+    p = sub.add_parser(
+        "hetero", parents=[runner_flags], help="§5 heterogeneous-network hierarchy")
     p.set_defaults(func=_cmd_hetero)
 
-    p = sub.add_parser("adaptive", help="§5 network-load threshold")
+    p = sub.add_parser(
+        "adaptive", parents=[runner_flags], help="§5 network-load threshold")
     p.add_argument("--load", type=float, default=0.8)
     p.set_defaults(func=_cmd_adaptive)
 
-    p = sub.add_parser("remotedisk", help="remote memory vs remote disk paging")
+    p = sub.add_parser(
+        "remotedisk", parents=[runner_flags], help="remote memory vs remote disk paging")
     p.set_defaults(func=_cmd_remotedisk)
 
-    p = sub.add_parser("multiclient", help="two clients sharing the cluster")
+    p = sub.add_parser(
+        "multiclient", parents=[runner_flags], help="two clients sharing the cluster")
     p.set_defaults(func=_cmd_multiclient)
 
-    p = sub.add_parser("diurnal", help="Figure 1 trace driving donor capacity")
+    p = sub.add_parser(
+        "diurnal", parents=[runner_flags], help="Figure 1 trace driving donor capacity")
     p.set_defaults(func=_cmd_diurnal)
 
-    p = sub.add_parser("compression", help="beyond-paper: page compression trade-off")
+    p = sub.add_parser(
+        "compression", parents=[runner_flags], help="beyond-paper: page compression trade-off")
     p.set_defaults(func=_cmd_compression)
 
-    p = sub.add_parser("profile", help="device-independent workload fault profiles")
+    p = sub.add_parser(
+        "profile", parents=[runner_flags], help="device-independent workload fault profiles")
     p.add_argument("--apps", nargs="+", choices=_APPS, default=None)
     p.set_defaults(func=_cmd_profile)
 
-    p = sub.add_parser("ablate", help="design-choice ablations")
+    p = sub.add_parser(
+        "ablate", parents=[runner_flags], help="design-choice ablations")
     p.add_argument(
         "--which", choices=["replacement", "window", "batch", "all"], default="all"
     )
     p.set_defaults(func=_cmd_ablate)
 
-    p = sub.add_parser("all", help="run every experiment in sequence")
+    p = sub.add_parser(
+        "all", parents=[runner_flags], help="run every experiment in sequence")
     p.set_defaults(func=None)
 
     return parser
@@ -262,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 0:
+        parser.error(f"argument --jobs: must be >= 0, got {args.jobs}")
+    configure_default_runner(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
     try:
         if args.command == "all":
             for command in _ALL:

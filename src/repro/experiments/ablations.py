@@ -24,9 +24,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..analysis.report import format_table
-from ..core.builder import build_cluster
-from ..vm.replacement import make_replacement
-from ..workloads import Gauss
+from ..runner import RunSpec, default_runner
 
 __all__ = [
     "run_replacement_ablation",
@@ -38,46 +36,73 @@ __all__ = [
 
 
 def run_replacement_ablation(
-    policies=("lru", "clock", "fifo"), workload_factory=Gauss
+    policies=("lru", "clock", "fifo"), workload: str = "gauss", runner=None
 ) -> Dict[str, Dict[str, float]]:
     """Run GAUSS under each replacement policy."""
-    results: Dict[str, Dict[str, float]] = {}
-    for name in policies:
-        cluster = build_cluster(
-            policy="no-reliability", n_servers=2, replacement=make_replacement(name)
+    policies = list(policies)
+    specs = [
+        RunSpec.make(
+            workload,
+            "no-reliability",
+            overrides={"replacement": name},
+            label=f"{workload}/replacement={name}",
         )
-        report = cluster.run(workload_factory())
+        for name in policies
+    ]
+    results: Dict[str, Dict[str, float]] = {}
+    for name, result in zip(policies, (runner or default_runner()).run(specs)):
         results[name] = {
-            "etime": report.etime,
-            "pageins": report.pageins,
-            "pageouts": report.pageouts,
+            "etime": result.report.etime,
+            "pageins": result.report.pageins,
+            "pageouts": result.report.pageouts,
         }
     return results
 
 
 def run_pageout_window_ablation(
-    windows=(1, 4, 16), workload_factory=Gauss, policy: str = "no-reliability"
+    windows=(1, 4, 16), workload: str = "gauss", policy: str = "no-reliability",
+    runner=None,
 ) -> Dict[int, Dict[str, float]]:
     """Sweep the asynchronous write-back window."""
+    windows = list(windows)
+    specs = [
+        RunSpec.make(
+            workload,
+            policy,
+            machine_attrs={"pageout_window": window},
+            label=f"{workload}/window={window}",
+        )
+        for window in windows
+    ]
     results: Dict[int, Dict[str, float]] = {}
-    for window in windows:
-        cluster = build_cluster(policy=policy, n_servers=2)
-        cluster.machine.pageout_window = window
-        report = cluster.run(workload_factory())
-        results[window] = {"etime": report.etime, "pageouts": report.pageouts}
+    for window, result in zip(windows, (runner or default_runner()).run(specs)):
+        results[window] = {
+            "etime": result.report.etime,
+            "pageouts": result.report.pageouts,
+        }
     return results
 
 
 def run_free_batch_ablation(
-    batches=(1, 4, 16), workload_factory=Gauss, policy: str = "disk"
+    batches=(1, 4, 16), workload: str = "gauss", policy: str = "disk", runner=None
 ) -> Dict[int, Dict[str, float]]:
     """Sweep the paging daemon reclaim batch size."""
+    batches = list(batches)
+    specs = [
+        RunSpec.make(
+            workload,
+            policy,
+            machine_attrs={"free_batch": batch},
+            label=f"{workload}/batch={batch}",
+        )
+        for batch in batches
+    ]
     results: Dict[int, Dict[str, float]] = {}
-    for batch in batches:
-        cluster = build_cluster(policy=policy)
-        cluster.machine.free_batch = batch
-        report = cluster.run(workload_factory())
-        results[batch] = {"etime": report.etime, "pageouts": report.pageouts}
+    for batch, result in zip(batches, (runner or default_runner()).run(specs)):
+        results[batch] = {
+            "etime": result.report.etime,
+            "pageouts": result.report.pageouts,
+        }
     return results
 
 
@@ -96,21 +121,27 @@ def render_ablation(results: Dict, title: str, key_label: str) -> str:
 
 
 def run_prefetch_ablation(
-    depths=(0, 2, 8), policy: str = "no-reliability"
+    depths=(0, 2, 8), policy: str = "no-reliability", runner=None
 ) -> Dict[int, Dict[str, float]]:
     """Sequential read-ahead depth vs completion time (streaming scan)."""
-    from ..workloads import SequentialScan
-
-    results: Dict[int, Dict[str, float]] = {}
-    for depth in depths:
-        cluster = build_cluster(policy=policy, n_servers=2)
-        cluster.machine.prefetch = depth
-        report = cluster.run(
-            SequentialScan(n_pages=3000, passes=3, write=True, cpu_per_page=1e-3)
+    depths = list(depths)
+    specs = [
+        RunSpec.make(
+            "sequential-scan",
+            policy,
+            workload_kwargs={
+                "n_pages": 3000, "passes": 3, "write": True, "cpu_per_page": 1e-3,
+            },
+            machine_attrs={"prefetch": depth},
+            label=f"scan/prefetch={depth}",
         )
+        for depth in depths
+    ]
+    results: Dict[int, Dict[str, float]] = {}
+    for depth, result in zip(depths, (runner or default_runner()).run(specs)):
         results[depth] = {
-            "etime": report.etime,
-            "demand_faults": report.faults,
-            "prefetched": cluster.machine.counters["prefetched"],
+            "etime": result.report.etime,
+            "demand_faults": result.report.faults,
+            "prefetched": result.report.counters.get("prefetched", 0),
         }
     return results

@@ -15,11 +15,8 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..analysis.report import format_table
-from ..core.builder import Cluster
-from ..net.traffic import attach_background_load
+from ..runner import RunSpec, default_runner
 from ..units import milliseconds
-from ..workloads import Mvec
-from .harness import run_policy
 
 __all__ = ["run_adaptive", "render_adaptive"]
 
@@ -27,31 +24,31 @@ __all__ = ["run_adaptive", "render_adaptive"]
 def run_adaptive(
     background_load: float = 0.8,
     threshold_ms: float = 25.0,
-    workload_factory=Mvec,
+    workload: str = "mvec",
+    workload_kwargs=None,
+    runner=None,
 ) -> Dict[str, object]:
     """Compare fixed-network vs threshold-adaptive pagers."""
-    def hook(cluster: Cluster) -> None:
-        attach_background_load(cluster.network, total_load=background_load, n_sources=4)
-
-    results: Dict[str, object] = {}
-    for label, threshold in (("fixed-network", None), ("adaptive", milliseconds(threshold_ms))):
-        captured = {}
-
-        def capture_hook(cluster: Cluster) -> None:
-            hook(cluster)
-            captured["pager"] = cluster.pager
-
-        report = run_policy(
-            workload_factory,
+    variants = (("fixed-network", None), ("adaptive", milliseconds(threshold_ms)))
+    specs = [
+        RunSpec.make(
+            workload,
             "no-reliability",
-            cluster_hook=capture_hook,
-            network_threshold=threshold,
+            workload_kwargs=workload_kwargs,
+            overrides={"network_threshold": threshold},
+            hook="background-load",
+            hook_kwargs={"total_load": background_load, "n_sources": 4},
+            extract=("pager-stats",),
+            label=f"{workload}/{label}",
         )
-        pager = captured["pager"]
+        for label, threshold in variants
+    ]
+    results: Dict[str, object] = {}
+    for (label, _), result in zip(variants, (runner or default_runner()).run(specs)):
         results[label] = {
-            "etime": report.etime,
-            "disk_routed": pager.counters["disk_fallback_pageouts"],
-            "network_pageouts": pager.policy.counters["pageouts"],
+            "etime": result.report.etime,
+            "disk_routed": result.extras["disk_fallback_pageouts"],
+            "network_pageouts": result.extras["network_pageouts"],
         }
     results["improvement"] = (
         1.0 - results["adaptive"]["etime"] / results["fixed-network"]["etime"]

@@ -14,15 +14,19 @@ from typing import Dict
 from ..analysis.extrapolate import all_memory_bound, decompose
 from ..analysis.paper_data import FFT_24MB_BREAKDOWN
 from ..analysis.report import format_table
-from ..workloads import Fft
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_breakdown", "render_breakdown"]
 
 
-def run_breakdown(size_mb: float = 24.0, bandwidth_factor: float = 10.0) -> Dict[str, object]:
+def run_breakdown(
+    size_mb: float = 24.0, bandwidth_factor: float = 10.0, runner=None
+) -> Dict[str, object]:
     """Run the FFT and derive the paper's full §4.3 decomposition."""
-    report = run_policy(lambda: Fft.from_megabytes(size_mb), "parity-logging")
+    spec = RunSpec.make(
+        "fft", "parity-logging", workload_kwargs={"size_mb": size_mb}
+    )
+    report = (runner or default_runner()).run_one(spec).report
     decomposition = decompose(report)
     predicted = decomposition.predicted_etime(bandwidth_factor)
     cpu_floor = (

@@ -8,76 +8,51 @@ and server CPU utilisation always under 15%.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Dict
 
 from ..analysis.report import format_table
-from ..cluster.load import CpuBoundLoop, EditorSession
-from ..core.builder import Cluster
-from ..workloads import Fft, Gauss, Mvec, Qsort
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_busy_servers", "render_busy_servers"]
 
-_FACTORIES = {"fft": Fft, "gauss": Gauss, "mvec": Mvec, "qsort": Qsort}
-
 SCENARIOS = ("idle", "editor", "cpu-bound")
-
-
-def _hook_for(scenario: str) -> Optional[Callable[[Cluster], None]]:
-    if scenario == "idle":
-        return None
-    if scenario == "editor":
-        def hook(cluster: Cluster) -> None:
-            for host in cluster.server_hosts:
-                EditorSession(host)
-        return hook
-    if scenario == "cpu-bound":
-        def hook(cluster: Cluster) -> None:
-            for host in cluster.server_hosts:
-                CpuBoundLoop(host)
-        return hook
-    raise ValueError(f"unknown scenario {scenario!r}")
 
 
 def run_busy_servers(
     apps=("fft", "gauss", "mvec", "qsort"),
     policy: str = "no-reliability",
+    runner=None,
 ) -> Dict[str, Dict[str, object]]:
-    """Returns reports keyed [app][scenario], plus server CPU stats."""
+    """Returns reports keyed [app][scenario], plus server CPU stats.
+
+    The server-load scenarios and the CPU-utilisation probe live in the
+    runner registry (``busy-scenario`` hook / ``server-cpu`` extractor)
+    so each app x scenario cell is an independent, parallelisable run.
+    """
+    apps = list(apps)
+    specs = [
+        RunSpec.make(
+            app,
+            policy,
+            hook="busy-scenario",
+            hook_kwargs={"scenario": scenario},
+            extract=("server-cpu",),
+            label=f"{app}/{scenario}",
+        )
+        for app in apps
+        for scenario in SCENARIOS
+    ]
+    flat = iter((runner or default_runner()).run(specs))
     results: Dict[str, Dict[str, object]] = {}
     for app in apps:
         results[app] = {}
         for scenario in SCENARIOS:
-            utilizations: list = []
-            report = run_policy(
-                _FACTORIES[app], policy, cluster_hook=_collect(scenario, utilizations)
-            )
+            result = next(flat)
             results[app][scenario] = {
-                "report": report,
-                "server_cpu_utilizations": utilizations,
+                "report": result.report,
+                "server_cpu_utilizations": result.extras["server_cpu_utilizations"],
             }
     return results
-
-
-def _collect(scenario, utilizations):
-    captured = {}
-
-    def hook(cluster: Cluster) -> None:
-        inner = _hook_for(scenario)
-        if inner is not None:
-            inner(cluster)
-        captured["servers"] = cluster.servers
-        # Record utilisation lazily at workload end via a monitor process.
-
-        def monitor():
-            yield cluster.sim.timeout(1.0)
-            while True:
-                utilizations[:] = [s.cpu_utilization() for s in cluster.servers]
-                yield cluster.sim.timeout(5.0)
-
-        cluster.sim.process(monitor(), name="cpu-probe")
-
-    return hook
 
 
 def render_busy_servers(results: Dict[str, Dict[str, object]]) -> str:

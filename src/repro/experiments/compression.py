@@ -16,9 +16,8 @@ from typing import Dict, Iterable
 
 from ..analysis.report import format_table
 from ..config import TCP_IP_1996, fast_network
+from ..runner import RunSpec, default_runner
 from ..units import milliseconds
-from ..workloads import Gauss
-from .harness import run_policy
 
 __all__ = ["run_compression", "render_compression"]
 
@@ -28,27 +27,32 @@ COMPRESSION_CPU = milliseconds(0.8)
 
 def run_compression(
     ratios: Iterable[float] = (1.0, 2.0, 4.0),
-    workload_factory=Gauss,
+    workload: str = "gauss",
+    runner=None,
 ) -> Dict[str, Dict[float, float]]:
     """GAUSS completion per compression ratio, on slow and fast networks."""
-    results: Dict[str, Dict[float, float]] = {"ethernet": {}, "ethernet_x10": {}}
+    ratios = list(ratios)
+    specs = []
     for ratio in ratios:
         protocol = replace(
             TCP_IP_1996,
             compression_ratio=ratio,
             compression_cpu=COMPRESSION_CPU if ratio > 1.0 else 0.0,
         )
-        slow = run_policy(
-            workload_factory, "no-reliability", protocol_spec=protocol
-        )
-        fast = run_policy(
-            workload_factory,
-            "no-reliability",
-            protocol_spec=protocol,
-            switched_spec=fast_network(10),
-        )
-        results["ethernet"][ratio] = slow.etime
-        results["ethernet_x10"][ratio] = fast.etime
+        for net, extra in (("ethernet", {}), ("ethernet_x10", {"switched_spec": fast_network(10)})):
+            specs.append(
+                RunSpec.make(
+                    workload,
+                    "no-reliability",
+                    overrides={"protocol_spec": protocol, **extra},
+                    label=f"{workload}/{net}/ratio={ratio:g}",
+                )
+            )
+    flat = iter((runner or default_runner()).run(specs))
+    results: Dict[str, Dict[float, float]] = {"ethernet": {}, "ethernet_x10": {}}
+    for ratio in ratios:
+        results["ethernet"][ratio] = next(flat).report.etime
+        results["ethernet_x10"][ratio] = next(flat).report.etime
     return results
 
 

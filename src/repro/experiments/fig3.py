@@ -12,8 +12,7 @@ from typing import Dict, Iterable, List, Optional
 from ..analysis.charts import ascii_chart
 from ..analysis.paper_data import FIG3_INPUT_SIZES_MB
 from ..analysis.report import format_table
-from ..workloads import Fft
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_fig3", "render_fig3"]
 
@@ -21,17 +20,23 @@ __all__ = ["run_fig3", "render_fig3"]
 def run_fig3(
     sizes_mb: Optional[Iterable[float]] = None,
     policies: Iterable[str] = ("disk", "parity-logging"),
+    runner=None,
 ) -> Dict[str, Dict[float, object]]:
     """FFT input-size sweep; returns reports keyed [policy][size_mb]."""
     sizes = list(sizes_mb) if sizes_mb else list(FIG3_INPUT_SIZES_MB)
-    results: Dict[str, Dict[float, object]] = {}
-    for policy in policies:
-        results[policy] = {}
-        for mb in sizes:
-            results[policy][mb] = run_policy(
-                lambda mb=mb: Fft.from_megabytes(mb), policy
-            )
-    return results
+    policies = list(policies)
+    specs = [
+        RunSpec.make(
+            "fft",
+            policy,
+            workload_kwargs={"size_mb": mb},
+            label=f"fft-{mb}MB/{policy}",
+        )
+        for policy in policies
+        for mb in sizes
+    ]
+    flat = iter((runner or default_runner()).run(specs))
+    return {policy: {mb: next(flat).report for mb in sizes} for policy in policies}
 
 
 def render_fig3(results: Dict[str, Dict[float, object]]) -> str:

@@ -23,8 +23,7 @@ from ..analysis.extrapolate import all_memory_bound, decompose
 from ..analysis.paper_data import FIG3_INPUT_SIZES_MB
 from ..analysis.report import format_table
 from ..config import fast_network
-from ..workloads import Fft
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_fig4", "render_fig4"]
 
@@ -33,14 +32,32 @@ def run_fig4(
     sizes_mb: Optional[Iterable[float]] = None,
     bandwidth_factor: float = 10.0,
     simulate_fast_network: bool = True,
+    runner=None,
 ) -> Dict[float, Dict[str, float]]:
     """Returns, per input size, the four curves (plus the validation
     curve ``ethernet_x10_simulated`` when requested)."""
     sizes = list(sizes_mb) if sizes_mb else list(FIG3_INPUT_SIZES_MB)
+    cells = [("disk", {}), ("parity-logging", {})]
+    if simulate_fast_network:
+        cells.append(
+            ("parity-logging", {"switched_spec": fast_network(bandwidth_factor)})
+        )
+    specs = [
+        RunSpec.make(
+            "fft",
+            policy,
+            workload_kwargs={"size_mb": mb},
+            overrides=overrides,
+            label=f"fft-{mb}MB/{policy}" + ("+fast" if overrides else ""),
+        )
+        for mb in sizes
+        for policy, overrides in cells
+    ]
+    flat = iter((runner or default_runner()).run(specs))
     results: Dict[float, Dict[str, float]] = {}
     for mb in sizes:
-        disk = run_policy(lambda mb=mb: Fft.from_megabytes(mb), "disk")
-        ethernet = run_policy(lambda mb=mb: Fft.from_megabytes(mb), "parity-logging")
+        disk = next(flat).report
+        ethernet = next(flat).report
         decomposition = decompose(ethernet)
         row = {
             "disk": disk.etime,
@@ -54,12 +71,7 @@ def run_fig4(
             / decomposition.predicted_etime(bandwidth_factor),
         }
         if simulate_fast_network:
-            fast = run_policy(
-                lambda mb=mb: Fft.from_megabytes(mb),
-                "parity-logging",
-                switched_spec=fast_network(bandwidth_factor),
-            )
-            row["ethernet_x10_simulated"] = fast.etime
+            row["ethernet_x10_simulated"] = next(flat).report.etime
         results[mb] = row
     return results
 

@@ -25,12 +25,15 @@ _FACTORIES = {"mvec": Mvec, "gauss": Gauss, "qsort": Qsort, "fft": Fft}
 def run_fig5(
     apps: Optional[Iterable[str]] = None,
     policies: Optional[Iterable[str]] = None,
+    runner=None,
 ) -> Dict[str, Dict[str, object]]:
     """Run the Figure 5 matrix; returns reports keyed [app][policy]."""
     apps = list(apps) if apps else list(_FACTORIES)
     policies = list(policies) if policies else list(FIG5_POLICIES)
-    factories = {name: _FACTORIES[name] for name in apps}
-    return run_suite(factories, policies)
+    for name in apps:
+        if name not in _FACTORIES:
+            raise KeyError(name)
+    return run_suite({name: name for name in apps}, policies, runner=runner)
 
 
 def render_fig5(reports: Dict[str, Dict[str, object]]) -> str:

@@ -8,13 +8,23 @@ write-through comparison of Figure 5):
 * MIRRORING — one primary + one mirror server;
 * DISK — the local DEC RZ55, no pager involvement;
 * WRITE THROUGH — remote memory as a write-through cache of the disk.
+
+Execution routes through :mod:`repro.runner`: a workload named by its
+registry string becomes a picklable :class:`~repro.runner.RunSpec`, so
+suites parallelise over worker processes and hit the on-disk result
+cache.  Callable factories and ad-hoc ``cluster_hook`` closures are
+still accepted — those run inline in this process (they cannot be
+shipped to workers or fingerprinted), exactly as the harness always
+did.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Union
 
 from ..core.builder import Cluster, build_cluster
+from ..runner import RunSpec, default_runner
+from ..runner.execute import build_meta
 from ..vm.machine import CompletionReport
 from ..workloads.base import Workload
 
@@ -29,34 +39,81 @@ PAPER_CONFIGS: Dict[str, dict] = {
     "write-through": dict(policy="write-through", n_servers=2),
 }
 
+#: Either a registry name (parallel/cacheable) or a callable (inline).
+WorkloadRef = Union[str, Callable[[], Workload]]
+
 
 def run_policy(
-    workload_factory: Callable[[], Workload],
+    workload_factory: WorkloadRef,
     policy: str,
     cluster_hook: Optional[Callable[[Cluster], None]] = None,
+    runner=None,
     **overrides,
 ) -> CompletionReport:
     """Run one workload under one paper configuration.
 
-    ``cluster_hook`` runs after assembly and before the workload starts —
-    experiments use it to attach background load, crash injectors, etc.
+    ``workload_factory`` may be a registry name (``"gauss"``), which
+    routes through the experiment runner (cache-aware), or any zero-arg
+    callable, which runs inline.  ``cluster_hook`` runs after assembly
+    and before the workload starts — experiments use it to attach
+    background load, crash injectors, etc.; passing one forces the
+    inline path.
     """
+    if isinstance(workload_factory, str) and cluster_hook is None:
+        spec = RunSpec.make(workload_factory, policy, overrides=overrides)
+        return (runner or default_runner()).run_one(spec).report
+
     kwargs = dict(PAPER_CONFIGS[policy])
     kwargs.update(overrides)
     cluster = build_cluster(**kwargs)
     if cluster_hook is not None:
         cluster_hook(cluster)
-    workload = workload_factory()
-    return cluster.run(workload)
+    if isinstance(workload_factory, str):
+        from ..runner.registry import make_workload
+
+        workload = make_workload(workload_factory, {})
+    else:
+        workload = workload_factory()
+    report = cluster.run(workload)
+    report.meta = build_meta(policy, kwargs.get("seed", 0), overrides, workload.name)
+    return report
 
 
 def run_suite(
-    workload_factories: Dict[str, Callable[[], Workload]],
+    workload_factories: Dict[str, WorkloadRef],
     policies,
     cluster_hook: Optional[Callable[[Cluster], None]] = None,
+    runner=None,
     **overrides,
 ) -> Dict[str, Dict[str, CompletionReport]]:
-    """Run a matrix of workloads x policies; returns nested reports."""
+    """Run a matrix of workloads x policies; returns nested reports.
+
+    When every workload is a registry name and there is no ad-hoc hook,
+    the whole matrix is handed to the experiment runner in one batch —
+    cells run in parallel under ``--jobs N`` and cached cells are
+    skipped.  Results are assembled in matrix order either way, so the
+    output is independent of completion order.
+    """
+    all_named = all(isinstance(ref, str) for ref in workload_factories.values())
+    if all_named and cluster_hook is None:
+        runner = runner or default_runner()
+        apps = list(workload_factories)
+        policies = list(policies)
+        specs = [
+            RunSpec.make(
+                workload_factories[app],
+                policy,
+                overrides=overrides,
+                label=f"{app}/{policy}",
+            )
+            for app in apps
+            for policy in policies
+        ]
+        flat = iter(runner.run(specs))
+        return {
+            app: {policy: next(flat).report for policy in policies} for app in apps
+        }
+
     results: Dict[str, Dict[str, CompletionReport]] = {}
     for app_name, factory in workload_factories.items():
         results[app_name] = {}

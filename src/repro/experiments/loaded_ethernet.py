@@ -13,38 +13,33 @@ from __future__ import annotations
 from typing import Dict, Iterable, List
 
 from ..analysis.report import format_table
-from ..core.builder import Cluster
-from ..net.traffic import attach_background_load
-from ..workloads import Gauss
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_loaded_ethernet", "render_loaded_ethernet"]
 
 
 def run_loaded_ethernet(
     loads: Iterable[float] = (0.0, 0.2, 0.4, 0.6, 0.8),
-    workload_factory=Gauss,
+    workload: str = "gauss",
     policy: str = "no-reliability",
+    runner=None,
 ) -> Dict[float, Dict[str, float]]:
     """Sweep background offered load; returns metrics per load point."""
+    loads = list(loads)
+    specs = [
+        RunSpec.make(
+            workload,
+            policy,
+            hook="background-load",
+            hook_kwargs={"total_load": load, "n_sources": 4},
+            extract=("network-stats",),
+            label=f"{workload}/{policy}/load={load:.0%}",
+        )
+        for load in loads
+    ]
     results: Dict[float, Dict[str, float]] = {}
-    for load in loads:
-        stats = {}
-
-        def hook(cluster: Cluster, load=load, stats=stats) -> None:
-            if load > 0:
-                attach_background_load(cluster.network, total_load=load, n_sources=4)
-            stats["network"] = cluster.network
-
-        report = run_policy(workload_factory, policy, cluster_hook=hook)
-        network = stats["network"]
-        results[load] = {
-            "etime": report.etime,
-            "collisions": network.stats.counters["collisions"],
-            "frames": network.stats.counters["frames"],
-            "wire_utilization": network.stats.utilization(),
-            "mean_message_latency_ms": network.stats.message_latency.mean * 1e3,
-        }
+    for load, result in zip(loads, (runner or default_runner()).run(specs)):
+        results[load] = {"etime": result.report.etime, **result.extras}
     return results
 
 

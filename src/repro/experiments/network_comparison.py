@@ -13,38 +13,41 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from ..analysis.report import format_table
-from ..core.builder import Cluster
 from ..net.token_ring import TokenRingSpec
-from ..net.traffic import attach_background_load
+from ..runner import RunSpec, default_runner
 from ..units import megabits_per_second
-from ..workloads import Gauss
-from .harness import run_policy
 
 __all__ = ["run_network_comparison", "render_network_comparison"]
 
 
 def run_network_comparison(
     loads: Iterable[float] = (0.0, 0.4, 0.8),
-    workload_factory=Gauss,
+    workload: str = "gauss",
+    workload_kwargs=None,
+    runner=None,
 ) -> Dict[str, Dict[float, float]]:
     """GAUSS completion time per MAC technology and background load."""
+    loads = list(loads)
     ring_spec = TokenRingSpec(bandwidth=megabits_per_second(10))
+    variants = [("ethernet", {}), ("token-ring", {"token_ring_spec": ring_spec})]
+    specs = [
+        RunSpec.make(
+            workload,
+            "no-reliability",
+            workload_kwargs=workload_kwargs,
+            overrides=overrides,
+            hook="background-load",
+            hook_kwargs={"total_load": load, "n_sources": 4},
+            label=f"{workload}/{mac}/load={load:.0%}",
+        )
+        for load in loads
+        for mac, overrides in variants
+    ]
+    flat = iter((runner or default_runner()).run(specs))
     results: Dict[str, Dict[float, float]] = {"ethernet": {}, "token-ring": {}}
     for load in loads:
-
-        def hook(cluster: Cluster, load=load) -> None:
-            if load > 0:
-                attach_background_load(cluster.network, total_load=load, n_sources=4)
-
-        ethernet = run_policy(workload_factory, "no-reliability", cluster_hook=hook)
-        ring = run_policy(
-            workload_factory,
-            "no-reliability",
-            cluster_hook=hook,
-            token_ring_spec=ring_spec,
-        )
-        results["ethernet"][load] = ethernet.etime
-        results["token-ring"][load] = ring.etime
+        for mac, _ in variants:
+            results[mac][load] = next(flat).report.etime
     return results
 
 

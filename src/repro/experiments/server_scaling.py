@@ -13,23 +13,44 @@ from __future__ import annotations
 from typing import Dict, Iterable
 
 from ..analysis.report import format_table
-from ..workloads import Gauss
-from .harness import run_policy
+from ..runner import RunSpec, default_runner
 
 __all__ = ["run_server_scaling", "render_server_scaling"]
 
 
 def run_server_scaling(
     server_counts: Iterable[int] = (2, 4, 8),
-    workload_factory=Gauss,
+    workload: str = "gauss",
+    workload_kwargs=None,
+    runner=None,
 ) -> Dict[int, Dict[str, float]]:
     """Sweep the server count; returns metrics keyed by S."""
+    server_counts = list(server_counts)
+    specs = []
+    for s in server_counts:
+        specs.append(
+            RunSpec.make(
+                workload,
+                "no-reliability",
+                workload_kwargs=workload_kwargs,
+                overrides={"n_servers": s},
+                label=f"{workload}/no-rel/S={s}",
+            )
+        )
+        specs.append(
+            RunSpec.make(
+                workload,
+                "parity-logging",
+                workload_kwargs=workload_kwargs,
+                overrides={"n_servers": s, "overflow_fraction": 0.10},
+                label=f"{workload}/parity-log/S={s}",
+            )
+        )
+    flat = iter((runner or default_runner()).run(specs))
     results: Dict[int, Dict[str, float]] = {}
     for s in server_counts:
-        no_rel = run_policy(workload_factory, "no-reliability", n_servers=s)
-        logging = run_policy(
-            workload_factory, "parity-logging", n_servers=s, overflow_fraction=0.10
-        )
+        no_rel = next(flat).report
+        logging = next(flat).report
         results[s] = {
             "no_reliability_etime": no_rel.etime,
             "parity_logging_etime": logging.etime,

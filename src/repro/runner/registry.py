@@ -1,0 +1,219 @@
+"""Name → behaviour registries backing :class:`repro.runner.RunSpec`.
+
+Specs must pickle cleanly into worker processes, so anything callable —
+workload construction, cluster hooks, post-run metric extraction — is
+referenced by a registry name and looked up again on the worker side.
+Experiments can register additional entries at import time; a name only
+needs to be registered in the process that *resolves* it (workers import
+this module fresh, so module-level registration is the rule).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "WORKLOADS",
+    "HOOKS",
+    "EXTRACTORS",
+    "register_workload",
+    "register_hook",
+    "register_extractor",
+    "make_workload",
+    "make_hook",
+    "run_extractors",
+]
+
+#: name -> factory(**kwargs) -> Workload
+WORKLOADS: Dict[str, Callable[..., Any]] = {}
+#: name -> factory(**kwargs) -> hook(cluster) -> optional state
+HOOKS: Dict[str, Callable[..., Callable[[Any], Any]]] = {}
+#: name -> f(cluster, report, state) -> dict of extras
+EXTRACTORS: Dict[str, Callable[[Any, Any, Any], Dict[str, Any]]] = {}
+
+
+def register_workload(name: str, factory: Callable[..., Any]) -> None:
+    """Register (or replace) a workload factory under ``name``."""
+    WORKLOADS[name] = factory
+
+
+def register_hook(name: str, factory: Callable[..., Callable[[Any], Any]]) -> None:
+    """Register a cluster-hook factory under ``name``."""
+    HOOKS[name] = factory
+
+
+def register_extractor(
+    name: str, extractor: Callable[[Any, Any, Any], Dict[str, Any]]
+) -> None:
+    """Register a post-run extractor under ``name``."""
+    EXTRACTORS[name] = extractor
+
+
+def make_workload(name: str, kwargs: Dict[str, Any]):
+    """Instantiate the registered workload ``name`` with ``kwargs``.
+
+    A ``size_mb`` kwarg routes through the workload class's
+    ``from_megabytes`` constructor (the Fig 3/4 input-size sweeps).
+    """
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown workload {name!r}; registered: {sorted(WORKLOADS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def make_hook(name: str, kwargs: Dict[str, Any]) -> Callable[[Any], Any]:
+    """Build the registered cluster hook ``name`` with ``kwargs``."""
+    try:
+        factory = HOOKS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown hook {name!r}; registered: {sorted(HOOKS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def run_extractors(names, cluster, report, state) -> Dict[str, Any]:
+    """Apply each registered extractor in order; merge their dicts."""
+    extras: Dict[str, Any] = {}
+    for name in names:
+        try:
+            extractor = EXTRACTORS[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown extractor {name!r}; registered: {sorted(EXTRACTORS)}"
+            ) from None
+        extras.update(extractor(cluster, report, state))
+    return extras
+
+
+# --------------------------------------------------------------------------
+# Built-in workloads: the paper's six applications plus the synthetics.
+# --------------------------------------------------------------------------
+
+def _app_factory(cls) -> Callable[..., Any]:
+    def make(size_mb: Optional[float] = None, **kwargs):
+        if size_mb is not None:
+            return cls.from_megabytes(size_mb, **kwargs)
+        return cls(**kwargs)
+
+    return make
+
+
+def _register_builtin_workloads() -> None:
+    from ..workloads import (
+        Fft,
+        Gauss,
+        HotCold,
+        ImageFilter,
+        KernelBuild,
+        Mvec,
+        Qsort,
+        SequentialScan,
+        UniformRandom,
+        ZipfAccess,
+    )
+
+    for name, cls in (
+        ("mvec", Mvec),
+        ("gauss", Gauss),
+        ("qsort", Qsort),
+        ("fft", Fft),
+        ("filter", ImageFilter),
+        ("cc", KernelBuild),
+        ("sequential-scan", SequentialScan),
+        ("uniform-random", UniformRandom),
+        ("zipf", ZipfAccess),
+        ("hot-cold", HotCold),
+    ):
+        register_workload(name, _app_factory(cls))
+
+
+# --------------------------------------------------------------------------
+# Built-in hooks and extractors: the recurring experiment ingredients.
+# --------------------------------------------------------------------------
+
+def _background_load_hook(total_load: float = 0.0, n_sources: int = 4):
+    """Attach background offered load to the cluster network (§4.6)."""
+
+    def hook(cluster):
+        if total_load > 0:
+            from ..net.traffic import attach_background_load
+
+            attach_background_load(
+                cluster.network, total_load=total_load, n_sources=n_sources
+            )
+        return None
+
+    return hook
+
+
+def _busy_scenario_hook(scenario: str = "idle", probe_period: float = 5.0):
+    """§4.5 server-load scenarios plus a CPU-utilisation probe.
+
+    Returns the utilisation list as hook state so the ``server-cpu``
+    extractor can report it after the run.
+    """
+
+    def hook(cluster):
+        from ..cluster.load import CpuBoundLoop, EditorSession
+
+        if scenario == "editor":
+            for host in cluster.server_hosts:
+                EditorSession(host)
+        elif scenario == "cpu-bound":
+            for host in cluster.server_hosts:
+                CpuBoundLoop(host)
+        elif scenario != "idle":
+            raise ConfigurationError(f"unknown scenario {scenario!r}")
+
+        utilizations: list = []
+
+        def monitor():
+            yield cluster.sim.timeout(1.0)
+            while True:
+                utilizations[:] = [s.cpu_utilization() for s in cluster.servers]
+                yield cluster.sim.timeout(probe_period)
+
+        cluster.sim.process(monitor(), name="cpu-probe")
+        return utilizations
+
+    return hook
+
+
+def _network_stats(cluster, report, state) -> Dict[str, Any]:
+    stats = cluster.network.stats
+    return {
+        "collisions": stats.counters["collisions"],
+        "frames": stats.counters["frames"],
+        "wire_utilization": stats.utilization(),
+        "mean_message_latency_ms": stats.message_latency.mean * 1e3,
+    }
+
+
+def _server_cpu(cluster, report, state) -> Dict[str, Any]:
+    return {"server_cpu_utilizations": list(state or [])}
+
+
+def _pager_stats(cluster, report, state) -> Dict[str, Any]:
+    pager = cluster.pager
+    return {
+        "disk_fallback_pageouts": pager.counters["disk_fallback_pageouts"],
+        "network_pageouts": pager.policy.counters["pageouts"],
+    }
+
+
+def _register_builtins() -> None:
+    _register_builtin_workloads()
+    register_hook("background-load", _background_load_hook)
+    register_hook("busy-scenario", _busy_scenario_hook)
+    register_extractor("network-stats", _network_stats)
+    register_extractor("server-cpu", _server_cpu)
+    register_extractor("pager-stats", _pager_stats)
+
+
+_register_builtins()

@@ -53,6 +53,10 @@ class CompletionReport:
     zero_fills: int = 0
     page_transfers: int = 0
     counters: dict = field(default_factory=dict)
+    #: Provenance: root seed, policy name, resolved configuration
+    #: overrides, workload name — populated by the experiment harness so
+    #: cached and parallel-computed reports are self-describing.
+    meta: dict = field(default_factory=dict)
 
     @property
     def ptime(self) -> float:

@@ -1,0 +1,26 @@
+"""Shared test configuration.
+
+Two hermeticity guards around :mod:`repro.runner`:
+
+* every test gets a private result-cache directory, so runs never read
+  or write the user's real cache (``$REPRO_CACHE_DIR`` /
+  ``~/.cache/repro``) and never see entries left by earlier tests;
+* the process-wide default runner is reset after each test, so a test
+  that drives the CLI (which calls ``configure_default_runner``) cannot
+  leak a cache-enabled parallel runner into later tests.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
+@pytest.fixture(autouse=True)
+def _reset_default_runner():
+    from repro.runner import runner as runner_module
+
+    yield
+    runner_module._default = None

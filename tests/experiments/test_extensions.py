@@ -11,13 +11,18 @@ from repro.experiments import (
 )
 from repro.workloads import Mvec
 
+#: ~23 MB: pages, but quickly.
+SMALL_MVEC = {"n": 1700}
+
 
 def small_mvec():
-    return Mvec(n=1700)  # ~23 MB: pages, but quickly
+    return Mvec(**SMALL_MVEC)
 
 
 def test_server_scaling_transfer_arithmetic():
-    results = run_server_scaling(server_counts=(2, 4), workload_factory=small_mvec)
+    results = run_server_scaling(
+        server_counts=(2, 4), workload="mvec", workload_kwargs=SMALL_MVEC
+    )
     for s, r in results.items():
         extra = r["parity_logging_transfers"] - r["no_reliability_transfers"]
         assert abs(extra / r["pageouts"] - 1.0 / s) < 0.02
@@ -25,7 +30,9 @@ def test_server_scaling_transfer_arithmetic():
 
 def test_network_comparison_idle_parity():
     """With no background load both MACs complete the workload."""
-    results = run_network_comparison(loads=(0.0,), workload_factory=small_mvec)
+    results = run_network_comparison(
+        loads=(0.0,), workload="mvec", workload_kwargs=SMALL_MVEC
+    )
     assert results["ethernet"][0.0] > 0
     assert results["token-ring"][0.0] > 0
 
@@ -37,6 +44,8 @@ def test_heterogeneous_prefers_fast_links():
 
 
 def test_adaptive_routes_to_disk_under_heavy_load():
-    results = run_adaptive(background_load=0.8, workload_factory=small_mvec)
+    results = run_adaptive(
+        background_load=0.8, workload="mvec", workload_kwargs=SMALL_MVEC
+    )
     assert results["adaptive"]["disk_routed"] > 0
     assert results["fixed-network"]["disk_routed"] == 0

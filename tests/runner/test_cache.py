@@ -1,0 +1,79 @@
+"""Result cache: round-trip fidelity, content addressing, corruption."""
+
+import dataclasses
+import json
+
+from repro.runner import ResultCache, RunSpec, fingerprint
+from repro.runner.execute import execute_spec
+
+SPEC = RunSpec.make("gauss", "disk", workload_kwargs={"n": 700})
+
+
+def test_roundtrip_preserves_report_exactly(tmp_path):
+    cache = ResultCache(tmp_path)
+    assert cache.get(SPEC) is None
+    assert cache.misses == 1
+
+    result = execute_spec(SPEC)
+    assert cache.put(SPEC, result.report, result.extras)
+
+    report, extras = cache.get(SPEC)
+    assert cache.hits == 1
+    assert dataclasses.asdict(report) == dataclasses.asdict(result.report)
+    assert extras == result.extras
+
+
+def test_fingerprint_ignores_label_but_not_parameters():
+    labelled = RunSpec.make("gauss", "disk", workload_kwargs={"n": 700}, label="x")
+    assert fingerprint(labelled) == fingerprint(SPEC)
+    other = RunSpec.make("gauss", "disk", workload_kwargs={"n": 701})
+    assert fingerprint(other) != fingerprint(SPEC)
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = execute_spec(SPEC)
+    cache.put(SPEC, result.report, result.extras)
+
+    [entry] = tmp_path.glob("*.json")
+    entry.write_text("{not json", encoding="utf-8")
+    assert cache.get(SPEC) is None
+
+    entry.write_text(json.dumps({"format": 999}), encoding="utf-8")
+    assert cache.get(SPEC) is None
+
+
+def test_unserialisable_extras_refuse_to_cache(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = execute_spec(SPEC)
+    assert not cache.put(SPEC, result.report, {"cluster": object()})
+    assert cache.get(SPEC) is None
+
+
+def test_unusable_cache_location_degrades_to_uncached(tmp_path):
+    """A file where the cache dir should be must never lose a result."""
+    blocker = tmp_path / "not-a-directory"
+    blocker.write_text("")
+    cache = ResultCache(blocker)
+    result = execute_spec(SPEC)
+    assert not cache.put(SPEC, result.report, result.extras)
+    assert cache.get(SPEC) is None
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = execute_spec(SPEC)
+    cache.put(SPEC, result.report, result.extras)
+    assert cache.clear() == 1
+    assert cache.get(SPEC) is None
+
+
+def test_entries_are_human_inspectable(tmp_path):
+    cache = ResultCache(tmp_path)
+    result = execute_spec(SPEC)
+    cache.put(SPEC, result.report, result.extras)
+    [entry] = tmp_path.glob("*.json")
+    payload = json.loads(entry.read_text(encoding="utf-8"))
+    assert payload["spec"]["workload"] == "gauss"
+    assert payload["spec"]["policy"] == "disk"
+    assert payload["report"]["etime"] == result.report.etime

@@ -1,0 +1,48 @@
+"""Registries: name resolution, size_mb routing, unknown-name errors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.registry import (
+    WORKLOADS,
+    make_hook,
+    make_workload,
+    register_workload,
+    run_extractors,
+)
+from repro.workloads import Fft, Gauss
+
+
+def test_builtin_workloads_registered():
+    for name in ("mvec", "gauss", "qsort", "fft", "filter", "cc"):
+        assert name in WORKLOADS
+
+
+def test_make_workload_default_and_kwargs():
+    assert isinstance(make_workload("gauss", {}), Gauss)
+    small = make_workload("gauss", {"n": 900})
+    assert small.n == 900
+
+
+def test_size_mb_routes_through_from_megabytes():
+    via_registry = make_workload("fft", {"size_mb": 17.0})
+    direct = Fft.from_megabytes(17.0)
+    assert isinstance(via_registry, Fft)
+    assert via_registry.elements == direct.elements
+
+
+def test_unknown_names_raise_configuration_error():
+    with pytest.raises(ConfigurationError):
+        make_workload("no-such-workload", {})
+    with pytest.raises(ConfigurationError):
+        make_hook("no-such-hook", {})
+    with pytest.raises(ConfigurationError):
+        run_extractors(["no-such-extractor"], None, None, None)
+
+
+def test_register_workload_extends_registry():
+    register_workload("tiny-gauss-for-test", lambda: Gauss(n=700))
+    try:
+        assert isinstance(make_workload("tiny-gauss-for-test", {}), Gauss)
+    finally:
+        WORKLOADS.pop("tiny-gauss-for-test", None)
