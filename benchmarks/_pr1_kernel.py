@@ -1,33 +1,12 @@
-"""Discrete-event simulation kernel.
+"""The PR-1 simulation kernel, frozen verbatim for A/B benchmarking.
 
-Every model in this package (network, disk, virtual memory, the remote
-memory pager itself) runs on top of this kernel.  It is a small,
-deterministic, generator-based engine in the style of SimPy:
-
-* A :class:`Simulator` owns the virtual clock and the event heap.
-* An :class:`Event` is a one-shot occurrence that other processes may wait
-  on; it either *succeeds* with a value or *fails* with an exception.
-* A :class:`Process` wraps a generator.  The generator yields events; the
-  process resumes when the yielded event fires, receiving the event's
-  value (or having its exception raised at the ``yield``).
-
-Determinism matters for reproducible experiments: events scheduled for the
-same instant fire in FIFO scheduling order (a monotonically increasing
-sequence number breaks ties), and nothing in the kernel reads the wall
-clock or an unseeded RNG.
-
-Example
--------
->>> sim = Simulator()
->>> def worker(sim, results):
-...     yield sim.timeout(5.0)
-...     results.append(sim.now)
->>> results = []
->>> _ = sim.process(worker(sim, results))
->>> sim.run()
->>> results
-[5.0]
+This is ``repro/sim/core.py`` exactly as it stood at the end of PR 1
+(parallel runner + hot-path optimization), before the observability
+layer added its tracer hook.  ``bench_kernel.py`` runs the same
+microbenchmarks against this module and the live kernel to prove that
+the no-op tracer costs < 3% events/sec.  Do not edit.
 """
+
 
 from __future__ import annotations
 
@@ -45,62 +24,7 @@ __all__ = [
     "AllOf",
     "SimulationError",
     "StopSimulation",
-    "NullSpan",
-    "NullTracer",
-    "NULL_SPAN",
-    "NULL_TRACER",
 ]
-
-
-class NullSpan:
-    """The do-nothing request span: every model's default.
-
-    Instrumented components call ``span.phase(...)``/``span.end()``
-    unconditionally; when tracing is off those calls land here and cost
-    one attribute lookup plus an empty method body.  The real span type
-    lives in :mod:`repro.obs.trace` — the kernel only defines the no-op
-    so that instrumentation needs no conditionals and no imports from
-    the observability layer (which would cycle back into the kernel).
-    """
-
-    __slots__ = ()
-
-    def phase(self, name: str) -> "NullSpan":
-        """Record nothing; returns self so calls chain."""
-        return self
-
-    def end(self, status: str = "ok", **attrs: Any) -> None:
-        """Record nothing."""
-        return None
-
-
-class NullTracer:
-    """The zero-cost default tracer installed on every :class:`Simulator`.
-
-    ``enabled`` is False so rare-path components may skip building event
-    attributes entirely; hot-path components just call straight through
-    — every method is a no-op returning a shared singleton.
-    """
-
-    __slots__ = ()
-
-    enabled = False
-
-    def bind(self, sim: "Simulator") -> None:
-        """Nothing to bind; the no-op tracer keeps no clock."""
-        return None
-
-    def emit(self, component: str, event: str, page_id: Any = None, **attrs: Any) -> None:
-        """Drop the event."""
-        return None
-
-    def span(self, kind: str, page_id: Any = None, component: str = "pager") -> NullSpan:
-        """Return the shared no-op span."""
-        return NULL_SPAN
-
-
-NULL_SPAN = NullSpan()
-NULL_TRACER = NullTracer()
 
 
 class SimulationError(Exception):
@@ -471,18 +395,6 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
-        # Observability hook: components read ``sim.tracer`` to open
-        # request spans and emit structured events.  The no-op default
-        # keeps the event loop itself untouched — tracing costs nothing
-        # unless a real repro.obs.trace.Tracer is installed.
-        self.tracer: Any = NULL_TRACER
-
-    def set_tracer(self, tracer: Any) -> Any:
-        """Install ``tracer`` (a :class:`repro.obs.trace.Tracer` or the
-        no-op default) and bind its clock to this simulator."""
-        self.tracer = tracer
-        tracer.bind(self)
-        return tracer
 
     @property
     def now(self) -> float:

@@ -6,7 +6,9 @@ Two complementary measurements, emitted as one JSON summary:
   the two hot paths every experiment exercises (the timeout chain that
   paces compute, and the relay path taken when a process yields an
   already-processed event), run A/B against the verbatim seed kernel
-  preserved in :mod:`_seed_kernel`;
+  preserved in :mod:`_seed_kernel` and against :mod:`_pr1_kernel`, the
+  kernel frozen just before the observability layer added its tracer
+  hook — proving the no-op tracer costs < 3% events/sec;
 * **fig2-suite wall-clock** — the full six-application x four-policy
   grid through :class:`repro.runner.ExperimentRunner` at ``--jobs 1``
   vs ``--jobs N``, measuring what process-level parallelism buys
@@ -35,11 +37,16 @@ for _path in (_HERE, _SRC):
     if _path not in sys.path:
         sys.path.insert(0, _path)
 
+import _pr1_kernel  # noqa: E402  (frozen just before the tracer hook)
 import _seed_kernel  # noqa: E402  (the seed kernel, frozen at v0)
 
 from repro.sim import core as _opt_kernel  # noqa: E402
 
-KERNELS = {"seed": _seed_kernel, "optimized": _opt_kernel}
+KERNELS = {"seed": _seed_kernel, "pr1": _pr1_kernel, "optimized": _opt_kernel}
+
+#: Largest acceptable events/sec loss of the live kernel (no-op tracer
+#: installed) relative to the pre-observability PR-1 kernel.
+TRACER_OVERHEAD_BUDGET = 0.03
 
 
 # --------------------------------------------------------------------------
@@ -99,6 +106,10 @@ def measure_kernels(n_events: int = 200_000, repeats: int = 3) -> dict:
         results[path_name] = {
             "events_per_sec": {k: round(v) for k, v in rates.items()},
             "speedup": round(rates["optimized"] / rates["seed"], 3),
+            # < 0 means the live kernel is *faster* than pre-tracer PR 1.
+            "tracer_overhead_vs_pr1": round(
+                1.0 - rates["optimized"] / rates["pr1"], 4
+            ),
         }
     return results
 
@@ -150,6 +161,25 @@ def test_kernel_throughput_smoke(benchmark, once):
     for path in results.values():
         for rate in path["events_per_sec"].values():
             assert rate > 0
+
+
+def test_noop_tracer_within_overhead_budget(benchmark, once):
+    """Tracing off must be benchmark-neutral: < 3% events/sec loss.
+
+    Best-of-5 on both kernels to shake out scheduler noise; the budget
+    is the acceptance criterion for the observability layer (the no-op
+    tracer is one attribute read per Simulator, no per-event work).
+    """
+    results = once(
+        benchmark, measure_kernels, n_events=100_000, repeats=5
+    )
+    for path_name, path in results.items():
+        overhead = path["tracer_overhead_vs_pr1"]
+        print(f"\n{path_name}: tracer overhead vs pr1 = {overhead:.2%}")
+        assert overhead < TRACER_OVERHEAD_BUDGET, (
+            f"{path_name}: live kernel (no-op tracer) is {overhead:.2%} "
+            f"slower than the PR-1 kernel (budget {TRACER_OVERHEAD_BUDGET:.0%})"
+        )
 
 
 def main(argv=None) -> int:

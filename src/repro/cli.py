@@ -4,11 +4,15 @@
 
     python -m repro fig2 --apps mvec gauss
     python -m repro fig4
-    python -m repro breakdown
+    python -m repro breakdown --observed
+    python -m repro fig2 --trace fig2.jsonl   # structured event/span trace
+    python -m repro trace-summary fig2.jsonl
     python -m repro all          # everything (minutes of simulation)
 
 Each subcommand runs the matching experiment module and prints its
-measured-vs-paper table.
+measured-vs-paper table.  ``--trace PATH`` records every simulation
+event and request span to ``PATH`` (JSONL) plus a Chrome trace-viewer
+file next to it; ``trace-summary`` digests a recorded trace.
 """
 
 from __future__ import annotations
@@ -18,9 +22,12 @@ import sys
 from typing import List, Optional
 
 from . import experiments as exp
+from .log import configure_logging, get_logger
 from .runner import configure_default_runner
 
 __all__ = ["main", "build_parser"]
+
+log = get_logger(__name__)
 
 
 def _cmd_fig1(args) -> str:
@@ -46,7 +53,18 @@ def _cmd_fig5(args) -> str:
 
 
 def _cmd_breakdown(args) -> str:
+    if getattr(args, "observed", False):
+        return exp.render_observed_breakdown(
+            exp.run_observed_breakdown(size_mb=args.size)
+        )
     return exp.render_breakdown(exp.run_breakdown(size_mb=args.size))
+
+
+def _cmd_trace_summary(args) -> str:
+    from .obs.summary import load_trace, render_summary, summarize
+
+    records = load_trace(args.trace_file, validate=not args.no_validate)
+    return render_summary(summarize(records), top=args.top)
 
 
 def _cmd_latency(args) -> str:
@@ -182,6 +200,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    obs_group = runner_flags.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured event/span trace to PATH (JSONL) plus a "
+        "Chrome trace-viewer file; forces --jobs 1 and disables the cache",
+    )
+    obs_group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+    obs_group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress warnings; errors only",
+    )
 
     p = sub.add_parser(
         "fig1", parents=[runner_flags], help="idle cluster memory over a week")
@@ -224,6 +256,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "breakdown", parents=[runner_flags], help="the §4.3 FFT-24MB decomposition")
     p.add_argument("--size", type=float, default=24.0, metavar="MB")
+    p.add_argument(
+        "--observed",
+        action="store_true",
+        help="trace the run and measure pptime/btime from span phases "
+        "instead of modelling them",
+    )
     p.set_defaults(func=_cmd_breakdown)
 
     p = sub.add_parser(
@@ -292,20 +330,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_ablate)
 
     p = sub.add_parser(
+        "trace-summary",
+        parents=[runner_flags],
+        help="digest a recorded trace: span latencies, phases, slowest requests",
+    )
+    p.add_argument("trace_file", metavar="TRACE.jsonl")
+    p.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many slowest requests to list (default 10)",
+    )
+    p.add_argument(
+        "--no-validate", action="store_true",
+        help="skip schema validation while loading",
+    )
+    p.set_defaults(func=_cmd_trace_summary)
+
+    p = sub.add_parser(
         "all", parents=[runner_flags], help="run every experiment in sequence")
     p.set_defaults(func=None)
 
     return parser
 
 
+def _trace_paths(path: str) -> tuple:
+    """JSONL path as given, Chrome trace-viewer file derived from it."""
+    base = path[: -len(".jsonl")] if path.endswith(".jsonl") else path
+    return path, f"{base}.chrome.json"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
     if args.jobs < 0:
         parser.error(f"argument --jobs: must be >= 0, got {args.jobs}")
+    tracer = None
+    use_cache = not args.no_cache
+    if args.trace:
+        from .obs.trace import Tracer, install_tracer
+
+        if args.jobs != 1:
+            log.warning(
+                "--trace forces --jobs 1: the tracer cannot follow runs "
+                "into worker processes"
+            )
+            args.jobs = 1
+        if use_cache:
+            # A cached result replays without simulating, which would
+            # record nothing — traced invocations always recompute.
+            log.info("--trace disables the result cache for this invocation")
+            use_cache = False
+        tracer = Tracer()
+        install_tracer(tracer)
     configure_default_runner(
         jobs=args.jobs,
-        use_cache=not args.no_cache,
+        use_cache=use_cache,
         cache_dir=args.cache_dir,
     )
     try:
@@ -321,6 +400,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Output piped into a pager/head that closed early: not an error.
         sys.stderr.close()
         return 0
+    finally:
+        if tracer is not None:
+            from .obs.trace import uninstall_tracer
+
+            uninstall_tracer()
+            jsonl_path, chrome_path = _trace_paths(args.trace)
+            count = tracer.write_jsonl(jsonl_path)
+            tracer.write_chrome(chrome_path)
+            if not sys.stderr.closed:
+                print(
+                    f"trace: {count} records -> {jsonl_path} "
+                    f"(chrome://tracing view: {chrome_path})",
+                    file=sys.stderr,
+                )
 
 
 def main_output(command: str) -> str:

@@ -33,6 +33,8 @@ from ..net.ethernet import EthernetCsmaCd
 from ..net.protocol import ProtocolStack
 from ..net.switched import SwitchedNetwork
 from ..net.token_ring import TokenRing, TokenRingSpec
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import current_tracer
 from ..sim import RngRegistry, Simulator
 from ..vm.machine import Machine
 from ..vm.pager import LocalDiskPager, Pager
@@ -78,6 +80,10 @@ class Cluster:
     registry: ServerRegistry
     local_disk: Disk
     server_hosts: List[Workstation] = field(default_factory=list)
+    #: Every component's instruments behind dotted names (``pager.*``,
+    #: ``server.<id>.*``, ``net.*``, ``policy.*``); snapshots ride in
+    #: ``CompletionReport.meta["metrics"]``.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def run(self, workload, name: Optional[str] = None):
         """Run ``workload`` to completion; returns its CompletionReport."""
@@ -248,6 +254,30 @@ def build_cluster(
         init_time=init_time,
         name="client",
     )
+
+    # Unify every component's ad-hoc instruments behind dotted names so
+    # one snapshot captures the whole cluster's telemetry.
+    metrics = MetricsRegistry()
+    metrics.attach("machine", machine.counters)
+    metrics.attach("pager", pager.counters)
+    if isinstance(pager, RemoteMemoryPager):
+        metrics.attach("pager.recovery_time", pager.recovery_times)
+    if policy_obj is not None:
+        metrics.attach("policy", policy_obj.counters)
+    for server in servers + ([parity_server] if parity_server else []):
+        metrics.attach(f"server.{server.name}", server.counters)
+        metrics.gauge(f"server.{server.name}.cpu_utilization", server.cpu_utilization)
+    metrics.attach("net", network.stats.counters)
+    metrics.attach("net.message_latency", network.stats.message_latency)
+    metrics.gauge("net.utilization", network.stats.utilization)
+    metrics.attach("net.protocol", stack.counters)
+
+    # A process-wide tracer (the CLI's --trace flag) attaches to every
+    # new cluster; without one, sim.tracer stays the zero-cost no-op.
+    tracer = current_tracer()
+    if tracer is not None:
+        sim.set_tracer(tracer)
+
     return Cluster(
         sim=sim,
         network=network,
@@ -261,4 +291,5 @@ def build_cluster(
         registry=registry,
         local_disk=local_disk,
         server_hosts=server_hosts,
+        metrics=metrics,
     )

@@ -32,12 +32,15 @@ from ..errors import (
     ServerUnavailable,
     SwapSpaceExhausted,
 )
-from ..sim import Resource, Simulator, Tally
+from ..log import get_logger
+from ..sim import NULL_SPAN, Resource, Simulator, Tally
 from ..vm.pager import Pager
 from .policies.base import ReliabilityPolicy
 from .server import MemoryServer
 
 __all__ = ["RemoteMemoryPager"]
+
+log = get_logger(__name__)
 
 
 class RemoteMemoryPager(Pager):
@@ -81,35 +84,61 @@ class RemoteMemoryPager(Pager):
     # ----------------------------------------------------------- interface
     def pageout(self, page_id: int, contents: Optional[bytes] = None):
         self.counters.add("pageouts")
-        yield self._daemon.acquire()
+        # The request span: phases follow the lifecycle enqueue (waiting
+        # for the paging daemon) -> dispatch (policy chose placement) ->
+        # per-server transfer/parity phases (marked inside the policy and
+        # protocol stack) -> ack, or disk on fallback.
+        span = self.sim.tracer.span("pageout", page_id)
+        span.phase("enqueue")
         try:
-            if self._network_degraded():
-                yield from self._disk_pageout(page_id, contents)
-                return
-            start = self.sim.now
+            yield self._daemon.acquire()
             try:
-                yield from self._policy_pageout(page_id, contents)
-            except (ServerUnavailable, SwapSpaceExhausted):
-                # §2.1: no server has room — the disk absorbs the page.
-                yield from self._disk_pageout(page_id, contents)
-                return
-            self._observe_transfer(self.sim.now - start)
-            self._on_disk.discard(page_id)
-            self._disk_contents.pop(page_id, None)
+                if self._network_degraded():
+                    span.phase("disk")
+                    yield from self._disk_pageout(page_id, contents)
+                    span.end("disk-fallback", reason="network-degraded")
+                    return
+                start = self.sim.now
+                span.phase("dispatch")
+                try:
+                    yield from self._policy_pageout(page_id, contents, span=span)
+                except (ServerUnavailable, SwapSpaceExhausted):
+                    # §2.1: no server has room — the disk absorbs the page.
+                    span.phase("disk")
+                    yield from self._disk_pageout(page_id, contents)
+                    span.end("disk-fallback", reason="no-server-room")
+                    return
+                span.phase("ack")
+                self._observe_transfer(self.sim.now - start)
+                self._on_disk.discard(page_id)
+                self._disk_contents.pop(page_id, None)
+                span.end("ok")
+            finally:
+                self._daemon.release()
         finally:
-            self._daemon.release()
+            span.end("error")  # no-op unless an exception escaped
 
     def pagein(self, page_id: int):
         self.counters.add("pageins")
-        if page_id in self._on_disk:
-            contents = yield from self._disk_pagein(page_id)
-            return contents
+        span = self.sim.tracer.span("pagein", page_id)
         try:
-            contents = yield from self.policy.pagein(page_id)
-        except ServerCrashed as crash:
-            yield from self._handle_crash(crash)
-            contents = yield from self.policy.pagein(page_id)
-        return contents
+            if page_id in self._on_disk:
+                span.phase("disk")
+                contents = yield from self._disk_pagein(page_id)
+                span.end("disk-fallback")
+                return contents
+            span.phase("dispatch")
+            try:
+                contents = yield from self.policy.pagein(page_id, span=span)
+            except ServerCrashed as crash:
+                span.phase("recovery")
+                yield from self._handle_crash(crash)
+                span.phase("dispatch")
+                contents = yield from self.policy.pagein(page_id, span=span)
+            span.end("ok")
+            return contents
+        finally:
+            span.end("error")
 
     def release(self, page_id: int) -> None:
         self.policy.release(page_id)
@@ -128,12 +157,14 @@ class RemoteMemoryPager(Pager):
         return len(self._on_disk)
 
     # ------------------------------------------------------ policy wrapper
-    def _policy_pageout(self, page_id: int, contents):
+    def _policy_pageout(self, page_id: int, contents, span=NULL_SPAN):
         try:
-            yield from self.policy.pageout(page_id, contents)
+            yield from self.policy.pageout(page_id, contents, span=span)
         except ServerCrashed as crash:
+            span.phase("recovery")
             yield from self._handle_crash(crash)
-            yield from self.policy.pageout(page_id, contents)
+            span.phase("dispatch")
+            yield from self.policy.pageout(page_id, contents, span=span)
 
     def _handle_crash(self, crash: ServerCrashed):
         """Run the policy's recovery exactly once per crash event.
@@ -158,6 +189,8 @@ class RemoteMemoryPager(Pager):
         self._recovering = True
         self._recovery_done = self.sim.event()
         started = self.sim.now
+        self.sim.tracer.emit("pager", "recovery_start", server=crashed.name)
+        log.info("server %s crashed at t=%.3f; recovering", crashed.name, started)
         try:
             yield from self.policy.recover(crashed)
         finally:
@@ -165,6 +198,14 @@ class RemoteMemoryPager(Pager):
             self._recovery_done.succeed()
         self.recovery_times.observe(self.sim.now - started)
         self.counters.add("recoveries")
+        self.sim.tracer.emit(
+            "pager", "recovery_done",
+            server=crashed.name, duration=self.sim.now - started,
+        )
+        log.info(
+            "recovered from %s crash in %.3f simulated seconds",
+            crashed.name, self.sim.now - started,
+        )
         # The crashed workstation is gone: drop it from the rotation so
         # round-robin placement never aims at it again.
         self.policy.servers = [s for s in self.policy.servers if s is not crashed]
@@ -237,6 +278,8 @@ class RemoteMemoryPager(Pager):
             server.free([page_id])
             moved += 1
         self.counters.add("migrated_pages", moved)
+        if moved:
+            self.sim.tracer.emit("pager", "migration", server=server.name, moved=moved)
         return moved
 
     def start_housekeeping(
@@ -302,6 +345,8 @@ class RemoteMemoryPager(Pager):
                 self.disk_backend.release_page(page_id)
             moved += 1
         self.counters.add("replicated_back", moved)
+        if moved:
+            self.sim.tracer.emit("pager", "replicated_back", moved=moved)
         return moved
 
     # ------------------------------------- network-load threshold (§5)

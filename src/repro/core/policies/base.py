@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ...errors import PageNotFound, RecoveryError, ServerCrashed
 from ...net.protocol import ProtocolStack
-from ...sim import Counter, Simulator
+from ...sim import NULL_SPAN, Counter, Simulator
 from ..server import MemoryServer
 
 __all__ = ["ReliabilityPolicy"]
@@ -49,11 +49,16 @@ class ReliabilityPolicy:
         self.counters = Counter()
 
     # -------------------------------------------------------- the interface
-    def pageout(self, page_id: int, contents: Optional[bytes]):
-        """Generator: persist one page with this policy's redundancy."""
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
+        """Generator: persist one page with this policy's redundancy.
+
+        ``span`` is the request's trace span; policies mark phase
+        transitions on it (transfer, server, parity traffic) so each
+        completed request carries its latency decomposition.
+        """
         raise NotImplementedError
 
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         """Generator: retrieve one page; returns its contents."""
         raise NotImplementedError
 
@@ -81,16 +86,26 @@ class ReliabilityPolicy:
         return self.counters["transfers"]
 
     # ---------------------------------------------------------- primitives
-    def _send_page(self, server: MemoryServer, key: object, contents):
+    def _send_page(self, server: MemoryServer, key: object, contents,
+                   span=NULL_SPAN, label: str = "transfer"):
         """Generator: one client->server page transfer plus server store."""
-        yield from self.stack.send_page(self.client_host, server.host.name, self.page_size)
+        yield from self.stack.send_page(
+            self.client_host, server.host.name, self.page_size,
+            span=span, label=label,
+        )
         self.counters.add("transfers")
+        span.phase("server")
         yield from server.store(key, contents)
 
-    def _fetch_page(self, server: MemoryServer, key: object):
+    def _fetch_page(self, server: MemoryServer, key: object,
+                    span=NULL_SPAN, label: str = "transfer"):
         """Generator: one server->client page transfer; returns contents."""
+        span.phase("server")
         contents = yield from server.fetch(key)
-        yield from self.stack.fetch_page(self.client_host, server.host.name, self.page_size)
+        yield from self.stack.fetch_page(
+            self.client_host, server.host.name, self.page_size,
+            span=span, label=label,
+        )
         self.counters.add("transfers")
         return contents
 

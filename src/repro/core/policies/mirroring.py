@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...sim import NULL_SPAN
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
 
@@ -45,15 +46,17 @@ class Mirroring(ReliabilityPolicy):
         self._placement[page_id] = pair
         return pair
 
-    def pageout(self, page_id: int, contents: Optional[bytes]):
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
         primary, mirror = self._place(page_id)
-        # Two page transfers per pageout — mirroring's runtime cost.
-        for server, tag in ((primary, page_id), (mirror, page_id)):
+        # Two page transfers per pageout — mirroring's runtime cost.  The
+        # mirror copy books under the "mirror" span label so the latency
+        # decomposition isolates the redundancy traffic.
+        for server, label in ((primary, "transfer"), (mirror, "mirror")):
             self._require_live(server)
-            yield from self._send_page(server, tag, contents)
+            yield from self._send_page(server, page_id, contents, span=span, label=label)
         self.counters.add("pageouts")
 
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         pair = self._placement.get(page_id)
         if pair is None:
             raise PageNotFound(page_id, where=self.name)
@@ -64,7 +67,7 @@ class Mirroring(ReliabilityPolicy):
                 self._require_live(server)
         for server in pair:
             if server.holds(page_id):
-                contents = yield from self._fetch_page(server, page_id)
+                contents = yield from self._fetch_page(server, page_id, span=span)
                 self.counters.add("pageins")
                 return contents
         raise PageNotFound(page_id, where=self.name)

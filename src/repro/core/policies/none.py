@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...sim import NULL_SPAN
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
 
@@ -48,18 +49,18 @@ class NoReliability(ReliabilityPolicy):
         self._placement[page_id] = server
         return server
 
-    def pageout(self, page_id: int, contents: Optional[bytes]):
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
         server = self._place(page_id)
         self._require_live(server)
-        yield from self._send_page(server, page_id, contents)
+        yield from self._send_page(server, page_id, contents, span=span)
         self.counters.add("pageouts")
 
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         server = self._placement.get(page_id)
         if server is None:
             raise PageNotFound(page_id, where=self.name)
         self._require_live(server)
-        contents = yield from self._fetch_page(server, page_id)
+        contents = yield from self._fetch_page(server, page_id, span=span)
         self.counters.add("pageins")
         return contents
 

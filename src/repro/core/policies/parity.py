@@ -18,6 +18,7 @@ from functools import reduce
 from typing import Dict, Optional, Tuple
 
 from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...sim import NULL_SPAN
 from ...vm.page import xor_bytes
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
@@ -60,14 +61,17 @@ class BasicParity(ReliabilityPolicy):
         self._placement[page_id] = placed
         return placed
 
-    def pageout(self, page_id: int, contents: Optional[bytes]):
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
         server, slot = self._place(page_id)
         self._require_live(server)
         key = (page_id, slot)
         first_time = not server.holds(key)
         # Transfer 1: client -> data server.
-        yield from self.stack.send_page(self.client_host, server.host.name, self.page_size)
+        yield from self.stack.send_page(
+            self.client_host, server.host.name, self.page_size, span=span
+        )
         self.counters.add("transfers")
+        span.phase("server")
         if first_time:
             yield from server.store(key, contents)
             delta = contents  # old contents were (implicitly) zero
@@ -76,20 +80,22 @@ class BasicParity(ReliabilityPolicy):
         # Transfer 2: data server -> parity server (the in-place update's
         # extra cost; the client must keep the page until this lands).
         yield from self.stack.send_page(
-            server.host.name, self.parity_server.host.name, self.page_size
+            server.host.name, self.parity_server.host.name, self.page_size,
+            span=span, label="parity",
         )
         self.counters.add("transfers")
         self.counters.add("parity_transfers")
+        span.phase("server")
         yield from self.parity_server.xor_into(self._parity_key(slot), delta)
         self.counters.add("pageouts")
 
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         placed = self._placement.get(page_id)
         if placed is None:
             raise PageNotFound(page_id, where=self.name)
         server, slot = placed
         self._require_live(server)
-        contents = yield from self._fetch_page(server, (page_id, slot))
+        contents = yield from self._fetch_page(server, (page_id, slot), span=span)
         self.counters.add("pageins")
         return contents
 

@@ -35,7 +35,7 @@ from functools import reduce
 from typing import Callable, Dict, List, Optional
 
 from ...errors import PageNotFound, RecoveryError, ServerUnavailable
-from ...sim import Tally
+from ...sim import NULL_SPAN, Tally
 from ...units import microseconds
 from ...vm.page import xor_bytes, zero_page
 from ..server import MemoryServer
@@ -159,13 +159,13 @@ class ParityLogging(ReliabilityPolicy):
             del self._groups[group.gid]
             self.counters.add("groups_reused")
 
-    def pageout(self, page_id: int, contents: Optional[bytes]):
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
         # First, finish any seal that previously failed (a parity-server
         # crash mid-seal leaves the group buffered and recoverable; once
         # the client has installed a replacement, the seal must land).
         while self._pending_seals:
             group = self._pending_seals[0]
-            yield from self._seal(group)  # on failure: stays pending
+            yield from self._seal(group, span=span)  # on failure: stays pending
             self._pending_seals.pop(0)
 
         previous = self._location.get(page_id)
@@ -175,13 +175,13 @@ class ParityLogging(ReliabilityPolicy):
         self._require_live(server)
         key = (page_id, incarnation)
         try:
-            yield from self._send_page(server, key, contents)
+            yield from self._send_page(server, key, contents, span=span)
         except ServerUnavailable:
             if self._in_gc:
                 raise  # GC itself ran out of room: surface to the client
             # Overflow memory exhausted: reclaim superseded versions, retry.
             yield from self.garbage_collect()
-            yield from self._send_page(server, key, contents)
+            yield from self._send_page(server, key, contents, span=span)
         # Resolve the target group only now: a crash mid-send aborts the
         # pageout before any parity bookkeeping (the retry must not fold
         # the page into a buffer twice), and garbage collection triggered
@@ -193,9 +193,10 @@ class ParityLogging(ReliabilityPolicy):
             # which would break single-crash recoverability.  Seal it
             # early (groups may be smaller than S) and start fresh.
             self._current = self._open_group()
-            yield from self._seal_detached(group)
+            yield from self._seal_detached(group, span=span)
             group = self._current
         member = GroupMember(page_id, incarnation, server, group)
+        span.phase("parity.xor")
         yield from self._xor_into_buffer(group, contents)
         self._rr += 1
         group.members.append(member)
@@ -207,17 +208,17 @@ class ParityLogging(ReliabilityPolicy):
             # Detach the full group first: GC triggered by the seal (or
             # concurrent recovery) must log into a fresh group.
             self._current = self._open_group()
-            yield from self._seal_detached(group)
+            yield from self._seal_detached(group, span=span)
 
-    def _seal_detached(self, group: ParityGroup):
+    def _seal_detached(self, group: ParityGroup, span=NULL_SPAN):
         """Seal a detached group; on crash it stays pending (and remains
         recoverable through its client-side buffer meanwhile)."""
         self._pending_seals.append(group)
-        yield from self._seal(group)
+        yield from self._seal(group, span=span)
         if group in self._pending_seals:
             self._pending_seals.remove(group)
 
-    def _seal(self, group: ParityGroup):
+    def _seal(self, group: ParityGroup, span=NULL_SPAN):
         """Ship the group's parity buffer to the parity server.
 
         Idempotent: reentrant callers (GC inside a pending-seal retry)
@@ -226,10 +227,12 @@ class ParityLogging(ReliabilityPolicy):
         if group.sealed:
             return
         yield from self.stack.send_page(
-            self.client_host, self.parity_server.host.name, self.page_size
+            self.client_host, self.parity_server.host.name, self.page_size,
+            span=span, label="parity",
         )
         self.counters.add("transfers")
         self.counters.add("parity_transfers")
+        span.phase("server")
         try:
             yield from self.parity_server.store(group.parity_key, group.buffer)
         except ServerUnavailable:
@@ -238,6 +241,9 @@ class ParityLogging(ReliabilityPolicy):
             # Parity server out of room: compact, then retry the seal.
             yield from self.garbage_collect()
             yield from self.parity_server.store(group.parity_key, group.buffer)
+        self.sim.tracer.emit(
+            "policy", "group_seal", gid=group.gid, members=len(group.members)
+        )
         group.sealed = True
         group.buffer = None  # the parity server holds it now
         if group.all_inactive:
@@ -249,12 +255,12 @@ class ParityLogging(ReliabilityPolicy):
             self.counters.add("groups_reused")
 
     # -------------------------------------------------------------- pagein
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         member = self._location.get(page_id)
         if member is None:
             raise PageNotFound(page_id, where=self.name)
         self._require_live(member.server)
-        contents = yield from self._fetch_page(member.server, member.key)
+        contents = yield from self._fetch_page(member.server, member.key, span=span)
         self.counters.add("pageins")
         return contents
 
@@ -282,10 +288,14 @@ class ParityLogging(ReliabilityPolicy):
         """
         self.gc_runs += 1
         self._in_gc = True
+        self.sim.tracer.emit("policy", "gc_start", groups=len(self._groups))
         try:
             yield from self._collect()
         finally:
             self._in_gc = False
+            self.sim.tracer.emit(
+                "policy", "gc_done", moved=self.counters["gc_moved_pages"]
+            )
 
     def _collect(self):
         """Compact the most-fragmented sealed groups.

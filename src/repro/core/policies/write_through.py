@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from ...disk.backend import PartitionBackend
 from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...sim import NULL_SPAN
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
 
@@ -49,7 +50,7 @@ class WriteThrough(ReliabilityPolicy):
         self._placement[page_id] = server
         return server
 
-    def pageout(self, page_id: int, contents: Optional[bytes]):
+    def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
         server = self._place(page_id)
 
         def to_remote():
@@ -61,25 +62,30 @@ class WriteThrough(ReliabilityPolicy):
             self.counters.add("disk_writes")
 
         # "These two page transfers are executed in parallel" (§4.7):
-        # the pageout completes when the slower of the two lands.
+        # the pageout completes when the slower of the two lands.  Span
+        # phases are sequential segments, so the concurrent branches are
+        # booked as one enclosing "transfer" phase (the slower branch's
+        # duration) rather than threaded into each branch.
+        span.phase("transfer")
         remote = self.sim.process(to_remote(), name=f"wt-remote:{page_id}")
         disk = self.sim.process(to_disk(), name=f"wt-disk:{page_id}")
         yield self.sim.all_of([remote, disk])
         self.counters.add("pageouts")
 
-    def pagein(self, page_id: int):
+    def pagein(self, page_id: int, span=NULL_SPAN):
         server = self._placement.get(page_id)
         if server is not None and not server.is_alive:
             # Surface the crash so the client re-populates remote memory;
             # until then reads would crawl at disk speed.
             self._require_live(server)
         if server is not None and server.holds(page_id):
-            contents = yield from self._fetch_page(server, page_id)
+            contents = yield from self._fetch_page(server, page_id, span=span)
             self.counters.add("pageins")
             return contents
         # Server gone: the disk always has it (the whole point).
         if not self.disk_backend.holds(page_id):
             raise PageNotFound(page_id, where=self.name)
+        span.phase("disk")
         yield from self.disk_backend.read_page(page_id)
         self.counters.add("pageins")
         self.counters.add("disk_reads")

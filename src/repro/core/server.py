@@ -249,9 +249,16 @@ class MemoryServer:
         self.capacity_pages -= min(deficit_pages, self.capacity_pages)
         self.advising = True
         self.counters.add("shed_to_disk", shed)
+        self.sim.tracer.emit(
+            "server", "pressure", name=self.name,
+            shed=shed, deficit=deficit_pages,
+        )
 
     def crash(self) -> None:
         """The workstation dies: all stored pages are lost."""
+        self.sim.tracer.emit(
+            "server", "crash", name=self.name, lost_pages=len(self._store)
+        )
         self._crashed = True
         self._store.clear()
         self._on_disk.clear()
@@ -262,6 +269,7 @@ class MemoryServer:
         self.advising = False
         if capacity_pages is not None:
             self.capacity_pages = self.host.grant(capacity_pages)
+        self.sim.tracer.emit("server", "restart", name=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "crashed" if self._crashed else f"{self.stored_pages}/{self.capacity_pages}p"

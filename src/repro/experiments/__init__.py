@@ -7,7 +7,12 @@ from .ablations import (
     run_replacement_ablation,
 )
 from .adaptive import render_adaptive, run_adaptive
-from .breakdown import render_breakdown, run_breakdown
+from .breakdown import (
+    render_breakdown,
+    render_observed_breakdown,
+    run_breakdown,
+    run_observed_breakdown,
+)
 from .busy_servers import render_busy_servers, run_busy_servers
 from .compression import render_compression, run_compression
 from .diurnal import render_diurnal, run_diurnal
@@ -43,6 +48,8 @@ __all__ = [
     "FIG5_POLICIES",
     "run_breakdown",
     "render_breakdown",
+    "run_observed_breakdown",
+    "render_observed_breakdown",
     "run_latency",
     "render_latency",
     "run_busy_servers",

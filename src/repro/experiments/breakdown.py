@@ -5,6 +5,14 @@ logging (4 servers + parity) — into utime/systime/inittime/pptime/btime,
 counts its transfers (2718 pageouts, 2055 pageins, 5452 page transfers),
 and predicts an 83.459 s completion on a 10x network with paging overhead
 under 17%.  This experiment reproduces the whole derivation.
+
+The paper *models* pptime (transfers x 1.6 ms of protocol CPU) and
+derives btime as the remainder; it never measures either directly.
+:func:`run_observed_breakdown` does what the authors could not: it
+re-runs the same cell with the tracer attached and *measures* each cost
+term from per-request span phases — ``*.protocol`` segments are pptime,
+``*.wire`` segments are btime, and the machine's fault/drain spans
+partition ptime exactly.
 """
 
 from __future__ import annotations
@@ -16,7 +24,12 @@ from ..analysis.paper_data import FFT_24MB_BREAKDOWN
 from ..analysis.report import format_table
 from ..runner import RunSpec, default_runner
 
-__all__ = ["run_breakdown", "render_breakdown"]
+__all__ = [
+    "run_breakdown",
+    "render_breakdown",
+    "run_observed_breakdown",
+    "render_observed_breakdown",
+]
 
 
 def run_breakdown(
@@ -72,3 +85,108 @@ def render_breakdown(results: Dict[str, object]) -> str:
         rows,
         title="§4.3 breakdown: FFT 24 MB under parity logging",
     )
+
+
+def run_observed_breakdown(size_mb: float = 24.0) -> Dict[str, object]:
+    """Trace one FFT/parity-logging run and *measure* the §4.3 terms.
+
+    Runs inline (a tracer cannot cross worker processes or ride the
+    result cache) with a tracer attached, then aggregates span phases:
+
+    * observed pptime — every ``*.protocol`` segment: CPU the client
+      spends running the protocol stack, the term the paper models as
+      transfers x 1.6 ms;
+    * observed btime — every ``*.wire`` segment: time requests spend on
+      the network, the term the paper derives as ``ptime - pptime``;
+    * observed ptime — the machine's fault + drain spans, which
+      partition the workload's paging stall time exactly.
+
+    Reuses a process-wide tracer (the ``--trace`` flag) when one is
+    installed so this run's spans also land in the trace file.
+    """
+    from ..core.builder import build_cluster
+    from ..obs.trace import Tracer, current_tracer
+    from ..runner.execute import build_meta
+    from ..runner.registry import make_workload
+    from .harness import PAPER_CONFIGS
+
+    kwargs = dict(PAPER_CONFIGS["parity-logging"])
+    cluster = build_cluster(**kwargs)
+    tracer = current_tracer()
+    if tracer is None:
+        tracer = Tracer()
+    cluster.sim.set_tracer(tracer)
+    first_span = len(tracer.spans)
+    tracer.begin_run(f"breakdown-observed/fft-{size_mb:g}mb")
+    workload = make_workload("fft", {"size_mb": size_mb})
+    report = cluster.run(workload)
+    report.meta = build_meta(
+        "parity-logging", kwargs.get("seed", 0), {"size_mb": size_mb}, workload.name
+    )
+    report.meta["metrics"] = cluster.metrics.snapshot()
+
+    phase_totals: Dict[str, float] = {}
+    machine_ptime = 0.0
+    request_time = 0.0
+    n_requests = 0
+    for span in tracer.spans[first_span:]:
+        if span.component == "machine":
+            # Fault-service + drain spans: the wall-clock stalls that
+            # define ptime.  Request phases go in the other bucket.
+            machine_ptime += span.duration
+            continue
+        n_requests += 1
+        request_time += span.duration
+        for name, seconds in span.phases.items():
+            phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+    observed_pptime = sum(
+        v for k, v in phase_totals.items() if k.endswith(".protocol")
+    )
+    observed_btime = sum(v for k, v in phase_totals.items() if k.endswith(".wire"))
+    return {
+        "report": report,
+        "decomposition": decompose(report),
+        "phase_totals": phase_totals,
+        "observed_pptime": observed_pptime,
+        "observed_btime": observed_btime,
+        "machine_ptime": machine_ptime,
+        "request_time": request_time,
+        "n_requests": n_requests,
+    }
+
+
+def render_observed_breakdown(results: Dict[str, object]) -> str:
+    """Observed (traced) vs §4.3-model cost terms, side by side."""
+    d = results["decomposition"]
+    r = results["report"]
+    phase_totals = dict(results["phase_totals"])
+    rows = [
+        ["ptime (s)", f"{results['machine_ptime']:.3f}", f"{d.ptime:.3f}",
+         "machine fault+drain spans | etime - utime - systime - inittime"],
+        ["pptime (s)", f"{results['observed_pptime']:.3f}", f"{d.pptime:.3f}",
+         "sum of *.protocol span phases | transfers x 1.6 ms"],
+        ["btime (s)", f"{results['observed_btime']:.3f}", f"{d.btime:.3f}",
+         "sum of *.wire span phases | ptime - pptime"],
+        ["page transfers", r.page_transfers, d.page_transfers, "traced run"],
+    ]
+    table = format_table(
+        ["cost term", "observed", "§4.3 model", "measured | modelled as"],
+        rows,
+        title="Observed vs modelled §4.3 cost terms (traced run)",
+    )
+    lines = [table, ""]
+    lines.append(
+        f"request-time decomposition over {results['n_requests']} spans "
+        f"({results['request_time']:.3f} s total):"
+    )
+    total = results["request_time"] or 1.0
+    for name in sorted(phase_totals, key=phase_totals.get, reverse=True):
+        seconds = phase_totals[name]
+        lines.append(f"  {name:<20} {seconds:10.3f} s  {seconds / total:6.1%}")
+    lines.append("")
+    lines.append(
+        "note: pageouts are asynchronous, so summed per-request wire time can\n"
+        "exceed the wall-clock btime the model derives; machine stall spans\n"
+        "(fault + drain) partition ptime exactly."
+    )
+    return "\n".join(lines)

@@ -12,7 +12,7 @@ from typing import Dict, Iterable, Optional
 from ..analysis.paper_data import FIG2_SECONDS
 from ..analysis.report import comparison_table, shape_check
 from ..workloads import Fft, Gauss, ImageFilter, KernelBuild, Mvec, Qsort
-from .harness import run_suite
+from .harness import merged_metrics, run_suite
 
 __all__ = ["FIG2_POLICIES", "WORKLOAD_FACTORIES", "run_fig2", "render_fig2"]
 
@@ -65,5 +65,22 @@ def render_fig2(reports: Dict[str, Dict[str, object]]) -> str:
             f"{app}: ranking {'matches' if check['order_matches'] else 'DIFFERS'} "
             f"(ours {' < '.join(check['measured_order'])}); "
             f"max relative-gap error {check['max_relative_gap_error']:.0%}"
+        )
+    all_reports = [
+        report for by_policy in reports.values() for report in by_policy.values()
+    ]
+    merged = merged_metrics(all_reports)
+    if merged:
+        latency = merged.get("net.message_latency.mean")
+        latency_note = (
+            f", mean message latency {latency * 1e3:.2f} ms" if latency else ""
+        )
+        lines.append("")
+        lines.append(
+            f"suite totals ({len(all_reports)} runs): "
+            f"{merged.get('pager.pageouts', 0)} pageouts, "
+            f"{merged.get('pager.pageins', 0)} pageins, "
+            f"{merged.get('net.protocol.page_transfers', 0)} page transfers"
+            f"{latency_note}"
         )
     return "\n".join(lines)

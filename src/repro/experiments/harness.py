@@ -28,7 +28,7 @@ from ..runner.execute import build_meta
 from ..vm.machine import CompletionReport
 from ..workloads.base import Workload
 
-__all__ = ["PAPER_CONFIGS", "run_policy", "run_suite"]
+__all__ = ["PAPER_CONFIGS", "run_policy", "run_suite", "merged_metrics"]
 
 #: build_cluster keyword arguments for each of the paper's configurations.
 PAPER_CONFIGS: Dict[str, dict] = {
@@ -76,6 +76,7 @@ def run_policy(
         workload = workload_factory()
     report = cluster.run(workload)
     report.meta = build_meta(policy, kwargs.get("seed", 0), overrides, workload.name)
+    report.meta["metrics"] = cluster.metrics.snapshot()
     return report
 
 
@@ -122,3 +123,18 @@ def run_suite(
                 factory, policy, cluster_hook=cluster_hook, **overrides
             )
     return results
+
+
+def merged_metrics(reports) -> Dict[str, object]:
+    """Combine per-run ``meta["metrics"]`` snapshots into suite totals.
+
+    Counters sum and tallies fold via :meth:`Tally.merge` (Chan's
+    parallel Welford), so reassembled multi-run statistics are exactly
+    what a single combined stream would have produced — regardless of
+    whether the runs came from the cache, worker processes, or inline.
+    """
+    from ..obs.metrics import merge_snapshots
+
+    return merge_snapshots(
+        [r.meta["metrics"] for r in reports if "metrics" in r.meta]
+    )

@@ -1,0 +1,56 @@
+"""Package-wide logging: the ``repro`` logger hierarchy.
+
+Modules log through ``get_logger(__name__)`` so every message lands
+under one ``repro.*`` tree.  By default nothing is configured — library
+users see silence unless they attach handlers themselves, per stdlib
+convention.  The CLI calls :func:`configure_logging`, which installs a
+stderr handler and maps ``--verbose``/``--quiet`` onto levels.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "configure_logging"]
+
+#: Root of the package's logger tree.
+ROOT = "repro"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; module paths already rooted at ``repro`` are used
+    as-is, anything else (scripts, tests) is nested under ``repro.``.
+    """
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    if name == "__main__" or name.startswith(f"{ROOT}."):
+        return logging.getLogger(name if name != "__main__" else f"{ROOT}.main")
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root and set its level.
+
+    ``quiet`` wins: errors only.  Otherwise ``verbose`` counts up —
+    0 = WARNING (default), 1 = INFO, 2+ = DEBUG.  Idempotent: calling
+    again adjusts the level without stacking handlers.
+    """
+    logger = logging.getLogger(ROOT)
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+    logger.setLevel(level)
+    return logger

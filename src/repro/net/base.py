@@ -119,11 +119,13 @@ class Network:
         other; everyone else can only reach everyone else."""
         self._partition = frozenset(segment)
         self.stats.counters.add("partitions")
+        self.sim.tracer.emit("net", "partition", segment=sorted(self._partition))
 
     def heal(self) -> None:
         """Repair the partition; stalled transfers resume immediately."""
         self._partition = None
         waiters, self._heal_waiters = self._heal_waiters, []
+        self.sim.tracer.emit("net", "heal", stalled=len(waiters))
         for waiter in waiters:
             waiter.succeed()
 

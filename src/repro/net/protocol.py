@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..config import ProtocolSpec
-from ..sim import Counter, Event, Simulator
+from ..sim import NULL_SPAN, Counter, Event, Simulator
 from .base import Network
 
 __all__ = ["CpuAccount", "ProtocolStack"]
@@ -86,7 +86,8 @@ class ProtocolStack:
         mtu = getattr(self.network.spec, "mtu", 1500)
         return mtu - self.spec.header_bytes
 
-    def send(self, src: str, dst: str, payload: int, is_page: bool = False):
+    def send(self, src: str, dst: str, payload: int, is_page: bool = False,
+             span=NULL_SPAN, label: str = "transfer"):
         """Generator: move ``payload`` bytes from ``src`` to ``dst``.
 
         Charges protocol CPU on both endpoints when ``is_page`` is set
@@ -95,6 +96,11 @@ class ProtocolStack:
         account half to each endpoint's CPU book-keeping).  With page
         compression configured (beyond-paper postscript), page payloads
         shrink by the compression ratio at extra CPU on each endpoint.
+
+        ``span``/``label`` attribute the transfer's time to a request
+        span's latency decomposition: the CPU part books under
+        ``{label}.protocol`` (the paper's ``pptime``), the wire part
+        under ``{label}.wire`` (``btime``).
         """
         if is_page:
             cpu = self.spec.per_page_cpu
@@ -105,8 +111,10 @@ class ProtocolStack:
             self.cpu_account(src).charge(cpu / 2)
             self.cpu_account(dst).charge(cpu / 2)
             self.counters.add("page_transfers")
+            span.phase(f"{label}.protocol")
             yield self.sim.timeout(cpu)
         self.counters.add("messages")
+        span.phase(f"{label}.wire")
         yield self.network.transfer(src, dst, self._on_wire_bytes(payload))
 
     def request_response(
@@ -116,21 +124,29 @@ class ProtocolStack:
         request_payload: int,
         response_payload: int,
         response_is_page: bool = False,
+        span=NULL_SPAN,
+        label: str = "transfer",
     ):
         """Generator: small request then a response (e.g. a pagein).
 
         Returns after the response arrives at ``src``.
         """
-        yield from self.send(src, dst, request_payload)
-        yield from self.send(dst, src, response_payload, is_page=response_is_page)
-
-    def send_page(self, src: str, dst: str, page_size: int):
-        """Generator: one page pageout-style transfer (data + control)."""
+        yield from self.send(src, dst, request_payload, span=span, label=label)
         yield from self.send(
-            src, dst, page_size + self.spec.request_bytes, is_page=True
+            dst, src, response_payload, is_page=response_is_page,
+            span=span, label=label,
         )
 
-    def fetch_page(self, src: str, dst: str, page_size: int):
+    def send_page(self, src: str, dst: str, page_size: int,
+                  span=NULL_SPAN, label: str = "transfer"):
+        """Generator: one page pageout-style transfer (data + control)."""
+        yield from self.send(
+            src, dst, page_size + self.spec.request_bytes, is_page=True,
+            span=span, label=label,
+        )
+
+    def fetch_page(self, src: str, dst: str, page_size: int,
+                   span=NULL_SPAN, label: str = "transfer"):
         """Generator: one pagein-style transfer (request out, page back)."""
         yield from self.request_response(
             src,
@@ -138,4 +154,6 @@ class ProtocolStack:
             request_payload=self.spec.request_bytes,
             response_payload=page_size,
             response_is_page=True,
+            span=span,
+            label=label,
         )

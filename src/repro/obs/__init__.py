@@ -1,0 +1,32 @@
+"""Observability: tracing, request spans, and the metrics registry.
+
+``repro.obs`` is the opt-in half of the observability layer.  The
+zero-cost half — ``NullTracer``/``NULL_TRACER`` — lives in the
+simulation kernel (:mod:`repro.sim.core`) so that ``repro.sim`` never
+imports this package; modules here import ``repro.sim`` freely.
+"""
+
+from .metrics import MetricsRegistry, merge_snapshots
+from .trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+    validate_file,
+    validate_jsonl,
+    validate_record,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "merge_snapshots",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "validate_file",
+    "validate_jsonl",
+    "validate_record",
+]

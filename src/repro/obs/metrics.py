@@ -1,0 +1,140 @@
+"""A registry unifying the simulator's ad-hoc measurement objects.
+
+Components measure themselves with :class:`~repro.sim.monitor.Counter`,
+:class:`~repro.sim.monitor.Tally` and
+:class:`~repro.sim.monitor.UtilizationTracker` instances scattered
+through the pager, policies, servers and network.  The registry gives
+each one a dotted name in a component namespace (``pager.*``,
+``server.<id>.*``, ``net.*``, ``policy.*``) and renders them all into a
+single flat, JSON-safe snapshot that rides in
+``CompletionReport.meta["metrics"]`` — so cached runner results and
+parallel workers carry full telemetry, and :func:`merge_snapshots` can
+reassemble exact suite-level statistics from per-run snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.sim.monitor import Counter, Tally, TimeWeighted, UtilizationTracker
+
+__all__ = ["MetricsRegistry", "merge_snapshots"]
+
+
+class MetricsRegistry:
+    """Named, snapshot-able view over live measurement objects.
+
+    ``attach`` existing instruments (they keep being updated by their
+    owners; the registry only reads them at snapshot time) and
+    ``gauge`` computed values.  Snapshots are flat ``{name: value}``
+    dicts with deterministic key order; tallies expand into a
+    ``name.{count,total,mean,m2,stddev,min,max}`` sub-tree so they can
+    be rebuilt and merged exactly (see :func:`merge_snapshots`).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+
+    def attach(self, name: str, instrument: Any) -> Any:
+        """Register a live instrument under ``name``; returns it.
+
+        Accepts ``Counter``, ``Tally``, ``UtilizationTracker``,
+        ``TimeWeighted``, or any object with an ``as_dict()`` method.
+        """
+        if name in self._instruments or name in self._gauges:
+            raise ValueError(f"metric name already registered: {name}")
+        self._instruments[name] = instrument
+        return instrument
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a computed metric, evaluated at snapshot time."""
+        if name in self._instruments or name in self._gauges:
+            raise ValueError(f"metric name already registered: {name}")
+        self._gauges[name] = fn
+
+    def names(self) -> List[str]:
+        """Every registered metric name, sorted."""
+        return sorted(list(self._instruments) + list(self._gauges))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat, JSON-safe, deterministically ordered view of everything."""
+        flat: Dict[str, Any] = {}
+        for name, instrument in self._instruments.items():
+            if isinstance(instrument, Counter):
+                for key, value in instrument.as_dict().items():
+                    flat[f"{name}.{key}"] = value
+            elif isinstance(instrument, Tally):
+                for key, value in instrument.as_dict().items():
+                    flat[f"{name}.{key}"] = value
+                # Mark the sub-tree so merge_snapshots can find tallies.
+                flat[f"{name}.__tally__"] = True
+            elif isinstance(instrument, (TimeWeighted, UtilizationTracker)):
+                # Utilisations need "now"; owners register these as
+                # gauges instead, but accept the raw object defensively.
+                flat[name] = None
+            elif hasattr(instrument, "as_dict"):
+                for key, value in instrument.as_dict().items():
+                    flat[f"{name}.{key}"] = value
+            else:
+                flat[name] = instrument
+        for name, fn in self._gauges.items():
+            flat[name] = fn()
+        return {key: flat[key] for key in sorted(flat)}
+
+
+_TALLY_FIELDS = ("count", "total", "mean", "m2", "stddev", "min", "max")
+
+
+def _tally_prefixes(snapshot: Dict[str, Any]) -> List[str]:
+    return [
+        key[: -len(".__tally__")]
+        for key in snapshot
+        if key.endswith(".__tally__")
+    ]
+
+
+def merge_snapshots(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Combine per-run metric snapshots into suite-level statistics.
+
+    Integer metrics (counters) sum; ``*.__tally__`` sub-trees are
+    rebuilt as :class:`~repro.sim.monitor.Tally` objects and folded
+    together with :meth:`Tally.merge` (Chan's parallel Welford), so the
+    merged mean and variance are exactly what one combined stream would
+    have produced.  Float gauges (utilisations and other instantaneous
+    readings, which do not sum meaningfully across runs) and non-numeric
+    values keep the first run's value.
+    """
+    if not snapshots:
+        return {}
+    merged: Dict[str, Any] = {}
+    tallies: Dict[str, Tally] = {}
+    tally_keys: set = set()
+    for snapshot in snapshots:
+        for prefix in _tally_prefixes(snapshot):
+            payload = {field: snapshot.get(f"{prefix}.{field}") for field in _TALLY_FIELDS}
+            tally = tallies.get(prefix)
+            if tally is None:
+                tallies[prefix] = Tally.from_dict(payload)
+            else:
+                tally.merge(Tally.from_dict(payload))
+            tally_keys.update(f"{prefix}.{field}" for field in _TALLY_FIELDS)
+            tally_keys.add(f"{prefix}.__tally__")
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if key in tally_keys:
+                continue
+            if key not in merged:
+                merged[key] = value
+            elif (
+                isinstance(value, int)
+                and not isinstance(value, bool)
+                and isinstance(merged[key], int)
+                and not isinstance(merged[key], bool)
+            ):
+                merged[key] = merged[key] + value
+    for prefix, tally in tallies.items():
+        for field, value in tally.as_dict().items():
+            merged[f"{prefix}.{field}"] = value
+        merged[f"{prefix}.__tally__"] = True
+    return {key: merged[key] for key in sorted(merged)}

@@ -1,0 +1,187 @@
+"""Trace-file analysis: span-latency histograms and slowest requests.
+
+Backs the ``repro trace-summary`` CLI command.  Loads a JSONL trace
+written by :meth:`repro.obs.trace.Tracer.write_jsonl`, groups completed
+spans by kind, folds per-kind latencies into
+:class:`~repro.sim.monitor.Tally` objects (merged across runs with
+:meth:`Tally.merge` when one trace file holds a whole suite), and
+renders an ASCII latency histogram plus the top-N slowest requests with
+their phase decompositions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.monitor import Tally
+
+from .trace import validate_record
+
+__all__ = ["load_trace", "summarize", "render_summary", "TraceSummary"]
+
+
+def load_trace(path: str, validate: bool = True) -> List[Dict[str, Any]]:
+    """Parse (and by default validate) every record in a JSONL trace."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if validate:
+                try:
+                    validate_record(record)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+            records.append(record)
+    return records
+
+
+class TraceSummary:
+    """Aggregated view of one trace file."""
+
+    def __init__(self) -> None:
+        self.header: Optional[Dict[str, Any]] = None
+        self.event_counts: Dict[str, int] = {}
+        #: kind -> latency tally (keep_samples, for percentiles/histogram)
+        self.latency: Dict[str, Tally] = {}
+        #: kind -> phase name -> accumulated seconds across all spans
+        self.phase_totals: Dict[str, Dict[str, float]] = {}
+        #: Completed span records, for the slowest-request table.
+        self.spans: List[Dict[str, Any]] = []
+        self.open_spans = 0
+        self.runs: List[str] = []
+
+
+def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
+    """Aggregate parsed trace records into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for record in records:
+        kind = record.get("type")
+        if kind == "header":
+            summary.header = record
+        elif kind == "event":
+            key = f"{record['component']}.{record['event']}"
+            summary.event_counts[key] = summary.event_counts.get(key, 0) + 1
+            if record["event"] == "run" and record["component"] == "tracer":
+                label = (record.get("attrs") or {}).get("label")
+                if label:
+                    summary.runs.append(label)
+        elif kind == "span":
+            if record["end"] is None:
+                summary.open_spans += 1
+                continue
+            span_kind = record["kind"]
+            tally = summary.latency.get(span_kind)
+            if tally is None:
+                tally = summary.latency[span_kind] = Tally(keep_samples=True)
+            tally.observe(record["end"] - record["start"])
+            totals = summary.phase_totals.setdefault(span_kind, {})
+            for phase, seconds in record["phases"].items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+            summary.spans.append(record)
+    return summary
+
+
+def merge_latency(summaries: List[TraceSummary]) -> Dict[str, Tally]:
+    """Fold per-file latency tallies together (exact, via Tally.merge)."""
+    merged: Dict[str, Tally] = {}
+    for summary in summaries:
+        for kind, tally in summary.latency.items():
+            if kind in merged:
+                merged[kind].merge(tally)
+            else:
+                merged[kind] = Tally(keep_samples=True).merge(tally)
+    return merged
+
+
+_HIST_WIDTH = 40
+_HIST_BINS = 12
+
+
+def _histogram(samples: List[float], bins: int = _HIST_BINS) -> List[str]:
+    """Fixed-width ASCII histogram of latencies (milliseconds)."""
+    if not samples:
+        return []
+    low = min(samples)
+    high = max(samples)
+    if high <= low:
+        return [f"  {low * 1e3:10.3f} ms  | {'#' * _HIST_WIDTH} {len(samples)}"]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in samples:
+        index = min(int((value - low) / width), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for index, count in enumerate(counts):
+        lo = (low + index * width) * 1e3
+        hi = (low + (index + 1) * width) * 1e3
+        bar = "#" * max(1 if count else 0, round(count / peak * _HIST_WIDTH))
+        lines.append(f"  {lo:10.3f}-{hi:10.3f} ms | {bar:<{_HIST_WIDTH}} {count}")
+    return lines
+
+
+def render_summary(summary: TraceSummary, top: int = 10) -> str:
+    """Human-readable report: per-kind stats, histograms, slowest spans."""
+    lines: List[str] = []
+    if summary.header is not None:
+        lines.append(
+            f"trace: {summary.header['events']} events, "
+            f"{summary.header['spans']} spans "
+            f"(schema v{summary.header['schema']})"
+        )
+    if summary.runs:
+        lines.append(f"runs: {', '.join(summary.runs)}")
+    if summary.open_spans:
+        lines.append(f"warning: {summary.open_spans} span(s) never ended")
+    for kind in sorted(summary.latency):
+        tally = summary.latency[kind]
+        lines.append("")
+        lines.append(
+            f"== {kind} ==  n={tally.count}  "
+            f"mean={tally.mean * 1e3:.3f}ms  "
+            f"p50={tally.percentile(50) * 1e3:.3f}ms  "
+            f"p95={tally.percentile(95) * 1e3:.3f}ms  "
+            f"max={tally.maximum * 1e3:.3f}ms"
+        )
+        totals = summary.phase_totals.get(kind, {})
+        grand = sum(totals.values())
+        if grand > 0:
+            decomposition = "  ".join(
+                f"{phase}={seconds / grand * 100:.1f}%"
+                for phase, seconds in sorted(
+                    totals.items(), key=lambda item: -item[1]
+                )
+            )
+            lines.append(f"  phases: {decomposition}")
+        lines.extend(_histogram(tally.samples))
+    slowest = sorted(
+        summary.spans, key=lambda s: s["end"] - s["start"], reverse=True
+    )[:top]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest {len(slowest)} request(s):")
+        for span in slowest:
+            duration = (span["end"] - span["start"]) * 1e3
+            phases = "  ".join(
+                f"{phase}={seconds * 1e3:.3f}ms"
+                for phase, seconds in sorted(
+                    span["phases"].items(), key=lambda item: -item[1]
+                )
+            )
+            page = "" if span["page_id"] is None else f" page={span['page_id']}"
+            lines.append(
+                f"  {span['kind']}#{span['id']}{page} "
+                f"@{span['start']:.6f}s {duration:.3f}ms [{span['status']}]"
+            )
+            if phases:
+                lines.append(f"      {phases}")
+    if summary.event_counts:
+        lines.append("")
+        lines.append("events:")
+        for key in sorted(summary.event_counts):
+            lines.append(f"  {key}: {summary.event_counts[key]}")
+    return "\n".join(lines)

@@ -1,0 +1,471 @@
+"""Structured simulation tracing: event log, request spans, exporters.
+
+The paper's evidence is a *decomposition* of time (§4.3 splits each run
+into ``utime + systime + inittime + pptime + btime``); this module makes
+the same decomposition observable per request instead of only as
+end-of-run aggregates.  Two record kinds:
+
+* **events** — point occurrences on the simulated clock (a server crash,
+  a GC pass, a network partition), tagged with a component name and free
+  attributes;
+* **spans** — request lifecycles.  Every pageout/pagein (and every VM
+  fault) opens a span; the owning component marks *phase transitions*
+  (``enqueue`` → ``dispatch`` → ``transfer.protocol`` →
+  ``transfer.wire`` → ``server`` → ``parity.*`` → ``ack`` or ``disk``)
+  and the span accumulates the time spent in each phase.  Phases
+  partition the span's lifetime by construction, so per-request phase
+  durations always sum to the span's duration, and machine-level fault
+  spans sum to the run's measured paging time (see
+  ``tests/obs/test_span_accounting.py``).
+
+Phase names map onto the paper's cost terms: every ``*.protocol`` phase
+is ``pptime`` (per-page protocol processing), every ``*.wire`` phase is
+``btime`` (bandwidth-dependent wire time); ``parity.*`` isolates the
+reliability policy's redundancy traffic, ``disk`` the local-disk
+fallback.
+
+Tracing is **opt-in**: components read ``sim.tracer``, which defaults to
+the kernel's :class:`~repro.sim.core.NullTracer` (every call a no-op).
+Install a real tracer with ``sim.set_tracer(Tracer())`` or process-wide
+with :func:`install_tracer` (the CLI's ``--trace`` flag does the
+latter).  Export formats: JSON-lines (one record per line, schema
+enforced by :func:`validate_record`) and the Chrome ``chrome://tracing``
+/ Perfetto trace-event format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "current_tracer",
+    "validate_record",
+    "validate_jsonl",
+    "TRACE_SCHEMA_VERSION",
+]
+
+#: Bumped when the JSONL record layout changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+
+class Span:
+    """One request lifecycle: a start, phase transitions, and an end.
+
+    A span is always in exactly one *phase* (initially ``kind``'s
+    default, ``"service"``); :meth:`phase` closes the current segment
+    and opens the next.  Segments with the same name accumulate — a
+    pageout that crosses the wire three times books three segments of
+    ``transfer.wire`` — so ``phases`` is the per-request latency
+    decomposition and ``segments`` the ordered timeline.
+    """
+
+    __slots__ = (
+        "tracer",
+        "span_id",
+        "kind",
+        "component",
+        "page_id",
+        "start",
+        "end_ts",
+        "status",
+        "attrs",
+        "segments",
+        "_phase",
+        "_phase_start",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        kind: str,
+        page_id: Any,
+        component: str,
+        start: float,
+    ):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.kind = kind
+        self.component = component
+        self.page_id = page_id
+        self.start = start
+        self.end_ts: Optional[float] = None
+        self.status: Optional[str] = None
+        self.attrs: Dict[str, Any] = {}
+        #: Closed (name, start, end) segments, in order.
+        self.segments: List[Tuple[str, float, float]] = []
+        self._phase = "service"
+        self._phase_start = start
+
+    # ------------------------------------------------------------- recording
+    def phase(self, name: str) -> "Span":
+        """Close the current phase segment and enter ``name``."""
+        now = self.tracer._now()
+        if now > self._phase_start:
+            self.segments.append((self._phase, self._phase_start, now))
+        self._phase = name
+        self._phase_start = now
+        return self
+
+    def end(self, status: str = "ok", **attrs: Any) -> None:
+        """Close the span.  Idempotent: only the first call records."""
+        if self.end_ts is not None:
+            return
+        now = self.tracer._now()
+        if now > self._phase_start:
+            self.segments.append((self._phase, self._phase_start, now))
+        self.end_ts = now
+        self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (0.0 while still open)."""
+        if self.end_ts is None:
+            return 0.0
+        return self.end_ts - self.start
+
+    @property
+    def phases(self) -> Dict[str, float]:
+        """Accumulated seconds per phase name (sums to ``duration``)."""
+        totals: Dict[str, float] = {}
+        for name, seg_start, seg_end in self.segments:
+            totals[name] = totals.get(name, 0.0) + (seg_end - seg_start)
+        return totals
+
+    def to_record(self) -> Dict[str, Any]:
+        """The span's JSONL record."""
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "kind": self.kind,
+            "component": self.component,
+            "page_id": self.page_id,
+            "start": self.start,
+            "end": self.end_ts,
+            "status": self.status or "open",
+            "phases": self.phases,
+            "segments": [list(seg) for seg in self.segments],
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self.end_ts is None else f"{self.duration * 1e3:.2f}ms"
+        return f"<Span {self.kind}#{self.span_id} page={self.page_id} {state}>"
+
+
+class Tracer:
+    """An enabled tracer: collects events and spans from one or more runs.
+
+    Bind it to a simulator (``sim.set_tracer(tracer)``; rebinding to a
+    fresh simulator is fine — suite commands reuse one tracer across
+    sequential cells) and components record through ``sim.tracer``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.spans: List[Span] = []
+        self._sim: Any = None
+        self._next_span_id = 0
+        self._run_label: Optional[str] = None
+
+    # -------------------------------------------------------------- plumbing
+    def bind(self, sim: Any) -> None:
+        """Take timestamps from ``sim`` from now on."""
+        self._sim = sim
+
+    def _now(self) -> float:
+        sim = self._sim
+        return sim.now if sim is not None else 0.0
+
+    def begin_run(self, label: str) -> None:
+        """Mark the start of a named run (suite cell); subsequent spans
+        and events carry it, so one trace file can hold a whole suite."""
+        self._run_label = label
+        self.emit("tracer", "run", label=label)
+
+    @property
+    def run_label(self) -> Optional[str]:
+        return self._run_label
+
+    # ------------------------------------------------------------- recording
+    def emit(self, component: str, event: str, page_id: Any = None, **attrs: Any) -> None:
+        """Record one point event at the current simulated time."""
+        record: Dict[str, Any] = {
+            "type": "event",
+            "ts": self._now(),
+            "component": component,
+            "event": event,
+        }
+        if page_id is not None:
+            record["page_id"] = page_id
+        if self._run_label is not None:
+            record["run"] = self._run_label
+        if attrs:
+            record["attrs"] = attrs
+        self.events.append(record)
+
+    def span(self, kind: str, page_id: Any = None, component: str = "pager") -> Span:
+        """Open a request span; the caller marks phases and ends it."""
+        span = Span(self, self._next_span_id, kind, page_id, component, self._now())
+        self._next_span_id += 1
+        if self._run_label is not None:
+            span.attrs["run"] = self._run_label
+        self.spans.append(span)
+        return span
+
+    # --------------------------------------------------------------- export
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Every record (header, events, spans) in deterministic order."""
+        yield {
+            "type": "header",
+            "schema": TRACE_SCHEMA_VERSION,
+            "events": len(self.events),
+            "spans": len(self.spans),
+        }
+        for event in self.events:
+            yield event
+        for span in self.spans:
+            yield span.to_record()
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the JSONL trace; returns the number of records."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                count += 1
+        return count
+
+    def write_chrome(self, path: str) -> int:
+        """Write a Chrome/Perfetto trace-event file; returns event count.
+
+        Spans become complete (``"ph": "X"``) slices — one enclosing
+        slice per span plus one nested slice per phase segment — grouped
+        into one "thread" per span kind; point events become instants.
+        Timestamps are microseconds of simulated time.
+        """
+        trace_events: List[Dict[str, Any]] = []
+        tids: Dict[str, int] = {}
+
+        def tid_for(name: str) -> int:
+            tid = tids.get(name)
+            if tid is None:
+                tid = tids[name] = len(tids) + 1
+                trace_events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": 0,
+                        "tid": tid,
+                        "args": {"name": name},
+                    }
+                )
+            return tid
+
+        for span in self.spans:
+            if span.end_ts is None:
+                continue
+            tid = tid_for(f"span:{span.kind}")
+            label = span.kind if span.page_id is None else f"{span.kind}:{span.page_id}"
+            trace_events.append(
+                {
+                    "name": label,
+                    "cat": span.component,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid,
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "args": {"status": span.status, **span.phases, **span.attrs},
+                }
+            )
+            for name, seg_start, seg_end in span.segments:
+                trace_events.append(
+                    {
+                        "name": name,
+                        "cat": span.component,
+                        "ph": "X",
+                        "pid": 0,
+                        "tid": tid,
+                        "ts": seg_start * 1e6,
+                        "dur": (seg_end - seg_start) * 1e6,
+                        "args": {"span": span.span_id},
+                    }
+                )
+        for event in self.events:
+            trace_events.append(
+                {
+                    "name": event["event"],
+                    "cat": event["component"],
+                    "ph": "i",
+                    "s": "g",
+                    "pid": 0,
+                    "tid": tid_for(f"events:{event['component']}"),
+                    "ts": event["ts"] * 1e6,
+                    "args": event.get("attrs", {}),
+                }
+            )
+        payload = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        return len(trace_events)
+
+
+# --------------------------------------------------------------------------
+# Process-wide tracer (the CLI's --trace flag).
+# --------------------------------------------------------------------------
+
+_installed: Optional[Tracer] = None
+
+
+def install_tracer(tracer: Tracer) -> Tracer:
+    """Make ``tracer`` the process-wide tracer new clusters attach to."""
+    global _installed
+    _installed = tracer
+    return tracer
+
+
+def uninstall_tracer() -> None:
+    """Remove the process-wide tracer (new clusters trace nothing)."""
+    global _installed
+    _installed = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed process-wide tracer, or None."""
+    return _installed
+
+
+# --------------------------------------------------------------------------
+# JSONL schema validation (no external dependency).
+# --------------------------------------------------------------------------
+
+_NUMBER = (int, float)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def validate_record(record: Any) -> str:
+    """Validate one parsed JSONL record; returns its type.
+
+    Raises :class:`ValueError` with a description of the first problem.
+    This is the schema the CI trace smoke-run enforces on real traces.
+    """
+    _require(isinstance(record, dict), f"record is not an object: {record!r}")
+    kind = record.get("type")
+    _require(
+        kind in ("header", "event", "span"), f"unknown record type: {kind!r}"
+    )
+    if kind == "header":
+        _require(
+            record.get("schema") == TRACE_SCHEMA_VERSION,
+            f"unsupported schema version: {record.get('schema')!r}",
+        )
+        for field in ("events", "spans"):
+            _require(
+                isinstance(record.get(field), int) and record[field] >= 0,
+                f"header.{field} must be a non-negative integer",
+            )
+    elif kind == "event":
+        _require(isinstance(record.get("ts"), _NUMBER), "event.ts must be a number")
+        for field in ("component", "event"):
+            _require(
+                isinstance(record.get(field), str) and record[field],
+                f"event.{field} must be a non-empty string",
+            )
+        if "attrs" in record:
+            _require(isinstance(record["attrs"], dict), "event.attrs must be an object")
+    else:  # span
+        _require(isinstance(record.get("id"), int), "span.id must be an integer")
+        for field in ("kind", "component", "status"):
+            _require(
+                isinstance(record.get(field), str) and record[field],
+                f"span.{field} must be a non-empty string",
+            )
+        _require(isinstance(record.get("start"), _NUMBER), "span.start must be a number")
+        _require(
+            record.get("end") is None or isinstance(record["end"], _NUMBER),
+            "span.end must be a number or null",
+        )
+        phases = record.get("phases")
+        _require(isinstance(phases, dict), "span.phases must be an object")
+        for name, seconds in phases.items():
+            _require(
+                isinstance(name, str) and isinstance(seconds, _NUMBER),
+                f"span.phases[{name!r}] must map a string to a number",
+            )
+        segments = record.get("segments")
+        _require(isinstance(segments, list), "span.segments must be an array")
+        for segment in segments:
+            _require(
+                isinstance(segment, list)
+                and len(segment) == 3
+                and isinstance(segment[0], str)
+                and isinstance(segment[1], _NUMBER)
+                and isinstance(segment[2], _NUMBER),
+                f"bad span segment: {segment!r}",
+            )
+        if record["end"] is not None:
+            total = sum(seconds for seconds in phases.values())
+            duration = record["end"] - record["start"]
+            _require(
+                abs(total - duration) <= 1e-6 * max(1.0, abs(duration)),
+                f"span phases sum to {total} but duration is {duration}",
+            )
+    return kind
+
+
+def validate_jsonl(lines: Iterable[str]) -> Dict[str, int]:
+    """Validate a whole JSONL trace; returns per-type record counts.
+
+    ``lines`` may be an open file or any iterable of strings.  The first
+    record must be the header, and its declared counts must match.
+    """
+    counts = {"header": 0, "event": 0, "span": 0}
+    header: Optional[Dict[str, Any]] = None
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: not valid JSON: {exc}") from None
+        try:
+            kind = validate_record(record)
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: {exc}") from None
+        if lineno == 1:
+            _require(kind == "header", "first record must be the header")
+            header = record
+        else:
+            _require(kind != "header", f"line {lineno}: duplicate header")
+        counts[kind] += 1
+    _require(counts["header"] == 1, "trace has no header record")
+    assert header is not None
+    _require(
+        header["events"] == counts["event"] and header["spans"] == counts["span"],
+        "header counts do not match records "
+        f"(declared {header['events']} events/{header['spans']} spans, "
+        f"found {counts['event']}/{counts['span']})",
+    )
+    return counts
+
+
+def validate_file(path: str) -> Dict[str, int]:
+    """Validate the JSONL trace at ``path``; returns record counts."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_jsonl(handle)

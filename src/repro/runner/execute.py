@@ -82,5 +82,8 @@ def execute_spec(spec: RunSpec) -> RunResult:
     report.meta = build_meta(
         spec.policy, kwargs.get("seed", 0), dict(spec.overrides), workload.name
     )
+    # Full cluster telemetry rides with the report, so cached results and
+    # parallel workers hand back the same observability payload.
+    report.meta["metrics"] = cluster.metrics.snapshot()
     extras = run_extractors(spec.extract, cluster, report, state)
     return RunResult(spec=spec, report=report, extras=extras)

@@ -20,10 +20,13 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..log import get_logger
 from ..vm.machine import CompletionReport
 from .cache import ResultCache
 from .execute import execute_spec
 from .spec import RunResult, RunSpec
+
+log = get_logger(__name__)
 
 __all__ = [
     "ExperimentRunner",
@@ -74,6 +77,7 @@ class ExperimentRunner:
         for index, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
+                log.debug("cache hit: %s", spec.label or spec.workload)
                 report, extras = cached
                 results[index] = RunResult(
                     spec=spec, report=report, extras=extras, cached=True
@@ -84,11 +88,16 @@ class ExperimentRunner:
         if pending:
             if self.jobs > 1 and len(pending) > 1:
                 workers = min(self.jobs, len(pending))
+                log.info(
+                    "running %d spec(s) over %d worker process(es)",
+                    len(pending), workers,
+                )
                 with ProcessPoolExecutor(max_workers=workers) as pool:
                     futures = [pool.submit(execute_spec, specs[i]) for i in pending]
                     for index, future in zip(pending, futures):
                         results[index] = future.result()
             else:
+                log.debug("running %d spec(s) inline", len(pending))
                 for index in pending:
                     results[index] = execute_spec(specs[index])
             if self.cache is not None:

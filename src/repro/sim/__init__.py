@@ -1,10 +1,14 @@
 """Discrete-event simulation kernel used by every substrate model."""
 
 from .core import (
+    NULL_SPAN,
+    NULL_TRACER,
     AllOf,
     AnyOf,
     Event,
     Interrupt,
+    NullSpan,
+    NullTracer,
     Process,
     SimulationError,
     Simulator,
@@ -25,6 +29,10 @@ __all__ = [
     "AllOf",
     "SimulationError",
     "StopSimulation",
+    "NullSpan",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
     "Resource",
     "Store",
     "Container",

@@ -9,7 +9,7 @@ accumulate them with O(1) memory unless sample retention is requested.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Counter", "Tally", "TimeWeighted", "UtilizationTracker"]
 
@@ -48,6 +48,9 @@ class Tally:
         self.maximum = -math.inf
         self.total = 0.0
         self._samples: Optional[List[float]] = [] if keep_samples else None
+        #: Sorted view of ``_samples``, built lazily by :meth:`percentile`
+        #: and invalidated by :meth:`observe`/:meth:`merge`.
+        self._sorted: Optional[List[float]] = None
 
     def observe(self, value: float) -> None:
         """Record one sample."""
@@ -60,6 +63,41 @@ class Tally:
         self.maximum = max(self.maximum, value)
         if self._samples is not None:
             self._samples.append(value)
+            self._sorted = None
+
+    def merge(self, other: "Tally") -> "Tally":
+        """Fold ``other``'s observations into this tally, exactly.
+
+        Uses Chan et al.'s parallel Welford update, so merging per-shard
+        tallies from parallel runs yields bit-for-bit the same count,
+        total, min, max and (numerically stable) mean/variance as one
+        stream would — the parallel experiment runner relies on this
+        when reassembling multi-run reports.  Returns ``self``.
+        """
+        if other.count == 0:
+            return self
+        if self._samples is not None:
+            if other._samples is None:
+                raise ValueError(
+                    "cannot merge a keep_samples tally with one that "
+                    "dropped its samples"
+                )
+            self._samples.extend(other._samples)
+            self._sorted = None
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+        else:
+            combined = self.count + other.count
+            delta = other._mean - self._mean
+            self._mean += delta * other.count / combined
+            self._m2 += other._m2 + delta * delta * self.count * other.count / combined
+            self.count = combined
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
 
     @property
     def mean(self) -> float:
@@ -81,14 +119,49 @@ class Tally:
         return list(self._samples)
 
     def percentile(self, q: float) -> float:
-        """q-th percentile (0..100) by nearest-rank over kept samples."""
+        """q-th percentile (0..100) by nearest-rank over kept samples.
+
+        The sorted order is cached across calls (rendering a latency
+        report asks for several percentiles of the same samples) and
+        invalidated whenever a new sample arrives.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile out of range: {q}")
-        data = sorted(self.samples)
-        if not data:
+        if self._samples is None:
+            raise ValueError("Tally was created with keep_samples=False")
+        if not self._samples:
             return math.nan
+        data = self._sorted
+        if data is None:
+            data = self._sorted = sorted(self._samples)
         rank = max(1, math.ceil(q / 100.0 * len(data)))
         return data[rank - 1]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe snapshot (None statistics when empty, no NaN)."""
+        empty = self.count == 0
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": None if empty else self._mean,
+            "m2": None if empty else self._m2,
+            "stddev": None if empty else self.stddev,
+            "min": None if empty else self.minimum,
+            "max": None if empty else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Tally":
+        """Rebuild a (sample-less) tally from :meth:`as_dict` output."""
+        tally = cls()
+        tally.count = int(data["count"])
+        if tally.count:
+            tally.total = float(data["total"])
+            tally._mean = float(data["mean"])
+            tally._m2 = float(data["m2"])
+            tally.minimum = float(data["min"])
+            tally.maximum = float(data["max"])
+        return tally
 
 
 class TimeWeighted:

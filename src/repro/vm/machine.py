@@ -221,8 +221,12 @@ class Machine:
             yield self.sim.timeout(pending_cpu)
 
         # Drain outstanding asynchronous pageouts before declaring done.
-        while self._inflight_by_page:
-            yield self.sim.any_of(list(self._inflight_by_page.values()))
+        if self._inflight_by_page:
+            span = self.sim.tracer.span("drain", component="machine")
+            span.phase("drain")
+            while self._inflight_by_page:
+                yield self.sim.any_of(list(self._inflight_by_page.values()))
+            span.end("ok")
 
         return self._report(name, start)
 
@@ -233,6 +237,14 @@ class Machine:
         fault_cpu = self.spec.fault_service_cpu / self.spec.cpu_speed
         self._systime += fault_cpu
         yield self.sim.timeout(fault_cpu)
+
+        # The fault span opens AFTER the fault-service CPU charge, so it
+        # covers exactly the time the machine stalls on the paging device
+        # (neither utime nor systime).  The machine runs one sequential
+        # reference stream, so the fault spans plus the end-of-run drain
+        # span partition the run's measured paging time (ptime) exactly.
+        span = self.sim.tracer.span("fault", pte.page_id, component="machine")
+        span.phase("evict")
 
         policy = self.replacement
         page_table = self.page_table
@@ -248,22 +260,25 @@ class Machine:
                     victim.dirty = False
                     victim.on_backing_store = True
                     contents = self.versioner.contents(victim_id)
-                    yield from self._start_pageout(victim_id, contents)
+                    yield from self._start_pageout(victim_id, contents, span)
                     self.counters.add("pageouts")
 
         # A fault on a page whose pageout is still in flight must wait for
         # the write-back to land (the backing store does not hold it yet).
         inflight = self._inflight_by_page.get(pte.page_id)
         if inflight is not None:
+            span.phase("writeback_wait")
             yield inflight
 
         prefetching = self._prefetching.get(pte.page_id)
         if prefetching is not None:
             # A read-ahead already has this page on the way; its arrival
             # (not this fault) makes the page resident.
+            span.phase("pagein")
             yield prefetching
             self.counters.add("prefetch_hits")
         elif pte.on_backing_store:
+            span.phase("pagein")
             contents = yield from self.pager.pagein(pte.page_id)
             self.counters.add("pageins")
             if self.content_mode:
@@ -271,6 +286,7 @@ class Machine:
         else:
             # First touch: zero-filled, no backing-store traffic.
             self.counters.add("zero_fills")
+        span.end("ok")
 
         if self.prefetch:
             self._note_fault_for_prefetch(pte.page_id, user_frames)
@@ -284,17 +300,21 @@ class Machine:
             pte.dirty = True
             self.versioner.bump(pte.page_id)
 
-    def _start_pageout(self, page_id: int, contents):
+    def _start_pageout(self, page_id: int, contents, span=None):
         """Launch an asynchronous pageout, respecting the in-flight window.
 
         Generator: blocks only while the window is full.  Within-page
         ordering is preserved by chaining: a new pageout of a page whose
         previous pageout is still in flight waits for it first.
         """
+        if span is not None and self._inflight_slots >= self.pageout_window:
+            span.phase("window_wait")
         while self._inflight_slots >= self.pageout_window:
             waiter = self.sim.event()
             self._window_waiters.append(waiter)
             yield waiter
+        if span is not None:
+            span.phase("evict")
         previous = self._inflight_by_page.get(page_id)
         token = object()
         self._inflight_tokens[page_id] = token

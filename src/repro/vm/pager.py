@@ -116,17 +116,23 @@ class LocalDiskPager(Pager):
         self._contents: Dict[int, Optional[bytes]] = {}
 
     def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        span = self.sim.tracer.span("pageout", page_id, component="disk")
+        span.phase("disk")
         yield from self.backend.write_page(page_id)
         self._contents[page_id] = contents
         self.counters.add("pageouts")
         self.counters.add("transfers")
+        span.end("ok")
 
     def pagein(self, page_id: int):
         if not self.backend.holds(page_id):
             raise PageNotFound(page_id, where="local swap disk")
+        span = self.sim.tracer.span("pagein", page_id, component="disk")
+        span.phase("disk")
         yield from self.backend.read_page(page_id)
         self.counters.add("pageins")
         self.counters.add("transfers")
+        span.end("ok")
         return self._contents.get(page_id)
 
     def release(self, page_id: int) -> None:

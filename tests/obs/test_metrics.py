@@ -1,0 +1,104 @@
+"""MetricsRegistry snapshots and exact snapshot merging."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.sim.monitor import Counter, Tally, UtilizationTracker
+
+
+def test_snapshot_expands_counters_and_tallies():
+    registry = MetricsRegistry()
+    counter = registry.attach("pager", Counter())
+    counter.add("pageouts", 3)
+    tally = registry.attach("net.latency", Tally())
+    tally.observe(2.0)
+    tally.observe(4.0)
+    registry.gauge("net.utilization", lambda: 0.5)
+    snapshot = registry.snapshot()
+    assert snapshot["pager.pageouts"] == 3
+    assert snapshot["net.latency.count"] == 2
+    assert snapshot["net.latency.mean"] == 3.0
+    assert snapshot["net.latency.__tally__"] is True
+    assert snapshot["net.utilization"] == 0.5
+    assert list(snapshot) == sorted(snapshot)
+
+
+def test_empty_tally_snapshot_is_json_safe():
+    registry = MetricsRegistry()
+    registry.attach("t", Tally())
+    snapshot = registry.snapshot()
+    assert snapshot["t.count"] == 0
+    assert snapshot["t.mean"] is None  # no NaN in JSON payloads
+
+
+def test_duplicate_names_rejected():
+    registry = MetricsRegistry()
+    registry.attach("x", Counter())
+    with pytest.raises(ValueError, match="already registered"):
+        registry.attach("x", Counter())
+    with pytest.raises(ValueError, match="already registered"):
+        registry.gauge("x", lambda: 0.0)
+
+
+def test_raw_utilization_tracker_snapshots_as_none():
+    registry = MetricsRegistry()
+    registry.attach("u", UtilizationTracker())
+    assert registry.snapshot() == {"u": None}
+
+
+def test_merge_sums_integer_counters():
+    merged = merge_snapshots([{"pager.pageouts": 2}, {"pager.pageouts": 5}])
+    assert merged == {"pager.pageouts": 7}
+
+
+def test_merge_keeps_first_value_for_floats_and_bools():
+    # Utilisations are instantaneous readings: summing them would be
+    # meaningless, so the first run's value survives.
+    merged = merge_snapshots(
+        [
+            {"net.utilization": 0.25, "flag": True},
+            {"net.utilization": 0.75, "flag": False},
+        ]
+    )
+    assert merged["net.utilization"] == 0.25
+    assert merged["flag"] is True
+
+
+def test_merge_folds_tallies_exactly():
+    def snap(values):
+        registry = MetricsRegistry()
+        tally = registry.attach("lat", Tally())
+        for value in values:
+            tally.observe(value)
+        return registry.snapshot()
+
+    a, b = [1.0, 2.0, 3.0], [10.0, 20.0]
+    merged = merge_snapshots([snap(a), snap(b)])
+
+    single = Tally()
+    for value in a + b:
+        single.observe(value)
+    assert merged["lat.count"] == single.count
+    assert merged["lat.total"] == pytest.approx(single.total)
+    assert merged["lat.mean"] == pytest.approx(single.mean)
+    assert merged["lat.stddev"] == pytest.approx(single.stddev)
+    assert merged["lat.min"] == single.minimum
+    assert merged["lat.max"] == single.maximum
+    assert merged["lat.__tally__"] is True
+
+
+def test_merge_tolerates_empty_tally_shards():
+    def snap(values):
+        registry = MetricsRegistry()
+        tally = registry.attach("lat", Tally())
+        for value in values:
+            tally.observe(value)
+        return registry.snapshot()
+
+    merged = merge_snapshots([snap([]), snap([4.0])])
+    assert merged["lat.count"] == 1
+    assert merged["lat.mean"] == 4.0
+
+
+def test_merge_of_nothing_is_empty():
+    assert merge_snapshots([]) == {}

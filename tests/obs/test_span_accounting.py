@@ -1,0 +1,129 @@
+"""The central accounting invariant: spans reproduce the §4.3 terms.
+
+A traced run must decompose without residue: every completed span's
+phase durations sum to its duration, the machine's fault + drain spans
+partition the run's measured paging time (``ptime``) exactly, and the
+``*.protocol`` phases reproduce the paper's modelled pptime
+(transfers x the per-page protocol cost).
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.extrapolate import decompose
+from repro.config import MachineSpec
+from repro.core import build_cluster
+from repro.obs.trace import Tracer, validate_file
+from repro.units import megabytes
+from repro.workloads import Gauss
+
+GAUSS_SMALL = dict(n=900)
+
+
+def _traced_run(policy, **kwargs):
+    cluster = build_cluster(
+        policy=policy,
+        machine_spec=MachineSpec(
+            name="small",
+            ram_bytes=megabytes(8),
+            kernel_resident_bytes=megabytes(2),
+        ),
+        **kwargs,
+    )
+    tracer = Tracer()
+    cluster.sim.set_tracer(tracer)
+    report = cluster.run(Gauss(**GAUSS_SMALL))
+    return tracer, report
+
+
+@pytest.fixture(scope="module")
+def traced_parity_logging():
+    return _traced_run(
+        "parity-logging", n_servers=4, overflow_fraction=0.10
+    )
+
+
+def test_all_spans_end_and_phases_partition_duration(traced_parity_logging):
+    tracer, _ = traced_parity_logging
+    assert tracer.spans, "traced run produced no spans"
+    for span in tracer.spans:
+        assert span.end_ts is not None, f"span never ended: {span!r}"
+        total = sum(span.phases.values())
+        assert math.isclose(total, span.duration, rel_tol=1e-9, abs_tol=1e-12), (
+            span.kind,
+            span.phases,
+            span.duration,
+        )
+
+
+def test_machine_spans_sum_to_ptime(traced_parity_logging):
+    tracer, report = traced_parity_logging
+    machine_time = sum(
+        span.duration for span in tracer.spans if span.component == "machine"
+    )
+    assert math.isclose(machine_time, report.ptime, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_protocol_phases_reproduce_modelled_pptime(traced_parity_logging):
+    tracer, report = traced_parity_logging
+    observed_pptime = sum(
+        seconds
+        for span in tracer.spans
+        for phase, seconds in span.phases.items()
+        if phase.endswith(".protocol")
+    )
+    model = decompose(report)
+    assert observed_pptime == pytest.approx(model.pptime, rel=1e-9)
+
+
+def test_request_spans_cover_every_pageout_and_pagein(traced_parity_logging):
+    tracer, report = traced_parity_logging
+    kinds = {}
+    for span in tracer.spans:
+        if span.component == "pager":
+            kinds[span.kind] = kinds.get(span.kind, 0) + 1
+    assert kinds["pageout"] == report.pageouts
+    assert kinds["pagein"] == report.pageins
+
+
+def test_exports_validate_end_to_end(traced_parity_logging, tmp_path):
+    tracer, _ = traced_parity_logging
+    jsonl = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "trace.chrome.json"
+    written = tracer.write_jsonl(str(jsonl))
+    counts = validate_file(str(jsonl))
+    assert written == sum(counts.values())
+    assert counts["span"] == len(tracer.spans)
+    tracer.write_chrome(str(chrome))
+    payload = json.loads(chrome.read_text())
+    assert payload["traceEvents"], "chrome export is empty"
+
+
+def test_disk_baseline_traces_through_local_pager():
+    tracer, report = _traced_run("disk")
+    disk_spans = [s for s in tracer.spans if s.component == "disk"]
+    assert len(disk_spans) == report.pageouts + report.pageins
+    assert all(set(s.phases) == {"disk"} for s in disk_spans)
+
+
+def test_untraced_run_is_unchanged_by_instrumentation():
+    """Same cluster, no tracer: identical report (timing untouched)."""
+    _, traced = _traced_run(
+        "parity-logging", n_servers=4, overflow_fraction=0.10
+    )
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        overflow_fraction=0.10,
+        machine_spec=MachineSpec(
+            name="small",
+            ram_bytes=megabytes(8),
+            kernel_resident_bytes=megabytes(2),
+        ),
+    )
+    untraced = cluster.run(Gauss(**GAUSS_SMALL))
+    assert untraced.etime == traced.etime
+    assert untraced.pageouts == traced.pageouts
+    assert untraced.pageins == traced.pageins

@@ -1,0 +1,90 @@
+"""Trace summarisation and the ``repro trace-summary`` command."""
+
+import pytest
+
+from repro.obs.summary import load_trace, merge_latency, render_summary, summarize
+from repro.obs.trace import Tracer
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _write_sample_trace(path):
+    clock = Clock()
+    tracer = Tracer()
+    tracer.bind(clock)
+    tracer.begin_run("cell-a")
+    for index in range(4):
+        span = tracer.span("pageout", page_id=index)
+        clock.now += 0.001
+        span.phase("transfer.wire")
+        clock.now += 0.002 + index * 0.001
+        span.end("ok")
+    tracer.emit("server", "crash", name="server-0")
+    tracer.span("pagein", page_id=99)  # never ended
+    tracer.write_jsonl(str(path))
+    return tracer
+
+
+def test_summarize_counts_and_latency(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_sample_trace(path)
+    summary = summarize(load_trace(str(path)))
+    assert summary.header["spans"] == 5
+    assert summary.runs == ["cell-a"]
+    assert summary.open_spans == 1
+    assert summary.event_counts["server.crash"] == 1
+    tally = summary.latency["pageout"]
+    assert tally.count == 4
+    assert tally.minimum == pytest.approx(0.003)
+    assert tally.maximum == pytest.approx(0.006)
+    assert summary.phase_totals["pageout"]["transfer.wire"] == pytest.approx(
+        0.002 + 0.003 + 0.004 + 0.005
+    )
+
+
+def test_load_trace_validation_failure_names_the_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "bogus"}\n')
+    with pytest.raises(ValueError, match="bad.jsonl:1"):
+        load_trace(str(path))
+
+
+def test_render_summary_mentions_everything(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_sample_trace(path)
+    text = render_summary(summarize(load_trace(str(path))), top=2)
+    assert "== pageout ==" in text
+    assert "n=4" in text
+    assert "slowest 2 request(s):" in text
+    assert "transfer.wire" in text
+    assert "warning: 1 span(s) never ended" in text
+    assert "server.crash: 1" in text
+
+
+def test_merge_latency_is_exact(tmp_path):
+    a = summarize(load_trace(str(_path_with_trace(tmp_path, "a.jsonl"))))
+    b = summarize(load_trace(str(_path_with_trace(tmp_path, "b.jsonl"))))
+    merged = merge_latency([a, b])
+    assert merged["pageout"].count == a.latency["pageout"].count * 2
+    # Merging must not mutate the per-file tallies.
+    assert a.latency["pageout"].count == 4
+
+
+def _path_with_trace(tmp_path, name):
+    path = tmp_path / name
+    _write_sample_trace(path)
+    return path
+
+
+def test_trace_summary_cli(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "t.jsonl"
+    _write_sample_trace(path)
+    assert main(["trace-summary", str(path), "--top", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "== pageout ==" in out
+    assert "slowest 1 request(s):" in out

@@ -1,0 +1,261 @@
+"""Tracer and Span semantics, exporters, and the JSONL schema."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    uninstall_tracer,
+    validate_file,
+    validate_jsonl,
+    validate_record,
+)
+
+
+class Clock:
+    """Stand-in simulator: just a settable ``now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def clock():
+    return Clock()
+
+
+@pytest.fixture
+def tracer(clock):
+    tracer = Tracer()
+    tracer.bind(clock)
+    return tracer
+
+
+# ---------------------------------------------------------------- spans
+
+def test_span_phases_partition_duration(tracer, clock):
+    span = tracer.span("pageout", page_id=7)
+    clock.now = 1.0
+    span.phase("transfer.protocol")
+    clock.now = 1.5
+    span.phase("transfer.wire")
+    clock.now = 4.0
+    span.end("ok")
+    assert span.duration == 4.0
+    assert span.phases == {
+        "service": 1.0,
+        "transfer.protocol": 0.5,
+        "transfer.wire": 2.5,
+    }
+    assert sum(span.phases.values()) == span.duration
+
+
+def test_zero_length_segments_are_dropped(tracer, clock):
+    span = tracer.span("pagein")
+    span.phase("a")  # no time has passed: "service" segment is dropped
+    span.phase("b")  # likewise "a"
+    clock.now = 2.0
+    span.end()
+    assert span.phases == {"b": 2.0}
+    assert [name for name, _, _ in span.segments] == ["b"]
+
+
+def test_same_named_segments_accumulate(tracer, clock):
+    span = tracer.span("pageout")
+    clock.now = 1.0
+    span.phase("wire")
+    clock.now = 2.0
+    span.phase("cpu")
+    clock.now = 2.5
+    span.phase("wire")
+    clock.now = 4.5
+    span.end()
+    assert span.phases["wire"] == pytest.approx(1.0 + 2.0)
+    assert len(span.segments) == 4
+
+
+def test_end_is_idempotent(tracer, clock):
+    span = tracer.span("pageout")
+    clock.now = 1.0
+    span.end("ok", reason="done")
+    clock.now = 9.0
+    span.end("error", reason="late")  # must not clobber the first end
+    assert span.status == "ok"
+    assert span.end_ts == 1.0
+    assert span.attrs == {"reason": "done"}
+
+
+def test_open_span_record_validates(tracer, clock):
+    span = tracer.span("pageout", page_id=3)
+    record = span.to_record()
+    assert record["end"] is None
+    assert record["status"] == "open"
+    assert validate_record(record) == "span"
+
+
+# --------------------------------------------------------------- tracer
+
+def test_events_carry_run_label_after_begin_run(tracer, clock):
+    tracer.emit("net", "partition")
+    tracer.begin_run("fig2/mvec")
+    clock.now = 3.0
+    tracer.emit("server", "crash", name="server-0")
+    first, marker, second = tracer.events
+    assert "run" not in first
+    assert marker["component"] == "tracer" and marker["event"] == "run"
+    assert second["run"] == "fig2/mvec"
+    assert second["ts"] == 3.0
+    assert second["attrs"] == {"name": "server-0"}
+    span = tracer.span("pageout")
+    assert span.attrs["run"] == "fig2/mvec"
+
+
+def test_span_ids_are_unique_and_ordered(tracer):
+    ids = [tracer.span("pageout").span_id for _ in range(5)]
+    assert ids == sorted(set(ids))
+
+
+def test_records_start_with_header(tracer, clock):
+    tracer.emit("pager", "migration")
+    tracer.span("pageout").end()
+    records = list(tracer.records())
+    assert records[0] == {
+        "type": "header",
+        "schema": TRACE_SCHEMA_VERSION,
+        "events": 1,
+        "spans": 1,
+    }
+    assert [r["type"] for r in records] == ["header", "event", "span"]
+
+
+# -------------------------------------------------------------- exports
+
+def _sample_tracer(clock):
+    tracer = Tracer()
+    tracer.bind(clock)
+    tracer.begin_run("test")
+    span = tracer.span("pageout", page_id=11)
+    clock.now = 0.25
+    span.phase("transfer.wire")
+    clock.now = 1.0
+    span.end("ok")
+    tracer.emit("server", "crash", name="server-1")
+    tracer.span("pagein", page_id=12)  # left open on purpose
+    return tracer
+
+
+def test_write_jsonl_roundtrips_and_validates(tracer, clock, tmp_path):
+    tracer = _sample_tracer(clock)
+    path = tmp_path / "trace.jsonl"
+    count = tracer.write_jsonl(str(path))
+    counts = validate_file(str(path))
+    assert count == counts["header"] + counts["event"] + counts["span"]
+    assert counts == {"header": 1, "event": 2, "span": 2}
+
+
+def test_write_chrome_structure(clock, tmp_path):
+    tracer = _sample_tracer(clock)
+    path = tmp_path / "trace.chrome.json"
+    tracer.write_chrome(str(path))
+    payload = json.loads(path.read_text())
+    events = payload["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    threads = [e for e in events if e["ph"] == "M"]
+    # One enclosing slice + two phase segments for the completed span;
+    # the still-open span is skipped.
+    assert len(slices) == 3
+    enclosing = next(s for s in slices if s["name"] == "pageout:11")
+    assert enclosing["ts"] == 0.0
+    assert enclosing["dur"] == pytest.approx(1e6)
+    assert enclosing["args"]["status"] == "ok"
+    assert len(instants) == 2  # run marker + crash
+    assert {t["args"]["name"] for t in threads} >= {"span:pageout", "events:server"}
+
+
+# ----------------------------------------------------------- validation
+
+def _jsonl(records):
+    return [json.dumps(r) for r in records]
+
+
+def test_validate_rejects_unknown_type():
+    with pytest.raises(ValueError, match="unknown record type"):
+        validate_record({"type": "bogus"})
+
+
+def test_validate_rejects_wrong_schema_version():
+    with pytest.raises(ValueError, match="schema version"):
+        validate_record(
+            {"type": "header", "schema": 999, "events": 0, "spans": 0}
+        )
+
+
+def test_validate_rejects_phase_sum_mismatch():
+    record = {
+        "type": "span",
+        "id": 0,
+        "kind": "pageout",
+        "component": "pager",
+        "page_id": None,
+        "start": 0.0,
+        "end": 2.0,
+        "status": "ok",
+        "phases": {"service": 0.5},  # should sum to 2.0
+        "segments": [["service", 0.0, 0.5]],
+        "attrs": {},
+    }
+    with pytest.raises(ValueError, match="phases sum"):
+        validate_record(record)
+
+
+def test_validate_jsonl_requires_header_first():
+    lines = _jsonl([{"type": "event", "ts": 0.0, "component": "x", "event": "y"}])
+    with pytest.raises(ValueError, match="header"):
+        validate_jsonl(lines)
+
+
+def test_validate_jsonl_rejects_count_mismatch():
+    lines = _jsonl(
+        [
+            {"type": "header", "schema": TRACE_SCHEMA_VERSION, "events": 3, "spans": 0},
+            {"type": "event", "ts": 0.0, "component": "x", "event": "y"},
+        ]
+    )
+    with pytest.raises(ValueError, match="counts do not match"):
+        validate_jsonl(lines)
+
+
+def test_validate_jsonl_rejects_duplicate_header():
+    header = {"type": "header", "schema": TRACE_SCHEMA_VERSION, "events": 0, "spans": 0}
+    with pytest.raises(ValueError, match="duplicate header"):
+        validate_jsonl(_jsonl([header, header]))
+
+
+# ------------------------------------------------------- process-global
+
+def test_install_uninstall_roundtrip():
+    assert current_tracer() is None
+    tracer = Tracer()
+    try:
+        assert install_tracer(tracer) is tracer
+        assert current_tracer() is tracer
+    finally:
+        uninstall_tracer()
+    assert current_tracer() is None
+
+
+def test_installed_tracer_attaches_to_new_clusters():
+    from repro.core.builder import build_cluster
+
+    tracer = Tracer()
+    try:
+        install_tracer(tracer)
+        cluster = build_cluster(policy="no-reliability", n_servers=2)
+        assert cluster.sim.tracer is tracer
+    finally:
+        uninstall_tracer()

@@ -1,0 +1,51 @@
+"""meta["metrics"] rides with every result, identically everywhere.
+
+The full-grid determinism test already compares whole reports (meta
+included) across serial/parallel/cache; these are the focused checks
+that the metrics payload itself exists, is JSON-safe, and survives the
+cache round-trip and worker-process boundary bit-for-bit.
+"""
+
+import json
+
+from repro.experiments.harness import merged_metrics
+from repro.runner import ExperimentRunner, RunSpec
+
+# n=1600 (~20 MB matrix) pages on the default machine, so every
+# namespace below actually accumulates counts; still runs in < 1 s.
+SPECS = [
+    RunSpec.make("gauss", "no-reliability", workload_kwargs={"n": 1600}),
+    RunSpec.make("gauss", "disk", workload_kwargs={"n": 1600}),
+]
+
+
+def test_metrics_identical_across_jobs_and_cache(tmp_path):
+    serial = ExperimentRunner(jobs=1, use_cache=False).run(SPECS)
+    parallel = ExperimentRunner(jobs=2, use_cache=True, cache_dir=tmp_path).run(SPECS)
+    warm = ExperimentRunner(jobs=2, use_cache=True, cache_dir=tmp_path).run(SPECS)
+    assert all(result.cached for result in warm)
+    for a, b, c in zip(serial, parallel, warm):
+        metrics = a.report.meta["metrics"]
+        assert metrics, "run produced an empty metrics snapshot"
+        assert metrics == b.report.meta["metrics"] == c.report.meta["metrics"]
+        json.dumps(metrics)  # JSON-safe: no NaN/inf/objects
+
+
+def test_metrics_namespaces_present():
+    result = ExperimentRunner().run_one(SPECS[0])
+    metrics = result.report.meta["metrics"]
+    assert metrics["pager.pageouts"] == result.report.pageouts
+    assert any(key.startswith("server.server-0.") for key in metrics)
+    assert "net.utilization" in metrics
+    assert "net.protocol.page_transfers" in metrics
+    assert "net.message_latency.__tally__" in metrics
+
+
+def test_merged_metrics_sums_counters_across_runs():
+    results = ExperimentRunner().run(SPECS)
+    reports = [result.report for result in results]
+    merged = merged_metrics(reports)
+    assert merged["pager.pageouts"] == sum(r.pageouts for r in reports)
+    assert merged["machine.pageins"] == sum(
+        r.meta["metrics"]["machine.pageins"] for r in reports
+    )
