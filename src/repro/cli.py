@@ -111,6 +111,13 @@ def _cmd_compression(args) -> str:
     return exp.render_compression(exp.run_compression())
 
 
+def _cmd_resilience(args) -> str:
+    levels = ("light",) if args.quick else tuple(args.levels)
+    return exp.render_resilience(
+        exp.run_resilience(policies=tuple(args.policies), levels=levels)
+    )
+
+
 def _cmd_profile(args) -> str:
     from .workloads import PAPER_WORKLOADS, profile_workload, render_profiles
 
@@ -167,6 +174,7 @@ _ALL = [
     "multiclient",
     "diurnal",
     "compression",
+    "resilience",
     "profile",
     "ablate",
 ]
@@ -316,6 +324,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "compression", parents=[runner_flags], help="beyond-paper: page compression trade-off")
     p.set_defaults(func=_cmd_compression)
+
+    p = sub.add_parser(
+        "resilience", parents=[runner_flags],
+        help="chaos campaign: page integrity under crashes, loss, and rot")
+    p.add_argument(
+        "--policies", nargs="+",
+        choices=list(exp.RESILIENCE_POLICIES), default=list(exp.RESILIENCE_POLICIES),
+    )
+    p.add_argument(
+        "--levels", nargs="+",
+        choices=list(exp.LEVELS), default=["clean", "light"],
+    )
+    p.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke: the 'light' campaign only",
+    )
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser(
         "profile", parents=[runner_flags], help="device-independent workload fault profiles")

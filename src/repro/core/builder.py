@@ -30,7 +30,7 @@ from ..disk.model import Disk
 from ..errors import ConfigurationError
 from ..net.base import Network
 from ..net.ethernet import EthernetCsmaCd
-from ..net.protocol import ProtocolStack
+from ..net.protocol import ProtocolStack, RetrySpec
 from ..net.switched import SwitchedNetwork
 from ..net.token_ring import TokenRing, TokenRingSpec
 from ..obs.metrics import MetricsRegistry
@@ -84,6 +84,10 @@ class Cluster:
     #: ``server.<id>.*``, ``net.*``, ``policy.*``); snapshots ride in
     #: ``CompletionReport.meta["metrics"]``.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: The seeded stream registry the cluster was built with: fault
+    #: injectors draw their dedicated ``faults.*`` streams from it so
+    #: chaos never perturbs workload determinism.
+    rngs: Optional[RngRegistry] = None
 
     def run(self, workload, name: Optional[str] = None):
         """Run ``workload`` to completion; returns its CompletionReport."""
@@ -127,6 +131,7 @@ def build_cluster(
     replacement: Optional[ReplacementPolicy] = None,
     init_time: float = 0.21,
     network_threshold: Optional[float] = None,
+    retry_spec: Optional["RetrySpec"] = None,
 ) -> Cluster:
     """Assemble a paper-style testbed.
 
@@ -164,6 +169,8 @@ def build_cluster(
     else:
         network = EthernetCsmaCd(sim, spec=ethernet_spec, rngs=rngs)
     stack = ProtocolStack(network, spec=protocol_spec)
+    if retry_spec is not None:
+        stack.retry = retry_spec
     registry = ServerRegistry()
 
     client_host = Workstation(sim, "client", machine_spec)
@@ -292,4 +299,5 @@ def build_cluster(
         local_disk=local_disk,
         server_hosts=server_hosts,
         metrics=metrics,
+        rngs=rngs,
     )

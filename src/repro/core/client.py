@@ -25,15 +25,18 @@ from typing import Dict, Optional, Set
 from ..cluster.registry import ServerRegistry
 from ..disk.backend import PartitionBackend
 from ..errors import (
+    PageCorrupted,
     PageNotFound,
     PagingError,
     RecoveryError,
+    RequestTimeout,
     ServerCrashed,
     ServerUnavailable,
     SwapSpaceExhausted,
 )
 from ..log import get_logger
 from ..sim import NULL_SPAN, Resource, Simulator, Tally
+from ..vm.page import page_checksum
 from ..vm.pager import Pager
 from .policies.base import ReliabilityPolicy
 from .server import MemoryServer
@@ -69,6 +72,24 @@ class RemoteMemoryPager(Pager):
         self._disk_routed_streak = 0
         self._recovering = False
         self._recovery_done = None
+        #: End-to-end integrity ledger: page_id -> CRC recorded at pageout
+        #: (content mode only).  Verified on every pagein; a mismatch
+        #: triggers the policy's scrub path (DESIGN.md "Fault model").
+        self.checksums: Dict[int, int] = {}
+        # Recovery verifies what it re-protects against this same ledger
+        # (pages with no recorded checksum pass unchecked).
+        policy.page_verifier = self._checksum_ok
+        #: page_id -> previous checksum, present only while an overwrite
+        #: is in flight: recovery interrupting that pageout may find the
+        #: redundancy still holding the previous version legitimately.
+        self._inflight_previous: Dict[int, int] = {}
+        #: Callbacks invoked with the crashed server when recovery starts
+        #: (fault-injection hook: lets a chaos plan crash a second server
+        #: *during* recovery, Hydra-style composed faults).
+        self.recovery_watchers: list = []
+        #: Servers retired by recovery, kept findable so a crash that
+        #: cascades onto an already-retired name resolves cleanly.
+        self._dead_servers: Dict[str, MemoryServer] = {}
         # "One dedicated paging daemon issues pagein and pageout requests"
         # (§3.1): pageouts are serialised through the daemon, so policy
         # state (round-robin order, open parity group) never interleaves.
@@ -93,6 +114,12 @@ class RemoteMemoryPager(Pager):
         try:
             yield self._daemon.acquire()
             try:
+                if contents is not None:
+                    new = page_checksum(contents)
+                    old = self.checksums.get(page_id)
+                    if old is not None and old != new:
+                        self._inflight_previous[page_id] = old
+                    self.checksums[page_id] = new
                 if self._network_degraded():
                     span.phase("disk")
                     yield from self._disk_pageout(page_id, contents)
@@ -108,12 +135,28 @@ class RemoteMemoryPager(Pager):
                     yield from self._disk_pageout(page_id, contents)
                     span.end("disk-fallback", reason="no-server-room")
                     return
+                except RequestTimeout as timeout:
+                    # The path (not the peer) failed: keep a definitive
+                    # copy on the local disk.  Any half-finished remote
+                    # placement is abandoned; the disk copy wins on the
+                    # next pagein.
+                    self.counters.add("timeout_fallback_pageouts")
+                    self.sim.tracer.emit(
+                        "pager", "pageout_timeout",
+                        page_id=page_id, dst=timeout.dst,
+                        attempts=timeout.attempts,
+                    )
+                    span.phase("disk")
+                    yield from self._disk_pageout(page_id, contents)
+                    span.end("disk-fallback", reason="request-timeout")
+                    return
                 span.phase("ack")
                 self._observe_transfer(self.sim.now - start)
                 self._on_disk.discard(page_id)
                 self._disk_contents.pop(page_id, None)
                 span.end("ok")
             finally:
+                self._inflight_previous.pop(page_id, None)
                 self._daemon.release()
         finally:
             span.end("error")  # no-op unless an exception escaped
@@ -135,10 +178,76 @@ class RemoteMemoryPager(Pager):
                 yield from self._handle_crash(crash)
                 span.phase("dispatch")
                 contents = yield from self.policy.pagein(page_id, span=span)
+            except RequestTimeout as timeout:
+                # Unlike a crash there is nothing to recover — the server
+                # may be fine behind a lossy path.  Surface it; the VM (or
+                # the campaign's invariant replay) retries later.
+                self.counters.add("timeout_pageins")
+                self.sim.tracer.emit(
+                    "pager", "pagein_timeout",
+                    page_id=page_id, dst=timeout.dst, attempts=timeout.attempts,
+                )
+                raise
+            contents = yield from self._verified(page_id, contents, span=span)
             span.end("ok")
             return contents
         finally:
             span.end("error")
+
+    def _checksum_ok(self, page_id: int, contents) -> bool:
+        """Does ``contents`` match the pageout checksum for ``page_id``?
+
+        True when no checksum was recorded (metadata mode, or the page
+        never left through our pageout path).  Installed on the policy as
+        ``page_verifier`` so recovery never re-protects rotted bytes.
+        """
+        expected = self.checksums.get(page_id)
+        if expected is None:
+            return True
+        actual = page_checksum(contents)
+        return actual == expected or actual == self._inflight_previous.get(page_id)
+
+    def _verified(self, page_id: int, contents, span=NULL_SPAN):
+        """Generator: end-to-end checksum check + policy scrub on mismatch.
+
+        Returns clean contents, possibly reconstructed from the policy's
+        redundancy; raises :class:`~repro.errors.PageCorrupted` when no
+        redundant copy can produce bytes matching the pageout checksum.
+        """
+        expected = self.checksums.get(page_id)
+        if (
+            contents is None  # metadata mode: nothing to verify
+            or expected is None  # never left through our pageout path
+            or page_checksum(contents) == expected
+        ):
+            return contents
+        self.counters.add("corrupt_pageins")
+        self.sim.tracer.emit(
+            "pager", "corrupt_detected",
+            page_id=page_id, policy=getattr(self.policy, "name", "unknown"),
+        )
+        span.phase("scrub")
+
+        def verify(candidate: bytes) -> bool:
+            return page_checksum(candidate) == expected
+
+        while True:
+            try:
+                clean = yield from self.policy.scrub_page(page_id, verify, span=span)
+            except ServerCrashed as crash:
+                # The scrub tripped over an undetected crash in the page's
+                # redundancy group: recover it, then scrub again.
+                span.phase("recovery")
+                yield from self._handle_crash(crash)
+                span.phase("scrub")
+                continue
+            break
+        if clean is None:
+            self.counters.add("corrupt_unrepaired")
+            raise PageCorrupted(page_id, getattr(self.policy, "name", "unknown"))
+        self.counters.add("scrub_recoveries")
+        self.sim.tracer.emit("pager", "scrub_recovered", page_id=page_id)
+        return clean
 
     def release(self, page_id: int) -> None:
         self.policy.release(page_id)
@@ -146,6 +255,7 @@ class RemoteMemoryPager(Pager):
             self.disk_backend.release_page(page_id)
         self._on_disk.discard(page_id)
         self._disk_contents.pop(page_id, None)
+        self.checksums.pop(page_id, None)
 
     @property
     def transfers(self) -> int:
@@ -172,42 +282,110 @@ class RemoteMemoryPager(Pager):
         Concurrent requests (async pageouts, the faulting pagein) may all
         trip over the same dead server; the first runs recovery and the
         rest wait for it, then retry their operation.
+
+        Composed faults (Hydra-style): if *another* server dies while
+        recovery is copying pages around, ``policy.recover`` surfaces a
+        fresh :class:`ServerCrashed`.  The loop retires the first victim
+        and restarts recovery for the second.  A name repeating within
+        one cascade means recovery keeps tripping over the same hole —
+        the fault exceeds the policy's tolerance and becomes a
+        :class:`RecoveryError` instead of an infinite ping-pong.
         """
         if self._recovering:
-            yield self._recovery_done
-            return
-        crashed = None
-        for server in self.policy.servers:
-            if server.name == crash.server_name:
-                crashed = server
-                break
-        parity = getattr(self.policy, "parity_server", None)
-        if crashed is None and parity is not None and parity.name == crash.server_name:
-            crashed = parity
-        if crashed is None:
-            raise RecoveryError(f"unknown crashed server {crash.server_name!r}")
+            while self._recovering:
+                yield self._recovery_done
+            # The recovery we waited on may have *failed* (aborted on a
+            # lossy path, exceeded the policy's tolerance).  If the
+            # server that faulted us is still dead-and-active the hole
+            # is still open: fall through and run recovery ourselves.
+            if not self._still_dead(crash.server_name):
+                return
+        seen = set()
         self._recovering = True
         self._recovery_done = self.sim.event()
-        started = self.sim.now
-        self.sim.tracer.emit("pager", "recovery_start", server=crashed.name)
-        log.info("server %s crashed at t=%.3f; recovering", crashed.name, started)
         try:
-            yield from self.policy.recover(crashed)
+            while True:
+                name = crash.server_name
+                if name in seen:
+                    raise RecoveryError(
+                        f"cascading crashes exceed the policy's fault "
+                        f"tolerance: {sorted(seen)} then {name!r} again"
+                    )
+                seen.add(name)
+                crashed = self._find_crashed(name)
+                if crashed is None:
+                    raise RecoveryError(f"unknown crashed server {name!r}")
+                started = self.sim.now
+                self.sim.tracer.emit(
+                    "pager", "recovery_start", server=crashed.name
+                )
+                log.info(
+                    "server %s crashed at t=%.3f; recovering",
+                    crashed.name, started,
+                )
+                for watcher in list(self.recovery_watchers):
+                    watcher(crashed)
+                try:
+                    yield from self.policy.recover(crashed)
+                except ServerCrashed as second:
+                    # Another victim mid-recovery: retire the first (its
+                    # pages are still being re-protected — the next pass
+                    # finishes the job) and recover the new one.  Waiters
+                    # stay parked: the overall recovery isn't done.
+                    self._retire(crashed)
+                    self.counters.add("cascaded_recoveries")
+                    self.sim.tracer.emit(
+                        "pager", "recovery_cascade",
+                        first=crashed.name, then=second.server_name,
+                    )
+                    crash = second
+                    continue
+                self.recovery_times.observe(self.sim.now - started)
+                self.counters.add("recoveries")
+                self.sim.tracer.emit(
+                    "pager", "recovery_done",
+                    server=crashed.name, duration=self.sim.now - started,
+                )
+                log.info(
+                    "recovered from %s crash in %.3f simulated seconds",
+                    crashed.name, self.sim.now - started,
+                )
+                # The crashed workstation is gone: drop it from the
+                # rotation so placement never aims at it again.
+                self._retire(crashed)
+                return
         finally:
+            # Terminal either way — success or an escaping failure.
+            # Waiters wake exactly once and re-check the server's state.
             self._recovering = False
             self._recovery_done.succeed()
-        self.recovery_times.observe(self.sim.now - started)
-        self.counters.add("recoveries")
-        self.sim.tracer.emit(
-            "pager", "recovery_done",
-            server=crashed.name, duration=self.sim.now - started,
-        )
-        log.info(
-            "recovered from %s crash in %.3f simulated seconds",
-            crashed.name, self.sim.now - started,
-        )
-        # The crashed workstation is gone: drop it from the rotation so
-        # round-robin placement never aims at it again.
+
+    def _still_dead(self, name: str) -> bool:
+        """Is ``name`` still in the active set yet not alive?
+
+        True means a finished recovery pass did *not* resolve this
+        crash (it failed before retiring the server); False means the
+        server was retired/re-homed or was never this policy's problem.
+        """
+        for server in self.policy.servers:
+            if server.name == name:
+                return not server.is_alive
+        parity = getattr(self.policy, "parity_server", None)
+        if parity is not None and parity.name == name:
+            return not parity.is_alive
+        return False
+
+    def _find_crashed(self, name: str) -> Optional[MemoryServer]:
+        for server in self.policy.servers:
+            if server.name == name:
+                return server
+        parity = getattr(self.policy, "parity_server", None)
+        if parity is not None and parity.name == name:
+            return parity
+        return self._dead_servers.get(name)
+
+    def _retire(self, crashed: MemoryServer) -> None:
+        self._dead_servers[crashed.name] = crashed
         self.policy.servers = [s for s in self.policy.servers if s is not crashed]
         if self.registry is not None:
             self.registry.unregister(crashed.name)

@@ -46,7 +46,15 @@ class ClusterView:
         self._reports: Dict[str, LoadReport] = {}
 
     def update(self, report: LoadReport) -> None:
-        """A fresh report arrived; replace the previous snapshot."""
+        """A fresh report arrived; replace the previous snapshot.
+
+        Reports can overtake each other on a lossy wire (a dropped one
+        is retransmitted long after its successors landed); a late
+        redelivery must not roll the view's clock backwards.
+        """
+        current = self._reports.get(report.server_name)
+        if current is not None and current.sent_at > report.sent_at:
+            return
         self._reports[report.server_name] = report
 
     def report_for(self, server_name: str) -> Optional[LoadReport]:
@@ -103,7 +111,10 @@ class LoadReporter:
             while True:
                 yield sim.timeout(self.interval)
                 if not self.server.is_alive:
-                    return  # a crashed workstation stops reporting
+                    # A crashed workstation is silent — but keep the
+                    # reporter alive so a rebooted (flapping) server
+                    # resumes reporting and the watchdog can re-arm.
+                    continue
                 report = LoadReport(
                     server_name=self.server.name,
                     free_pages=self.server.free_pages,
@@ -111,13 +122,24 @@ class LoadReporter:
                     advising=self.server.advising,
                     sent_at=sim.now,
                 )
-                yield from self.stack.send(
-                    self.server.host.name, self.client_host, REPORT_BYTES
+                # Ship asynchronously: a heartbeat must never block the
+                # next beat.  On a lossy wire a dropped report being
+                # retransmitted would otherwise stall the reporter past
+                # the watchdog's silence deadline — manufacturing the
+                # very crash signal it exists to provide.
+                sim.process(
+                    self._ship(report),
+                    name=f"load-report-ship:{self.server.name}",
                 )
-                self.view.update(report)
-                self.reports_sent += 1
         except Interrupt:
             return
+
+    def _ship(self, report: LoadReport):
+        yield from self.stack.send(
+            self.server.host.name, self.client_host, REPORT_BYTES
+        )
+        self.view.update(report)
+        self.reports_sent += 1
 
     def stop(self) -> None:
         """Stop sending reports."""

@@ -47,6 +47,12 @@ class ReliabilityPolicy:
         self.servers: List[MemoryServer] = list(servers)
         self.page_size = page_size
         self.counters = Counter()
+        #: Optional ``(page_id, contents) -> bool`` installed by the pager
+        #: (its end-to-end checksum ledger).  Recovery paths verify the
+        #: bytes they are about to re-protect so at-rest rot elsewhere in
+        #: a redundancy group fails *loudly* instead of being silently
+        #: folded into the rebuilt copies and parity.
+        self.page_verifier = None
 
     # -------------------------------------------------------- the interface
     def pageout(self, page_id: int, contents: Optional[bytes], span=NULL_SPAN):
@@ -78,6 +84,37 @@ class ReliabilityPolicy:
         policy cannot reconstruct (e.g. NO RELIABILITY).
         """
         raise NotImplementedError
+
+    def scrub_page(self, page_id: int, verify, span=NULL_SPAN):
+        """Generator: rebuild a clean copy of a page that failed its
+        end-to-end checksum (at-rest bit-rot on a server).
+
+        ``verify(candidate_bytes)`` returns True when a candidate matches
+        the checksum the pager recorded at pageout.  A policy with
+        redundancy reconstructs the page from it, re-stores the clean
+        bytes over the rotted copy, and returns them; the base returns
+        None — no redundancy, nothing to repair from — and the pager
+        raises :class:`~repro.errors.PageCorrupted`.
+        """
+        return None
+        yield  # pragma: no cover - makes this a generator
+
+    def _recovery_verify(self, page_id: int, contents: Optional[bytes]) -> None:
+        """Refuse to re-protect bytes that fail the pager's checksum.
+
+        Without this, recovering a crash whose redundancy group also
+        contains an undetected rotted page would XOR (or copy) the rot
+        into the rebuilt page *and* the refreshed parity — after which
+        the group is self-consistently wrong and no scrub can repair it.
+        """
+        if self.page_verifier is None or contents is None:
+            return
+        if not self.page_verifier(page_id, contents):
+            raise RecoveryError(
+                f"reconstructed page {page_id} failed its end-to-end "
+                "checksum: a second fault (at-rest rot) is hiding in its "
+                "redundancy group"
+            )
 
     @property
     def transfers(self) -> int:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
-from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...errors import PageNotFound, RecoveryError, ServerCrashed, ServerUnavailable
 from ...sim import NULL_SPAN
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
@@ -84,6 +84,37 @@ class Mirroring(ReliabilityPolicy):
             for server in pair:
                 server.free([page_id])
 
+    def scrub_page(self, page_id: int, verify, span=NULL_SPAN):
+        """Repair at-rest bit-rot from the sibling copy.
+
+        Fetches both copies, keeps the one that passes ``verify``, and
+        re-sends the clean bytes over any copy that failed — both full
+        page transfers, so scrubbing carries its honest network cost.
+        """
+        pair = self._placement.get(page_id)
+        if pair is None:
+            return None
+        clean = None
+        rotted = []
+        for server in pair:
+            if not (server.is_alive and server.holds(page_id)):
+                continue
+            candidate = yield from self._fetch_page(
+                server, page_id, span=span, label="scrub"
+            )
+            if clean is None and candidate is not None and verify(candidate):
+                clean = candidate
+            elif candidate is not None:
+                rotted.append(server)
+        if clean is None:
+            return None
+        for server in rotted:
+            yield from self._send_page(
+                server, page_id, clean, span=span, label="scrub"
+            )
+            self.counters.add("scrub_repairs")
+        return clean
+
     def recover(self, crashed: MemoryServer):
         """Re-replicate every page whose redundancy the crash destroyed.
 
@@ -104,10 +135,13 @@ class Mirroring(ReliabilityPolicy):
         for page_id, pair in affected:
             survivor = pair[0] if pair[1] is crashed else pair[1]
             if not survivor.is_alive:
-                raise RecoveryError(
-                    f"page {page_id} lost both copies (double failure)"
-                )
+                # A dead survivor is a *second* crash: surface it so the
+                # client's cascade handler retires this victim and
+                # recovers the new one — a genuine double failure then
+                # reports loudly there instead of being diagnosed here.
+                raise ServerCrashed(survivor.name)
             contents = yield from self._fetch_page(survivor, page_id)
+            self._recovery_verify(page_id, contents)
             target = max(
                 (s for s in replacements if s is not survivor and s.free_pages > 0),
                 key=lambda s: s.free_pages,

@@ -17,7 +17,7 @@ from __future__ import annotations
 from functools import reduce
 from typing import Dict, Optional, Tuple
 
-from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...errors import PageNotFound, RecoveryError, ServerCrashed, ServerUnavailable
 from ...sim import NULL_SPAN
 from ...vm.page import xor_bytes
 from ..server import MemoryServer
@@ -114,6 +114,46 @@ class BasicParity(ReliabilityPolicy):
             server, slot = placed
             server.free([(page_id, slot)])
 
+    def scrub_page(self, page_id: int, verify, span=NULL_SPAN):
+        """Repair at-rest bit-rot by reconstructing from the parity group.
+
+        XORs every *other* same-slot page with the group's parity — the
+        same math as crash recovery, applied to one page — verifies the
+        result against the pageout checksum, and re-stores the clean
+        bytes over the rotted copy.
+        """
+        placed = self._placement.get(page_id)
+        if placed is None:
+            return None
+        server, slot = placed
+        if not (server.is_alive and self.parity_server.is_alive):
+            return None
+        pieces = []
+        for (pid, (srv, sl)) in list(self._placement.items()):
+            if sl != slot or pid == page_id:
+                continue
+            if not srv.is_alive:
+                # An undetected crash in the group: surface it so the
+                # pager recovers (re-homing the member), then retries
+                # this scrub against the repaired group.
+                raise ServerCrashed(srv.name)
+            piece = yield from self._fetch_page(
+                srv, (pid, sl), span=span, label="scrub"
+            )
+            pieces.append(piece)
+        parity = yield from self._fetch_page(
+            self.parity_server, self._parity_key(slot), span=span, label="scrub"
+        )
+        pieces.append(parity)
+        contents = self._xor_all(pieces)
+        if contents is None or not verify(contents):
+            return None
+        yield from self._send_page(
+            server, (page_id, slot), contents, span=span, label="scrub"
+        )
+        self.counters.add("scrub_repairs")
+        return contents
+
     def recover(self, crashed: MemoryServer):
         """Rebuild every lost page: XOR its parity group (§2.2)."""
         lost = [
@@ -127,17 +167,25 @@ class BasicParity(ReliabilityPolicy):
         restored = 0
         for page_id, slot in lost:
             pieces = []
-            # Fetch every same-slot page from the surviving servers.
-            for other in survivors:
-                for (pid, (srv, sl)) in list(self._placement.items()):
-                    if srv is other and sl == slot:
-                        piece = yield from self._fetch_page(other, (pid, sl))
-                        pieces.append(piece)
+            # Fetch every same-slot page from the surviving servers.  A
+            # same-slot page on a *second* dead server means this parity
+            # group has lost two members; silently reconstructing without
+            # its contribution would XOR garbage into the rebuilt page,
+            # so surface the second crash — the client's cascade handler
+            # either recovers it first or reports the double failure.
+            for (pid, (srv, sl)) in list(self._placement.items()):
+                if sl != slot or srv is crashed:
+                    continue
+                if not srv.is_alive:
+                    raise ServerCrashed(srv.name)
+                piece = yield from self._fetch_page(srv, (pid, sl))
+                pieces.append(piece)
             parity = yield from self._fetch_page(
                 self.parity_server, self._parity_key(slot)
             )
             pieces.append(parity)
             contents = self._xor_all(pieces)
+            self._recovery_verify(page_id, contents)
             # Re-home the page as a fresh pageout on a surviving server.
             target = max(
                 (s for s in survivors if s.free_pages > 0),

@@ -34,7 +34,7 @@ from __future__ import annotations
 from functools import reduce
 from typing import Callable, Dict, List, Optional
 
-from ...errors import PageNotFound, RecoveryError, ServerUnavailable
+from ...errors import PageNotFound, RecoveryError, ServerCrashed, ServerUnavailable
 from ...sim import NULL_SPAN, Tally
 from ...units import microseconds
 from ...vm.page import xor_bytes, zero_page
@@ -277,6 +277,48 @@ class ParityLogging(ReliabilityPolicy):
         if member is not None:
             self._retire(member)
 
+    def scrub_page(self, page_id: int, verify, span=NULL_SPAN):
+        """Repair at-rest bit-rot from the page's log group.
+
+        XORs the group's other members with its parity — the parity
+        server's page for a sealed group, the client's own buffer for the
+        open one (footnote 2) — verifies against the pageout checksum,
+        and re-stores the clean bytes over the rotted incarnation.
+        """
+        member = self._location.get(page_id)
+        if member is None or not member.server.is_alive:
+            return None
+        group = member.group
+        pieces = []
+        for other in group.members:
+            if other is member:
+                continue
+            if not other.server.is_alive:
+                # An undetected crash in the group: surface it so the
+                # pager recovers, then retries this scrub.
+                raise ServerCrashed(other.server.name)
+            piece = yield from self._fetch_page(
+                other.server, other.key, span=span, label="scrub"
+            )
+            pieces.append(piece)
+        if group.sealed:
+            if not self.parity_server.is_alive:
+                return None
+            parity = yield from self._fetch_page(
+                self.parity_server, group.parity_key, span=span, label="scrub"
+            )
+            pieces.append(parity)
+        else:
+            pieces.append(group.buffer)
+        contents = self._xor_all(pieces)
+        if contents is None or not verify(contents):
+            return None
+        yield from self._send_page(
+            member.server, member.key, contents, span=span, label="scrub"
+        )
+        self.counters.add("scrub_repairs")
+        return contents
+
     # ---------------------------------------------------- garbage collection
     def garbage_collect(self):
         """Generator: compact fragmented groups (§2.2).
@@ -383,6 +425,10 @@ class ParityLogging(ReliabilityPolicy):
                 # An unsealed group's parity is the client's own buffer.
                 pieces.append(group.buffer)
             contents = self._xor_all(pieces)
+            # Stale incarnations reconstruct to *old* bytes by design —
+            # only the active copy must match the pageout checksum.
+            if member.active:
+                self._recovery_verify(member.page_id, contents)
             # Cancel the lost member's contribution to its group's parity
             # and drop it from the group.
             group.members.remove(member)

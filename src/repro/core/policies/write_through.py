@@ -105,6 +105,26 @@ class WriteThrough(ReliabilityPolicy):
             self.disk_backend.release_page(page_id)
         self._disk_contents.pop(page_id, None)
 
+    def scrub_page(self, page_id: int, verify, span=NULL_SPAN):
+        """Repair at-rest bit-rot from the authoritative disk copy."""
+        if not self.disk_backend.holds(page_id):
+            return None
+        span.phase("disk")
+        yield from self.disk_backend.read_page(page_id)
+        self.counters.add("disk_reads")
+        contents = self._disk_contents.get(page_id)
+        if contents is None or not verify(contents):
+            return None
+        server = self._placement.get(page_id)
+        if server is not None and server.is_alive and server.holds(page_id):
+            # Overwrite the rotted remote copy so reads stay at network
+            # speed instead of repeatedly falling back to the disk.
+            yield from self._send_page(
+                server, page_id, contents, span=span, label="scrub"
+            )
+        self.counters.add("scrub_repairs")
+        return contents
+
     def recover(self, crashed: MemoryServer):
         """Re-populate remote memory from the disk copies."""
         affected = [p for p, s in self._placement.items() if s is crashed]

@@ -37,25 +37,32 @@ class CrashInjector:
         )
 
     def crash_after_pageouts(
-        self, server: MemoryServer, pageouts: int, poll: float = 0.01
-    ) -> Process:
-        """Kill ``server`` once it has absorbed ``pageouts`` pageouts —
-        deterministic mid-workload fault injection."""
+        self, server: MemoryServer, pageouts: int, poll: Optional[float] = None
+    ) -> None:
+        """Kill ``server`` the instant it finishes its ``pageouts``-th
+        pageout — deterministic mid-workload fault injection.
+
+        Event-driven: hooks the server's pageout counter directly, so no
+        polling process clutters the kernel's heap and the crash lands at
+        the exact store that crosses the threshold (the old 10 ms poll
+        could let extra pageouts slip through the detection window).
+        ``poll`` is accepted for backward compatibility and ignored.
+        """
         if pageouts < 0:
             raise ValueError(f"negative pageout count: {pageouts}")
-        return self.sim.process(
-            self._crash_after(server, pageouts, poll), name=f"crash:{server.name}"
-        )
+        if server.counters["pageouts"] >= pageouts:
+            self._kill(server)
+            return
+
+        def watcher(count: int) -> None:
+            if count >= pageouts:
+                server.remove_pageout_watcher(watcher)
+                self._kill(server)
+
+        server.add_pageout_watcher(watcher)
 
     def _crash(self, server: MemoryServer, at_time: float):
         yield self.sim.timeout(at_time - self.sim.now)
-        self._kill(server)
-
-    def _crash_after(self, server: MemoryServer, pageouts: int, poll: float):
-        while server.counters["pageouts"] < pageouts:
-            if not server.is_alive:
-                return
-            yield self.sim.timeout(poll)
         self._kill(server)
 
     def _kill(self, server: MemoryServer) -> None:

@@ -77,6 +77,9 @@ class MemoryServer:
         self._crashed = False
         self.advising = False
         self.counters = Counter()
+        #: Called with the new pageout count after every accepted store —
+        #: the event-driven seam fault injectors hook instead of polling.
+        self._pageout_watchers: list = []
         host.pressure_callback = self._on_pressure
         if not stack.network.is_attached(host.name):
             stack.network.attach(host.name)
@@ -102,6 +105,43 @@ class MemoryServer:
     def keys(self):
         """All keys currently stored (memory and shed-to-disk)."""
         return list(self._store) + list(self._on_disk)
+
+    def add_pageout_watcher(self, watcher) -> None:
+        """Register ``watcher(count)``, fired after each accepted store."""
+        self._pageout_watchers.append(watcher)
+
+    def remove_pageout_watcher(self, watcher) -> None:
+        """Unregister a pageout watcher (no-op if absent)."""
+        try:
+            self._pageout_watchers.remove(watcher)
+        except ValueError:
+            pass
+
+    def stored_keys(self) -> list:
+        """Keys held in memory (fault-injection seam; no simulated cost)."""
+        return list(self._store)
+
+    def peek(self, key: object):
+        """Stored payload for ``key`` without simulated cost, or None.
+
+        Fault-injection/inspection seam — real requests use :meth:`fetch`.
+        """
+        if key in self._store:
+            return self._store[key]
+        return self._on_disk.get(key)
+
+    def overwrite_stored(self, key: object, contents: Optional[bytes]) -> None:
+        """Replace ``key``'s stored payload in place (bit-rot seam).
+
+        Bypasses capacity checks and simulated cost: this models the
+        bytes already in a frame silently rotting, not a new pageout.
+        """
+        if key in self._store:
+            self._store[key] = contents
+        elif key in self._on_disk:
+            self._on_disk[key] = contents
+        else:
+            raise KeyError(f"server {self.name!r} does not hold {key!r}")
 
     def cpu_utilization(self) -> float:
         """Fraction of elapsed simulated time spent serving (§4.5)."""
@@ -137,6 +177,10 @@ class MemoryServer:
         else:
             self._store[key] = contents
         self.counters.add("pageouts")
+        if self._pageout_watchers:
+            count = self.counters["pageouts"]
+            for watcher in list(self._pageout_watchers):
+                watcher(count)
 
     def fetch(self, key: object):
         """Generator: serve a pagein; returns the stored contents."""

@@ -14,6 +14,8 @@ __all__ = [
     "SwapSpaceExhausted",
     "ServerCrashed",
     "ServerUnavailable",
+    "RequestTimeout",
+    "PageCorrupted",
     "RecoveryError",
     "NetworkPartitioned",
 ]
@@ -59,6 +61,37 @@ class ServerUnavailable(PagingError):
         super().__init__(f"memory server {server_name!r} unavailable: {reason}")
         self.server_name = server_name
         self.reason = reason
+
+
+class RequestTimeout(PagingError):
+    """An RPC exhausted its retry budget without an acknowledgement.
+
+    Distinct from :class:`ServerCrashed`: a timeout says nothing about
+    the peer's state — the server may be alive behind a lossy or
+    partitioned link — so the caller must not run crash recovery, only
+    fail over (pageouts fall back to the local disk; pageins surface
+    the timeout to be retried once the network recovers).
+    """
+
+    def __init__(self, dst: str, attempts: int = 1):
+        super().__init__(
+            f"request to {dst!r} timed out after {attempts} attempt(s)"
+        )
+        self.dst = dst
+        self.attempts = attempts
+
+
+class PageCorrupted(PagingError):
+    """A pagein returned bytes whose checksum does not match the pageout's,
+    and the active policy had no redundant copy to repair from."""
+
+    def __init__(self, page_id: int, policy: str = "unknown"):
+        super().__init__(
+            f"page {page_id} failed its end-to-end checksum and policy "
+            f"{policy!r} could not reconstruct a clean copy"
+        )
+        self.page_id = page_id
+        self.policy = policy
 
 
 class RecoveryError(ReproError):

@@ -28,6 +28,12 @@ from .loaded_ethernet import render_loaded_ethernet, run_loaded_ethernet
 from .multi_client import build_multi_client, render_multi_client, run_multi_client
 from .network_comparison import render_network_comparison, run_network_comparison
 from .remote_disk import render_remote_disk, run_remote_disk
+from .resilience import (
+    LEVELS,
+    RESILIENCE_POLICIES,
+    render_resilience,
+    run_resilience,
+)
 from .server_scaling import render_server_scaling, run_server_scaling
 
 __all__ = [
@@ -77,4 +83,8 @@ __all__ = [
     "render_diurnal",
     "run_compression",
     "render_compression",
+    "run_resilience",
+    "render_resilience",
+    "LEVELS",
+    "RESILIENCE_POLICIES",
 ]

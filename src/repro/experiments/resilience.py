@@ -1,0 +1,202 @@
+"""Resilience under injected faults (beyond-paper chaos campaign).
+
+The paper's claim is *reliability at low cost* (§2.2) — but its
+evaluation only ever kills one server on an otherwise perfect network.
+This experiment sweeps fault intensity x reliability policy under the
+:mod:`repro.faults` chaos harness and reports, per cell, the end-to-end
+page-integrity verdict (every page the pager still owes the application
+is replayed and checked against its pageout CRC) plus the retry /
+recovery / scrub accounting that explains it.
+
+Expected outcome, mirroring §2.2's taxonomy: every redundant policy
+(mirroring, parity, parity logging, write-through) comes through the
+``light`` and ``heavy`` campaigns CLEAN — zero pages lost or corrupted —
+while NO RELIABILITY loses the crashed server's pages outright.
+
+Reliable-policy cells run through the parallel runner (cache-aware,
+``--jobs`` friendly); the fault schedule is carried as plain data in the
+RunSpec, so serial, parallel and cached runs replay the identical
+campaign.  The faulted NO RELIABILITY cell is the one deliberate
+exception: its workload *dies* with the crash (that is the result), so
+it runs inline where the exception can be caught and reported.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.report import format_table
+from ..config import MachineSpec
+from ..errors import ReproError
+from ..faults import ChaosController, FaultPlan, check_page_integrity
+from ..runner import RunSpec, default_runner
+from ..runner.registry import EXTRACTORS
+
+__all__ = [
+    "LEVELS",
+    "RESILIENCE_POLICIES",
+    "render_resilience",
+    "run_resilience",
+]
+
+RESILIENCE_POLICIES = (
+    "no-reliability",
+    "mirroring",
+    "parity",
+    "parity-logging",
+    "write-through",
+)
+
+LEVELS = ("clean", "light", "heavy")
+
+#: Small machine -> short runs (~20 simulated seconds fault-free); the
+#: campaign times below are chosen against that duration.
+_SMALL = MachineSpec(
+    name="chaos-small",
+    ram_bytes=2 * 1024 * 1024,
+    kernel_resident_bytes=1 * 1024 * 1024,
+    page_size=8192,
+)
+
+#: Every policy gets four data servers: mirroring with only two cannot
+#: re-mirror after losing one, and the campaign crashes exactly one.
+_BUILD = dict(
+    machine_spec=_SMALL,
+    content_mode=True,
+    seed=3,
+    n_servers=4,
+    server_capacity_pages=600,
+)
+
+_WORKLOAD = ("sequential-scan", dict(n_pages=400, passes=3, write=True))
+
+
+def _level_plan(level: str) -> Optional[FaultPlan]:
+    """The fault campaign for one intensity level (None = no faults)."""
+    if level == "clean":
+        return None
+    if level == "light":
+        # The acceptance campaign: one crash + 1% loss + one rot burst.
+        return FaultPlan.standard_campaign()
+    if level == "heavy":
+        # Everything at once: steady loss/duplication/delay, a crash, a
+        # flapping server, a loss burst, and an at-rest corruption burst
+        # — each far enough apart that recovery windows never overlap.
+        return FaultPlan(
+            drop_rate=0.02,
+            duplicate_rate=0.01,
+            delay_rate=0.05,
+            watchdog_interval=0.5,
+            events=(
+                ("crash", 5.0, 0),
+                ("flap", 8.0, 2, 2.5),
+                ("loss_burst", 11.0, 1.0, 0.2),
+                ("corrupt_burst", 15.0, 1, 4),
+            ),
+        )
+    raise ValueError(f"unknown resilience level {level!r}: pick from {LEVELS}")
+
+
+def _run_inline(policy: str, plan: Optional[FaultPlan]) -> Dict[str, object]:
+    """Run one faulted cell inline, tolerating a mid-run workload death."""
+    from ..core.builder import build_cluster
+
+    workload_name, workload_kwargs = _WORKLOAD
+    from ..runner.registry import make_workload
+
+    cluster = build_cluster(policy=policy, **_BUILD)
+    controller = ChaosController(cluster, plan) if plan is not None else None
+    report = None
+    error: Optional[str] = None
+    try:
+        report = cluster.run(make_workload(workload_name, dict(workload_kwargs)))
+    except ReproError as exc:
+        # NO RELIABILITY dying with the crashed server *is* the result.
+        error = f"{type(exc).__name__}: {exc}"
+    extras = EXTRACTORS["resilience"](cluster, report, controller)
+    return {"report": report, "extras": extras, "error": error}
+
+
+def run_resilience(
+    policies=RESILIENCE_POLICIES,
+    levels=("clean", "light"),
+    runner=None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Fault level x policy sweep; returns ``results[level][policy]``.
+
+    Each cell is ``{"report": CompletionReport | None, "extras": dict,
+    "error": str | None}`` where ``extras`` carries the integrity
+    verdict, the injected-fault trace, and RPC/recovery counters.
+    """
+    policies, levels = list(policies), list(levels)
+    run = (runner or default_runner()).run
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    specs, placements = [], []
+    for level in levels:
+        results[level] = {}
+        plan = _level_plan(level)
+        for policy in policies:
+            if policy == "no-reliability" and plan is not None:
+                results[level][policy] = _run_inline(policy, plan)
+                continue
+            spec = RunSpec.make(
+                _WORKLOAD[0],
+                policy,
+                workload_kwargs=_WORKLOAD[1],
+                overrides=_BUILD,
+                hook="chaos" if plan is not None else None,
+                hook_kwargs=plan.as_kwargs() if plan is not None else None,
+                extract=("resilience",),
+                label=f"{policy}/{level}",
+            )
+            specs.append(spec)
+            placements.append((level, policy))
+    for (level, policy), result in zip(placements, run(specs)):
+        results[level][policy] = {
+            "report": result.report,
+            "extras": result.extras,
+            "error": None,
+        }
+    return results
+
+
+def render_resilience(results) -> str:
+    """Level x policy table: verdict + the accounting that explains it."""
+    rows = []
+    for level, by_policy in results.items():
+        for policy, cell in by_policy.items():
+            extras = cell["extras"]
+            integrity = extras["integrity"]
+            report = cell["report"]
+            rows.append(
+                [
+                    level,
+                    policy,
+                    extras["verdict"],
+                    str(len(integrity["lost"])),
+                    str(len(integrity["corrupted"])),
+                    str(extras["recoveries"]),
+                    str(extras["scrub_recoveries"]),
+                    f"{extras['rpc_retries']}/{extras['rpc_timeouts']}",
+                    f"{report.etime:.2f}" if report is not None else "died",
+                    cell["error"] or "-",
+                ]
+            )
+    return format_table(
+        [
+            "faults",
+            "policy",
+            "verdict",
+            "lost",
+            "corrupt",
+            "recov",
+            "scrubs",
+            "retry/tmo",
+            "etime (s)",
+            "workload error",
+        ],
+        rows,
+        title="Resilience campaign: end-to-end page integrity under injected "
+        "faults (redundant policies must be CLEAN; NO RELIABILITY is the "
+        "paper's lossy baseline)",
+    )

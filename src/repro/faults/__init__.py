@@ -1,0 +1,23 @@
+"""Fault injection: chaos for the remote memory pager.
+
+The paper's claim is *reliability at low cost* (§2.2); this package
+supplies the failure modes to test it against — an unreliable-network
+decorator, at-rest page corruption, and composable timed fault campaigns
+with an end-to-end integrity invariant checker.  See DESIGN.md "Fault
+model" for which faults the paper covers and which this reproduction
+extends.
+"""
+
+from .integrity import CorruptionInjector, IntegrityReport, check_page_integrity
+from .network import CorruptedDelivery, UnreliableNetwork
+from .plan import ChaosController, FaultPlan
+
+__all__ = [
+    "ChaosController",
+    "CorruptedDelivery",
+    "CorruptionInjector",
+    "FaultPlan",
+    "IntegrityReport",
+    "UnreliableNetwork",
+    "check_page_integrity",
+]

@@ -1,0 +1,155 @@
+"""At-rest page corruption and the end-to-end integrity invariant.
+
+Two distinct corruption models live in this reproduction (DESIGN.md
+"Fault model"):
+
+* **Wire corruption** (:class:`~repro.faults.network.UnreliableNetwork`)
+  is caught by the transport checksum and resent — it never reaches a
+  server's store.  If it did, a parity policy would fold the damaged
+  bytes into its XOR delta and parity would become *consistent with the
+  corruption*, making it unrepairable — exactly the failure RAID
+  literature calls a write hole.
+* **At-rest bit-rot** (:class:`CorruptionInjector`) flips bits in pages a
+  server already stores.  Parity/mirror/disk redundancy genuinely can
+  repair this, and the pager's pageout-time checksum is what detects it.
+
+:func:`check_page_integrity` is the campaign invariant checker: after a
+run it replays a pagein of every page the client ever entrusted to
+remote memory and classifies each as verified, lost, or corrupted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..errors import PageCorrupted, ReproError
+from ..sim.core import SimulationError
+from ..vm.page import corrupt_bytes, page_checksum
+
+__all__ = ["CorruptionInjector", "IntegrityReport", "check_page_integrity"]
+
+
+class CorruptionInjector:
+    """Flips bits in pages at rest in a memory server's store.
+
+    Targets only *data* payloads: parity blocks (keys shaped
+    ``("parity", ...)``) are skipped because corrupting redundancy
+    exercises nothing on the pagein path, and payload-less entries
+    (metadata mode) cannot rot.  Selection is deterministic: candidate
+    keys are sorted by ``repr`` before sampling from the dedicated
+    ``faults.corruption`` RNG stream.
+    """
+
+    def __init__(self, rng, flips: int = 3):
+        if flips < 1:
+            raise ValueError(f"need at least one bit flip: {flips}")
+        self.rng = rng
+        self.flips = flips
+        #: (server_name, key) pairs corrupted so far, in injection order.
+        self.corrupted: List[Tuple[str, str]] = []
+
+    @staticmethod
+    def _is_parity_key(key: object) -> bool:
+        return isinstance(key, tuple) and bool(key) and key[0] == "parity"
+
+    def candidates(self, server) -> list:
+        """Stored data keys on ``server`` eligible for bit-rot."""
+        keys = [
+            key
+            for key in server.stored_keys()
+            if not self._is_parity_key(key) and server.peek(key) is not None
+        ]
+        keys.sort(key=repr)
+        return keys
+
+    def corrupt_stored(self, server, n_pages: int = 1) -> int:
+        """Rot up to ``n_pages`` stored pages on ``server``; returns count."""
+        if n_pages < 1:
+            raise ValueError(f"need at least one page: {n_pages}")
+        keys = self.candidates(server)
+        if not keys:
+            return 0
+        chosen = self.rng.sample(keys, min(n_pages, len(keys)))
+        for key in chosen:
+            rotted = corrupt_bytes(server.peek(key), self.rng, flips=self.flips)
+            server.overwrite_stored(key, rotted)
+            self.corrupted.append((server.name, repr(key)))
+        return len(chosen)
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of replaying every remote page after a campaign."""
+
+    checked: int = 0
+    verified: int = 0
+    unverified: int = 0  # metadata mode: no bytes to checksum
+    lost: List[Tuple[int, str]] = field(default_factory=list)
+    corrupted: List[int] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no page was lost or returned corrupted."""
+        return not self.lost and not self.corrupted
+
+    @property
+    def verdict(self) -> str:
+        if self.clean:
+            return "CLEAN"
+        return f"LOSSY(lost={len(self.lost)},corrupt={len(self.corrupted)})"
+
+    def as_dict(self) -> dict:
+        return {
+            "checked": self.checked,
+            "verified": self.verified,
+            "unverified": self.unverified,
+            "lost": [[page_id, reason] for page_id, reason in self.lost],
+            "corrupted": list(self.corrupted),
+            "verdict": self.verdict,
+        }
+
+
+def check_page_integrity(cluster) -> IntegrityReport:
+    """Replay a pagein of every page in the pager's checksum ledger.
+
+    Runs *after* the workload (and after the metrics snapshot, when used
+    as a runner extractor) so the replay's traffic never pollutes the
+    campaign's measurements.  A page counts as:
+
+    * **verified** — bytes came back and match the pageout checksum
+      (possibly after a policy scrub repaired at-rest rot);
+    * **corrupted** — the policy had no redundancy left to repair it
+      (:class:`~repro.errors.PageCorrupted`);
+    * **lost** — no copy could be produced at all (crash recovery failed,
+      the server set lost it, or the path timed out).
+    """
+    report = IntegrityReport()
+    pager = cluster.pager
+    ledger = getattr(pager, "checksums", {})
+    for page_id in sorted(ledger):
+        expected = ledger[page_id]
+        report.checked += 1
+
+        def replay(pid=page_id):
+            contents = yield from pager.pagein(pid)
+            return contents
+
+        process = cluster.sim.process(replay(), name=f"integrity:{page_id}")
+        try:
+            contents = cluster.sim.run_until_complete(process)
+        except PageCorrupted:
+            report.corrupted.append(page_id)
+            continue
+        except (ReproError, SimulationError) as exc:
+            # SimulationError = the replay deadlocked (e.g. a partition
+            # was never healed): the page is unreachable, i.e. lost.
+            report.lost.append((page_id, type(exc).__name__))
+            continue
+        if contents is None:
+            report.unverified += 1
+        elif page_checksum(contents) != expected:
+            report.corrupted.append(page_id)
+        else:
+            report.verified += 1
+    return report

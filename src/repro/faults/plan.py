@@ -1,0 +1,329 @@
+"""Fault campaigns: composable, deterministic schedules of injected faults.
+
+A :class:`FaultPlan` is a frozen, plain-data description of a campaign:
+steady-state unreliability rates (drop/corrupt/duplicate/delay) plus a
+tuple of timed events.  Being plain data it is picklable and hashable,
+so it travels through the parallel runner's :class:`RunSpec` machinery
+unchanged — identical plan + seed produces the identical fault event
+trace whether the run is serial, in a worker process, or replayed from
+cache (the acceptance criterion of ISSUE 3).
+
+A :class:`ChaosController` binds one plan to one built cluster: it wraps
+the network in an :class:`~repro.faults.network.UnreliableNetwork`,
+installs the RPC :class:`~repro.net.protocol.RetrySpec`, and schedules a
+simulation process per event.  Every injected fault is appended to
+``fault_log`` and mirrored to the tracer (component ``faults``) so
+``trace-summary`` can attribute latency spikes to them.
+
+Event vocabulary (each a plain tuple; times in simulated seconds)::
+
+    ("crash",  at, target)                    kill a server for good
+    ("flap",   at, target, down_for)          crash, then reboot empty
+    ("partition", at, duration, n_cut)        cut first n_cut server hosts
+    ("loss_burst", at, duration, rate)        raise drop_rate for a window
+    ("corrupt_burst", at, target, n_pages)    at-rest bit-rot on a server
+    ("crash_during_recovery", at, target, second)   Hydra-style compose
+
+``target``/``second`` are data-server indices or the string
+``"parity"``.  A ``crash_during_recovery`` event crashes ``target`` at
+``at`` and arms a recovery watcher that kills ``second`` the moment the
+pager starts recovering ``target``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..core.load_reports import ClusterView, LoadReporter
+from ..core.watchdog import Watchdog
+from ..net.protocol import RetrySpec
+from .integrity import CorruptionInjector
+from .network import UnreliableNetwork
+
+__all__ = ["FaultPlan", "ChaosController"]
+
+_EVENT_KINDS = (
+    "crash",
+    "flap",
+    "partition",
+    "loss_burst",
+    "corrupt_burst",
+    "crash_during_recovery",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Plain-data description of one fault campaign."""
+
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    max_extra_delay: float = 2e-3
+    #: Install an RPC retry policy (required whenever drops are possible).
+    retry: bool = True
+    #: Generous relative to a ~6.5 ms page transfer: the timeout must
+    #: exceed worst-case *queueing* during a recovery flood, or spurious
+    #: timeouts retransmit into the congestion and melt the campaign.
+    rpc_timeout: float = 1.0
+    rpc_attempts: int = 8
+    #: When set, run per-server load reporters at this interval and a
+    #: watchdog that declares silent servers crashed — so recovery runs
+    #: *proactively* instead of waiting for a request to trip over the
+    #: corpse.  Without it a crash can stay undetected long enough for a
+    #: later fault (e.g. a corrupt burst) to land in the same parity
+    #: group: a double fault no single-redundancy policy can repair.
+    watchdog_interval: Optional[float] = None
+    watchdog_suspect_after: float = 3.0
+    events: Tuple[tuple, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if not event or event[0] not in _EVENT_KINDS:
+                raise ValueError(f"unknown fault event: {event!r}")
+            if len(event) < 2 or event[1] < 0:
+                raise ValueError(f"fault event needs a time >= 0: {event!r}")
+        if (self.drop_rate > 0 or self._has_loss_burst()) and not self.retry:
+            raise ValueError(
+                "message drops without an RPC retry policy would deadlock "
+                "the sender; enable retry or remove the drops"
+            )
+
+    def _has_loss_burst(self) -> bool:
+        return any(e[0] == "loss_burst" for e in self.events)
+
+    @property
+    def needs_network_wrapper(self) -> bool:
+        return (
+            self.drop_rate > 0
+            or self.corrupt_rate > 0
+            or self.duplicate_rate > 0
+            or self.delay_rate > 0
+            or self._has_loss_burst()
+        )
+
+    # ------------------------------------------------- runner plumbing
+    def as_kwargs(self) -> dict:
+        """Plain-data kwargs for the runner's ``chaos`` hook."""
+        return {
+            "drop_rate": self.drop_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "max_extra_delay": self.max_extra_delay,
+            "retry": self.retry,
+            "rpc_timeout": self.rpc_timeout,
+            "rpc_attempts": self.rpc_attempts,
+            "watchdog_interval": self.watchdog_interval,
+            "watchdog_suspect_after": self.watchdog_suspect_after,
+            "events": tuple(tuple(e) for e in self.events),
+        }
+
+    @classmethod
+    def from_kwargs(cls, kwargs: dict) -> "FaultPlan":
+        data = dict(kwargs)
+        # Events may arrive as lists-of-lists after a JSON round trip.
+        data["events"] = tuple(tuple(e) for e in data.get("events", ()))
+        return cls(**data)
+
+    @classmethod
+    def standard_campaign(
+        cls,
+        loss_rate: float = 0.01,
+        crash_at: float = 5.0,
+        crash_target=0,
+        corrupt_at: float = 14.0,
+        corrupt_target=1,
+        corrupt_pages: int = 4,
+        **overrides,
+    ) -> "FaultPlan":
+        """The acceptance-criteria campaign: one server crash + steady
+        message loss + one at-rest corruption burst.
+
+        The burst lands well after the crash: recovery moves every lost
+        page over a ~1 MB/s wire, so it *occupies a window*, and rot
+        inside that window would put two faults in one redundancy group
+        — unrecoverable for any single-redundancy policy (the checker
+        reports it loudly, but it is not the scenario this campaign
+        certifies)."""
+        plan = cls(
+            drop_rate=loss_rate,
+            watchdog_interval=0.5,
+            events=(
+                ("crash", crash_at, crash_target),
+                ("corrupt_burst", corrupt_at, corrupt_target, corrupt_pages),
+            ),
+        )
+        return replace(plan, **overrides) if overrides else plan
+
+
+class ChaosController:
+    """Applies one :class:`FaultPlan` to one built cluster."""
+
+    def __init__(self, cluster, plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+        self.sim = cluster.sim
+        if cluster.rngs is None:
+            raise ValueError(
+                "cluster was built without an RngRegistry; chaos needs the "
+                "dedicated faults.* streams for deterministic schedules"
+            )
+        #: (time, kind, detail) triples, in injection order.
+        self.fault_log: List[tuple] = []
+        self.network: Optional[UnreliableNetwork] = None
+        if plan.needs_network_wrapper:
+            self.network = UnreliableNetwork(
+                cluster.network,
+                rng=cluster.rngs.stream("faults.network"),
+                drop_rate=plan.drop_rate,
+                corrupt_rate=plan.corrupt_rate,
+                duplicate_rate=plan.duplicate_rate,
+                delay_rate=plan.delay_rate,
+                max_extra_delay=plan.max_extra_delay,
+            )
+            # Pure reference swap: every component reaches the network
+            # through the protocol stack.
+            cluster.stack.network = self.network
+            cluster.network = self.network
+            cluster.metrics.attach("faults.network", self.network.counters)
+        if plan.retry:
+            cluster.stack.retry = RetrySpec(
+                timeout=plan.rpc_timeout, max_attempts=plan.rpc_attempts
+            )
+        self.corruptor = CorruptionInjector(cluster.rngs.stream("faults.corruption"))
+        self.view = None
+        self.reporters: List[LoadReporter] = []
+        self.watchdog: Optional[Watchdog] = None
+        if plan.watchdog_interval is not None and cluster.policy is not None:
+            self.view = ClusterView(self.sim)
+            client_name = cluster.client_host.name
+            watched = list(cluster.servers)
+            if cluster.parity_server is not None:
+                watched.append(cluster.parity_server)
+            self.reporters = [
+                LoadReporter(s, client_name, self.view, interval=plan.watchdog_interval)
+                for s in watched
+            ]
+            self.watchdog = Watchdog(
+                cluster.pager,
+                self.view,
+                report_interval=plan.watchdog_interval,
+                suspect_after=plan.watchdog_suspect_after,
+            )
+        for index, event in enumerate(plan.events):
+            self.sim.process(
+                self._run_event(event), name=f"fault:{event[0]}:{index}"
+            )
+
+    # --------------------------------------------------------------- log
+    def _log(self, kind: str, **detail) -> None:
+        self.fault_log.append((self.sim.now, kind, detail))
+        self.sim.tracer.emit("faults", kind, **detail)
+
+    def fault_trace(self) -> list:
+        """The injected-fault timeline as JSON-stable plain data."""
+        return [
+            [round(t, 9), kind, sorted(detail.items())]
+            for t, kind, detail in self.fault_log
+        ]
+
+    # ------------------------------------------------------------ events
+    def _resolve(self, target):
+        if target == "parity":
+            server = self.cluster.parity_server
+            if server is None:
+                raise ValueError("plan targets 'parity' but the policy has none")
+            return server
+        return self.cluster.servers[target]
+
+    def _run_event(self, event: tuple):
+        kind, at = event[0], event[1]
+        if at > self.sim.now:
+            yield self.sim.timeout(at - self.sim.now)
+        if kind == "crash":
+            yield from self._crash(self._resolve(event[2]))
+        elif kind == "flap":
+            yield from self._flap(self._resolve(event[2]), event[3])
+        elif kind == "partition":
+            yield from self._partition(event[2], event[3])
+        elif kind == "loss_burst":
+            yield from self._loss_burst(event[2], event[3])
+        elif kind == "corrupt_burst":
+            self._corrupt_burst(self._resolve(event[2]), event[3])
+        elif kind == "crash_during_recovery":
+            yield from self._crash_during_recovery(
+                self._resolve(event[2]), self._resolve(event[3])
+            )
+
+    def _crash(self, server):
+        if server.is_alive:
+            server.crash()
+            self._log("crash", server=server.name)
+        return
+        yield  # pragma: no cover - keeps this a generator
+
+    def _flap(self, server, down_for: float):
+        if not server.is_alive:
+            return
+        server.crash()
+        self._log("flap_down", server=server.name, down_for=down_for)
+        yield self.sim.timeout(down_for)
+        server.restart()
+        # A rebooted workstation re-announces itself in the common file
+        # (§2.1); its pages are gone but its memory is donatable again.
+        self.cluster.registry.register(server)
+        self._log("flap_up", server=server.name)
+
+    def _partition(self, duration: float, n_cut: int):
+        hosts = [h.name for h in self.cluster.server_hosts[:n_cut]]
+        if not hosts:
+            return
+        self._log("partition", hosts=hosts, duration=duration)
+        network = self.network or self.cluster.network
+        if self.network is not None:
+            yield from self.network.partition_for(set(hosts), duration)
+        else:
+            network.partition(set(hosts))
+            yield self.sim.timeout(duration)
+            network.heal()
+        self._log("heal", hosts=hosts)
+
+    def _loss_burst(self, duration: float, rate: float):
+        if self.network is None:
+            raise ValueError("loss_burst needs the unreliable-network wrapper")
+        previous = self.network.drop_rate
+        self.network.drop_rate = rate
+        self._log("loss_burst_start", rate=rate, duration=duration)
+        yield self.sim.timeout(duration)
+        self.network.drop_rate = previous
+        self._log("loss_burst_end", rate=previous)
+
+    def _corrupt_burst(self, server, n_pages: int):
+        if not server.is_alive:
+            return
+        count = self.corruptor.corrupt_stored(server, n_pages)
+        self._log(
+            "corrupt_burst", server=server.name, requested=n_pages, rotted=count
+        )
+
+    def _crash_during_recovery(self, first, second):
+        pager = self.cluster.pager
+        fired = []
+
+        def on_recovery(crashed) -> None:
+            if fired or crashed is not first or not second.is_alive:
+                return
+            fired.append(True)
+            second.crash()
+            self._log("crash", server=second.name, during="recovery")
+
+        watchers = getattr(pager, "recovery_watchers", None)
+        if watchers is None:
+            raise ValueError(
+                "crash_during_recovery needs a pager with recovery_watchers"
+            )
+        watchers.append(on_recovery)
+        yield from self._crash(first)

@@ -19,13 +19,52 @@ experiments can report server CPU utilisation (§4.5: "always less than
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..config import ProtocolSpec
+from ..errors import RequestTimeout
 from ..sim import NULL_SPAN, Counter, Event, Simulator
 from .base import Network
 
-__all__ = ["CpuAccount", "ProtocolStack"]
+__all__ = ["CpuAccount", "ProtocolStack", "RetrySpec"]
+
+
+@dataclass(frozen=True)
+class RetrySpec:
+    """RPC timeout/retry policy for one protocol stack.
+
+    When installed (``stack.retry = RetrySpec(...)``) every message send
+    races its delivery against a per-attempt timer; a silent loss (or a
+    transport-checksum rejection) triggers a resend after a capped
+    exponential backoff.  Each attempt beyond the first charges
+    ``per_attempt_cpu`` to the sender (header rebuild, timer management)
+    on top of the page's one-time protocol cost.  When the budget runs
+    out the send fails with :class:`~repro.errors.RequestTimeout` — a
+    deliberately different signal from ``ServerCrashed``: a timeout says
+    nothing about the peer, only about the path.
+    """
+
+    #: Per-attempt acknowledgement deadline, seconds of simulated time.
+    timeout: float = 0.25
+    #: Total attempts (first send + retries) before aborting.
+    max_attempts: int = 8
+    #: First backoff delay; doubles per retry up to ``backoff_cap``.
+    backoff_base: float = 0.005
+    backoff_factor: float = 2.0
+    backoff_cap: float = 0.1
+    #: Sender CPU burned preparing each resend.
+    per_attempt_cpu: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError(f"retry timeout must be positive: {self.timeout}")
+        if self.max_attempts < 1:
+            raise ValueError(f"need at least one attempt: {self.max_attempts}")
+        if self.backoff_base < 0 or self.backoff_cap < self.backoff_base:
+            raise ValueError(
+                f"bad backoff range: [{self.backoff_base}, {self.backoff_cap}]"
+            )
 
 
 class CpuAccount:
@@ -65,6 +104,9 @@ class ProtocolStack:
         self.spec = spec or ProtocolSpec()
         self.counters = Counter()
         self._accounts: Dict[str, CpuAccount] = {}
+        #: RPC timeout/retry policy; None (the default) keeps the
+        #: original fire-and-wait wire path with zero added overhead.
+        self.retry: Optional[RetrySpec] = None
 
     # ------------------------------------------------------------------ CPU
     def cpu_account(self, host: str) -> CpuAccount:
@@ -114,8 +156,55 @@ class ProtocolStack:
             span.phase(f"{label}.protocol")
             yield self.sim.timeout(cpu)
         self.counters.add("messages")
-        span.phase(f"{label}.wire")
-        yield self.network.transfer(src, dst, self._on_wire_bytes(payload))
+        nbytes = self._on_wire_bytes(payload)
+        if self.retry is None:
+            span.phase(f"{label}.wire")
+            yield self.network.transfer(src, dst, nbytes)
+        else:
+            yield from self._transfer_with_retry(src, dst, nbytes, span, label)
+
+    def _transfer_with_retry(self, src: str, dst: str, nbytes: int,
+                             span, label: str):
+        """Generator: one message, retried on timeout or frame rejection.
+
+        Each attempt races delivery against ``retry.timeout``.  A
+        delivery flagged ``corrupted`` (the transport checksum caught a
+        damaged frame) is treated like a loss and resent immediately;
+        silence waits out a capped exponential backoff first.  Backoff
+        waits book under ``{label}.retry`` in the span's decomposition so
+        retry stalls are separable from genuine wire time.
+        """
+        retry = self.retry
+        sim = self.sim
+        backoff = retry.backoff_base
+        for attempt in range(1, retry.max_attempts + 1):
+            span.phase(f"{label}.wire")
+            done = self.network.transfer(src, dst, nbytes)
+            fired = yield sim.any_of([done, sim.timeout(retry.timeout)])
+            if done in fired:
+                if not getattr(done.value, "corrupted", False):
+                    return
+                # Damaged on the wire: the frame checksum rejected it.
+                self.counters.add("rpc_corrupt_rejected")
+                sim.tracer.emit(
+                    "net.rpc", "corrupt_rejected",
+                    src=src, dst=dst, attempt=attempt,
+                )
+            else:
+                self.counters.add("rpc_timeouts")
+                sim.tracer.emit(
+                    "net.rpc", "timeout", src=src, dst=dst, attempt=attempt,
+                )
+            if attempt >= retry.max_attempts:
+                self.counters.add("rpc_aborts")
+                sim.tracer.emit("net.rpc", "abort", src=src, dst=dst,
+                                attempts=attempt)
+                raise RequestTimeout(dst, attempts=attempt)
+            self.counters.add("rpc_retries")
+            self.cpu_account(src).charge(retry.per_attempt_cpu)
+            span.phase(f"{label}.retry")
+            yield sim.timeout(backoff + retry.per_attempt_cpu)
+            backoff = min(backoff * retry.backoff_factor, retry.backoff_cap)
 
     def request_response(
         self,

@@ -20,6 +20,13 @@ from .trace import validate_record
 
 __all__ = ["load_trace", "summarize", "render_summary", "TraceSummary"]
 
+#: Components whose point events mark an injected fault or its detection
+#: (chaos harness, RPC retry machinery, partitions, the watchdog).  The
+#: summary keeps their events on a timeline so latency spikes in the
+#: slowest-request table can be attributed to what was going wrong on
+#: the wire at that moment.
+_FAULT_COMPONENTS = frozenset({"faults", "net.rpc", "net", "watchdog"})
+
 
 def load_trace(path: str, validate: bool = True) -> List[Dict[str, Any]]:
     """Parse (and by default validate) every record in a JSONL trace."""
@@ -51,8 +58,14 @@ class TraceSummary:
         self.phase_totals: Dict[str, Dict[str, float]] = {}
         #: Completed span records, for the slowest-request table.
         self.spans: List[Dict[str, Any]] = []
+        #: Fault-ish events (see _FAULT_COMPONENTS), in timestamp order.
+        self.fault_events: List[Dict[str, Any]] = []
         self.open_spans = 0
         self.runs: List[str] = []
+
+    def faults_during(self, start: float, end: float) -> List[Dict[str, Any]]:
+        """Fault events whose timestamp falls inside ``[start, end]``."""
+        return [e for e in self.fault_events if start <= e["ts"] <= end]
 
 
 def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
@@ -69,6 +82,8 @@ def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
                 label = (record.get("attrs") or {}).get("label")
                 if label:
                     summary.runs.append(label)
+            if record["component"] in _FAULT_COMPONENTS:
+                summary.fault_events.append(record)
         elif kind == "span":
             if record["end"] is None:
                 summary.open_spans += 1
@@ -96,6 +111,33 @@ def merge_latency(summaries: List[TraceSummary]) -> Dict[str, Tally]:
                 merged[kind] = Tally(keep_samples=True).merge(tally)
     return merged
 
+
+def _fault_label(event: Dict[str, Any]) -> str:
+    return f"{event['component']}.{event['event']}"
+
+
+def _attribution(events: List[Dict[str, Any]]) -> str:
+    """Compact ``3x faults.drop, 1x faults.crash`` summary of events."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        key = _fault_label(event)
+        counts[key] = counts.get(key, 0) + 1
+    return ", ".join(
+        f"{count}x {key}" if count > 1 else key
+        for key, count in sorted(counts.items(), key=lambda item: -item[1])
+    )
+
+
+#: Timeline rows shown before eliding; steady-state loss alone can
+#: contribute hundreds of drop events.
+_TIMELINE_LIMIT = 20
+
+#: Per-packet noise (and its RPC echoes) — shown after scheduled
+#: campaign events like ``crash`` or ``corrupt_burst`` when the
+#: timeline elides.
+_NOISE_EVENTS = frozenset(
+    {"drop", "duplicate", "delay", "corrupt", "retry", "timeout"}
+)
 
 _HIST_WIDTH = 40
 _HIST_BINS = 12
@@ -137,6 +179,27 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
         lines.append(f"runs: {', '.join(summary.runs)}")
     if summary.open_spans:
         lines.append(f"warning: {summary.open_spans} span(s) never ended")
+    if summary.fault_events:
+        lines.append("")
+        lines.append(f"fault timeline ({len(summary.fault_events)} events):")
+        # Scheduled campaign events first, then steady-state noise: the
+        # timeline elides, and a drop storm must not crowd out the crash.
+        ordered = sorted(
+            summary.fault_events,
+            key=lambda e: (e["event"] in _NOISE_EVENTS, e["ts"]),
+        )
+        for event in ordered[:_TIMELINE_LIMIT]:
+            attrs = event.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            lines.append(
+                f"  @{event['ts']:10.6f}s {_fault_label(event)}"
+                + (f"  {detail}" if detail else "")
+            )
+        if len(ordered) > _TIMELINE_LIMIT:
+            rest = ordered[_TIMELINE_LIMIT:]
+            lines.append(
+                f"  ... {len(rest)} more ({_attribution(rest)})"
+            )
     for kind in sorted(summary.latency):
         tally = summary.latency[kind]
         lines.append("")
@@ -179,6 +242,11 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
             )
             if phases:
                 lines.append(f"      {phases}")
+            overlapping = summary.faults_during(span["start"], span["end"])
+            if overlapping:
+                lines.append(
+                    f"      faults during span: {_attribution(overlapping)}"
+                )
     if summary.event_counts:
         lines.append("")
         lines.append("events:")

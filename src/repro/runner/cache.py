@@ -42,6 +42,7 @@ _RESULT_SOURCES = (
     "disk",
     "core",
     "cluster",
+    "faults",
     "workloads",
     "config.py",
     "units.py",

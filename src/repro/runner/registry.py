@@ -185,6 +185,44 @@ def _busy_scenario_hook(scenario: str = "idle", probe_period: float = 5.0):
     return hook
 
 
+def _chaos_hook(**plan_kwargs):
+    """Apply a :class:`repro.faults.FaultPlan` campaign to the cluster.
+
+    The plan travels as plain kwargs (picklable, cache-fingerprintable);
+    the :class:`~repro.faults.ChaosController` it builds is returned as
+    hook state so the ``resilience`` extractor can read the fault log.
+    """
+
+    def hook(cluster):
+        from ..faults import ChaosController, FaultPlan
+
+        return ChaosController(cluster, FaultPlan.from_kwargs(plan_kwargs))
+
+    return hook
+
+
+def _resilience(cluster, report, state) -> Dict[str, Any]:
+    """End-to-end integrity verdict + fault/RPC accounting after a run."""
+    from ..faults import check_page_integrity
+
+    integrity = check_page_integrity(cluster)
+    rpc = cluster.stack.counters
+    extras: Dict[str, Any] = {
+        "integrity": integrity.as_dict(),
+        "verdict": integrity.verdict,
+        "fault_trace": state.fault_trace() if state is not None else [],
+        "rpc_retries": rpc["rpc_retries"],
+        "rpc_timeouts": rpc["rpc_timeouts"],
+        "rpc_aborts": rpc["rpc_aborts"],
+        "rpc_corrupt_rejected": rpc["rpc_corrupt_rejected"],
+        "recoveries": cluster.pager.counters["recoveries"],
+        "scrub_recoveries": cluster.pager.counters["scrub_recoveries"],
+    }
+    if state is not None and state.network is not None:
+        extras["network_faults"] = state.network.counters.as_dict()
+    return extras
+
+
 def _network_stats(cluster, report, state) -> Dict[str, Any]:
     stats = cluster.network.stats
     return {
@@ -211,7 +249,9 @@ def _register_builtins() -> None:
     _register_builtin_workloads()
     register_hook("background-load", _background_load_hook)
     register_hook("busy-scenario", _busy_scenario_hook)
+    register_hook("chaos", _chaos_hook)
     register_extractor("network-stats", _network_stats)
+    register_extractor("resilience", _resilience)
     register_extractor("server-cpu", _server_cpu)
     register_extractor("pager-stats", _pager_stats)
 

@@ -577,6 +577,11 @@ class Simulator:
             when, _, event = pop(heap)
             self._now = when
             event._process()
+        if process._exception is not None:
+            # Raising to the caller IS the observation: the completion
+            # event is still queued, and without this it would re-raise
+            # the stale failure out of the next run_until_complete().
+            process._defused = True
         return process.value
 
     def stop(self) -> None:

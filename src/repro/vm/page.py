@@ -13,9 +13,17 @@ Both modes drive identical control paths in the pager and policies.
 
 from __future__ import annotations
 
+import zlib
 from typing import Optional
 
-__all__ = ["page_bytes", "xor_bytes", "zero_page", "PageVersioner"]
+__all__ = [
+    "page_bytes",
+    "xor_bytes",
+    "zero_page",
+    "page_checksum",
+    "corrupt_bytes",
+    "PageVersioner",
+]
 
 _MIX = 0x9E3779B97F4A7C15  # Fibonacci hashing constant: cheap, well mixed
 
@@ -49,6 +57,32 @@ def xor_bytes(a: bytes, b: bytes) -> bytes:
     return (int.from_bytes(a, "little") ^ int.from_bytes(b, "little")).to_bytes(
         len(a), "little"
     )
+
+
+def page_checksum(contents: bytes) -> int:
+    """End-to-end integrity checksum of one page's bytes.
+
+    CRC32 is enough here: the threat model is simulated bit-rot and
+    transport corruption, not an adversary.  The pager records this at
+    pageout and verifies it at pagein (DESIGN.md "Fault model").
+    """
+    return zlib.crc32(contents) & 0xFFFFFFFF
+
+
+def corrupt_bytes(contents: bytes, rng, flips: int = 3) -> bytes:
+    """Flip ``flips`` bits of ``contents`` at RNG-chosen positions.
+
+    Guaranteed to return bytes that differ from the input (a flipped bit
+    can never flip back because positions are sampled without
+    replacement).
+    """
+    if not contents:
+        raise ValueError("cannot corrupt an empty payload")
+    mutated = bytearray(contents)
+    positions = rng.sample(range(len(mutated) * 8), min(flips, len(mutated) * 8))
+    for bit in positions:
+        mutated[bit // 8] ^= 1 << (bit % 8)
+    return bytes(mutated)
 
 
 class PageVersioner:

@@ -1,0 +1,155 @@
+"""Composed faults: a second server dies while recovery is in flight.
+
+A single-redundancy policy cannot always survive two concurrent holes,
+so the contract under test is *fail-loud*, not zero-loss: every page
+either comes back byte-identical to what was paged out, or its pagein
+raises — wrong bytes are never silently returned.  Policies whose
+redundancy does not live on the peer servers (write-through's disk
+copy) must additionally lose nothing.
+"""
+
+import pytest
+
+from repro.core import build_cluster
+from repro.errors import ReproError
+from repro.faults import ChaosController, FaultPlan, check_page_integrity
+from repro.config import MachineSpec
+from repro.vm import page_bytes
+from repro.workloads import SequentialScan
+
+PAGE = 8192
+
+SMALL = MachineSpec(
+    name="test-small",
+    ram_bytes=2 * 1024 * 1024,
+    kernel_resident_bytes=1 * 1024 * 1024,
+    page_size=8192,
+)
+
+ALL_POLICIES = [
+    "no-reliability",
+    "mirroring",
+    "parity",
+    "parity-logging",
+    "write-through",
+]
+
+
+def cluster_for(policy, **kwargs):
+    defaults = dict(n_servers=4, content_mode=True, server_capacity_pages=256)
+    if policy == "parity-logging":
+        defaults["overflow_fraction"] = 0.25
+    defaults.update(kwargs)
+    return build_cluster(policy=policy, **defaults)
+
+
+def drive(cluster, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return cluster.sim.run_until_complete(cluster.sim.process(body(gen)))
+
+
+def pageout_all(cluster, pages):
+    for page_id, version in pages.items():
+        drive(
+            cluster,
+            cluster.pager.pageout(page_id, page_bytes(page_id, version, PAGE)),
+        )
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+def test_second_crash_mid_recovery_is_loud_never_silent(policy):
+    cluster = cluster_for(policy)
+    pages = {p: 1 for p in range(48)}
+    pageout_all(cluster, pages)
+    first, second = cluster.servers[0], cluster.servers[1]
+
+    def kill_second(crashed):
+        if crashed is first and second.is_alive:
+            second.crash()
+
+    cluster.pager.recovery_watchers.append(kill_second)
+    first.crash()
+
+    lost = []
+    for page_id, version in pages.items():
+        try:
+            got = drive(cluster, cluster.pager.pagein(page_id))
+        except ReproError:
+            lost.append(page_id)
+            continue
+        assert got == page_bytes(page_id, version, PAGE), f"page {page_id}"
+    # The watcher fired the moment recovery started.
+    assert not second.is_alive
+    if policy == "write-through":
+        # Redundancy lives on the local disk: two dead peers cost nothing.
+        assert lost == []
+    if policy == "no-reliability":
+        assert lost  # both victims' pages are simply gone
+
+
+def test_cascade_is_counted_and_traced():
+    """When recovery itself trips over the second corpse, the pager
+    retires the first victim and restarts recovery for the second."""
+    found = []
+    for seed in range(6):
+        cluster = cluster_for("mirroring", seed=seed)
+        pages = {p: 1 for p in range(48)}
+        pageout_all(cluster, pages)
+        first, second = cluster.servers[0], cluster.servers[1]
+        cluster.pager.recovery_watchers.append(
+            lambda crashed, f=first, s=second: s.crash()
+            if crashed is f and s.is_alive
+            else None
+        )
+        first.crash()
+        for page_id in pages:
+            try:
+                drive(cluster, cluster.pager.pagein(page_id))
+            except ReproError:
+                pass
+        if cluster.pager.counters["cascaded_recoveries"] >= 1:
+            found.append(seed)
+            break
+    assert found, "no seed produced a recovery-time cascade"
+
+
+def test_crash_during_recovery_event_composes_in_a_campaign():
+    """The Hydra event arms a watcher: the second victim dies exactly
+    when recovery of the first begins — and no page is ever silently
+    corrupted, whatever the loss outcome."""
+    cluster = build_cluster(
+        policy="mirroring",
+        machine_spec=SMALL,
+        n_servers=4,
+        content_mode=True,
+        seed=3,
+        server_capacity_pages=600,
+    )
+    plan = FaultPlan(events=(("crash_during_recovery", 5.0, 0, 1),))
+    controller = ChaosController(cluster, plan)
+    try:
+        cluster.run(SequentialScan(n_pages=400, passes=3, write=True))
+    except ReproError:
+        pass
+    kinds = [kind for _, kind, _ in controller.fault_log]
+    assert kinds.count("crash") == 2
+    hydra = [d for _, k, d in controller.fault_log if d.get("during")]
+    assert hydra and hydra[0]["during"] == "recovery"
+    report = check_page_integrity(cluster)
+    assert report.corrupted == []  # loss may happen; silent rot may not
+
+
+def test_crash_during_recovery_rejects_unwatchable_pager():
+    cluster = cluster_for("mirroring")
+    del cluster.pager.recovery_watchers
+    controller = ChaosController(cluster, FaultPlan())
+    with pytest.raises(ValueError, match="recovery_watchers"):
+        drive(
+            cluster,
+            controller._crash_during_recovery(
+                cluster.servers[0], cluster.servers[1]
+            ),
+        )

@@ -206,3 +206,30 @@ def test_crash_injector_validation():
         injector.crash_at(cluster.servers[0], at_time=1.0)
     with pytest.raises(ValueError):
         injector.crash_after_pageouts(cluster.servers[0], pageouts=-1)
+
+
+def test_crash_after_pageouts_is_exact():
+    """Event-driven injection: the crash lands at the exact store that
+    crosses the threshold — the old 10 ms poll could let extra pageouts
+    slip through its detection window."""
+    cluster = cluster_for("mirroring")
+    server = cluster.servers[0]
+    injector = CrashInjector(cluster.sim)
+    injector.crash_after_pageouts(server, pageouts=5)
+
+    def stream(cluster):
+        for page_id in range(64):
+            yield from cluster.pager.pageout(page_id, page_bytes(page_id, 1, PAGE))
+
+    cluster.sim.run_until_complete(cluster.sim.process(stream(cluster)))
+    assert not server.is_alive
+    assert server.counters["pageouts"] == 5
+    assert injector.crashes and injector.crashes[0][1] == server.name
+
+
+def test_crash_after_zero_pageouts_is_immediate():
+    cluster = cluster_for("mirroring")
+    injector = CrashInjector(cluster.sim)
+    injector.crash_after_pageouts(cluster.servers[0], pageouts=0)
+    assert not cluster.servers[0].is_alive
+    assert injector.crashes[0][1] == cluster.servers[0].name

@@ -96,3 +96,59 @@ def test_watchdog_validation():
         Watchdog(cluster.pager, view, report_interval=0)
     with pytest.raises(ValueError):
         Watchdog(cluster.pager, view, report_interval=1.0, suspect_after=1.0)
+
+
+def test_flapping_server_rearms_and_is_redetected():
+    """Regression (ISSUE 3 satellite): a server that reboots and reports
+    again re-arms its latch, so a *second* crash is detected — the old
+    latch-forever behaviour went blind after the first failed recovery."""
+    cluster = build_cluster(policy="no-reliability", n_servers=2)
+    view = ClusterView(cluster.sim)
+    reporters = [
+        LoadReporter(s, "client", view, interval=INTERVAL) for s in cluster.servers
+    ]
+    watchdog = Watchdog(cluster.pager, view, report_interval=INTERVAL)
+    cluster.sim.run(until=3 * INTERVAL)
+    victim = cluster.servers[0]
+    victim.crash()
+    cluster.sim.run(until=cluster.sim.now + 8 * INTERVAL)
+    # Declared once; NonePolicy recovery fails, so the latch holds and
+    # continued silence is not re-declared every interval.
+    assert len(watchdog.detections) == 1
+    victim.restart()
+    cluster.sim.run(until=cluster.sim.now + 4 * INTERVAL)
+    assert watchdog.rearms and watchdog.rearms[0][1] == victim.name
+    victim.crash()
+    cluster.sim.run(until=cluster.sim.now + 8 * INTERVAL)
+    assert len(watchdog.detections) == 2
+    assert [name for _, name in watchdog.detections] == [victim.name] * 2
+
+
+def test_lost_reports_from_live_server_probe_as_false_alarm():
+    """Silence alone must not retire a live server: the watchdog probes
+    first, and an answered probe books a false alarm, not a recovery."""
+    cluster = build_cluster(
+        policy="parity-logging",
+        n_servers=4,
+        content_mode=True,
+        server_capacity_pages=128,
+        overflow_fraction=0.25,
+    )
+    view = ClusterView(cluster.sim)
+    reporters = [
+        LoadReporter(s, "client", view, interval=INTERVAL) for s in cluster.servers
+    ]
+    watchdog = Watchdog(cluster.pager, view, report_interval=INTERVAL)
+    for page_id in range(8):
+        drive(cluster, cluster.pager.pageout(page_id, page_bytes(page_id, 1, PAGE)))
+    cluster.sim.run(until=cluster.sim.now + 3 * INTERVAL)
+    # Simulate report loss: the server is alive but its reports stop.
+    quiet = cluster.pager.policy.servers[0]
+    reporters[0].stop()
+    assert reporters[0].server is quiet
+    cluster.sim.run(until=cluster.sim.now + 10 * INTERVAL)
+    assert quiet.is_alive
+    assert watchdog.detections == []
+    assert watchdog.false_alarms
+    assert all(name == quiet.name for _, name in watchdog.false_alarms)
+    assert cluster.pager.counters["recoveries"] == 0

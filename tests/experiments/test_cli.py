@@ -25,6 +25,7 @@ def test_parser_knows_all_subcommands():
         "multiclient",
         "diurnal",
         "compression",
+        "resilience",
         "profile",
         "ablate",
         "all",

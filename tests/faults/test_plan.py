@@ -1,0 +1,53 @@
+"""FaultPlan validation and plain-data round trips."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fault event"):
+        FaultPlan(events=(("meteor", 1.0),))
+
+
+def test_event_needs_nonnegative_time():
+    with pytest.raises(ValueError, match="time >= 0"):
+        FaultPlan(events=(("crash", -1.0, 0),))
+    with pytest.raises(ValueError, match="time >= 0"):
+        FaultPlan(events=(("crash",),))
+
+
+def test_drops_without_retry_rejected():
+    with pytest.raises(ValueError, match="retry"):
+        FaultPlan(drop_rate=0.1, retry=False)
+    with pytest.raises(ValueError, match="retry"):
+        FaultPlan(events=(("loss_burst", 1.0, 2.0, 0.5),), retry=False)
+    # Faults that cannot silently swallow a message are fine without retry.
+    FaultPlan(delay_rate=0.5, retry=False)
+
+
+def test_kwargs_round_trip_is_identity():
+    plan = FaultPlan.standard_campaign()
+    assert FaultPlan.from_kwargs(plan.as_kwargs()) == plan
+
+
+def test_kwargs_survive_json_round_trip():
+    """The runner cache stores hook kwargs as JSON: lists come back."""
+    plan = FaultPlan.standard_campaign(loss_rate=0.02)
+    thawed = json.loads(json.dumps(plan.as_kwargs()))
+    assert FaultPlan.from_kwargs(thawed) == plan
+
+
+def test_standard_campaign_shape():
+    plan = FaultPlan.standard_campaign()
+    kinds = [event[0] for event in plan.events]
+    assert kinds == ["crash", "corrupt_burst"]
+    assert plan.drop_rate == pytest.approx(0.01)
+    assert plan.watchdog_interval is not None
+    assert plan.needs_network_wrapper
+
+
+def test_plain_plan_needs_no_wrapper():
+    assert not FaultPlan(events=(("crash", 1.0, 0),)).needs_network_wrapper

@@ -1,0 +1,109 @@
+"""RPC timeout/retry/backoff: the transport half of the chaos harness."""
+
+import pytest
+
+from repro.core import build_cluster
+from repro.errors import RequestTimeout, ServerCrashed
+from repro.net.protocol import RetrySpec
+
+
+def make_cluster(**kwargs):
+    defaults = dict(policy="no-reliability", n_servers=2)
+    defaults.update(kwargs)
+    return build_cluster(**defaults)
+
+
+def drive(cluster, gen):
+    def body(gen):
+        result = yield from gen
+        return result
+
+    return cluster.sim.run_until_complete(cluster.sim.process(body(gen)))
+
+
+def test_retry_spec_validation():
+    with pytest.raises(ValueError, match="timeout"):
+        RetrySpec(timeout=0.0)
+    with pytest.raises(ValueError, match="attempt"):
+        RetrySpec(max_attempts=0)
+    with pytest.raises(ValueError, match="backoff"):
+        RetrySpec(backoff_base=0.2, backoff_cap=0.1)
+
+
+def test_partition_outlasting_budget_raises_request_timeout():
+    """A partitioned path times out with RequestTimeout — a statement
+    about the *path*, deliberately distinct from ServerCrashed."""
+    cluster = make_cluster()
+    cluster.stack.retry = RetrySpec(timeout=0.05, max_attempts=3)
+    target = cluster.server_hosts[0].name
+    cluster.network.partition({target})
+    with pytest.raises(RequestTimeout) as err:
+        drive(cluster, cluster.stack.send("client", target, 1024))
+    assert not isinstance(err.value, ServerCrashed)
+    assert cluster.stack.counters["rpc_timeouts"] == 3
+    assert cluster.stack.counters["rpc_aborts"] == 1
+    cluster.network.heal()
+
+
+def test_transient_partition_is_ridden_out():
+    """A partition shorter than the retry budget costs retries, not data."""
+    cluster = make_cluster()
+    cluster.stack.retry = RetrySpec(timeout=0.05, max_attempts=8)
+    target = cluster.server_hosts[0].name
+    cluster.network.partition({target})
+
+    def heal_later():
+        yield cluster.sim.timeout(0.12)
+        cluster.network.heal()
+
+    cluster.sim.process(heal_later(), name="healer")
+    drive(cluster, cluster.stack.send("client", target, 1024))
+    assert cluster.stack.counters["rpc_retries"] >= 1
+    assert cluster.stack.counters["rpc_aborts"] == 0
+
+
+def test_backoff_grows_and_caps():
+    """Elapsed time across attempts reflects capped exponential backoff."""
+    cluster = make_cluster()
+    spec = RetrySpec(
+        timeout=0.1,
+        max_attempts=5,
+        backoff_base=0.01,
+        backoff_factor=2.0,
+        backoff_cap=0.03,
+    )
+    cluster.stack.retry = spec
+    target = cluster.server_hosts[0].name
+    cluster.network.partition({target})
+    start = cluster.sim.now
+    with pytest.raises(RequestTimeout):
+        drive(cluster, cluster.stack.send("client", target, 64))
+    elapsed = cluster.sim.now - start
+    # 5 attempts x 0.1 timeout + backoffs 0.01 + 0.02 + 0.03 + 0.03
+    # (doubling, capped) + per-attempt CPU on each backoff wait.
+    backoffs = 0.01 + 0.02 + 0.03 + 0.03
+    expected = 5 * spec.timeout + backoffs + 4 * spec.per_attempt_cpu
+    assert elapsed == pytest.approx(expected, rel=1e-6)
+    cluster.network.heal()
+
+
+def test_retries_charge_sender_cpu():
+    cluster = make_cluster()
+    cluster.stack.retry = RetrySpec(timeout=0.05, max_attempts=4)
+    target = cluster.server_hosts[0].name
+    busy_before = cluster.stack.cpu_account("client").busy_seconds
+    cluster.network.partition({target})
+    with pytest.raises(RequestTimeout):
+        drive(cluster, cluster.stack.send("client", target, 64))
+    charged = cluster.stack.cpu_account("client").busy_seconds - busy_before
+    assert charged == pytest.approx(3 * cluster.stack.retry.per_attempt_cpu)
+    cluster.network.heal()
+
+
+def test_no_retry_spec_means_zero_overhead_path():
+    """Without a RetrySpec the original fire-and-wait path is untouched."""
+    cluster = make_cluster()
+    assert cluster.stack.retry is None
+    drive(cluster, cluster.stack.send("client", cluster.server_hosts[0].name, 1024))
+    assert cluster.stack.counters["rpc_retries"] == 0
+    assert cluster.stack.counters["rpc_timeouts"] == 0

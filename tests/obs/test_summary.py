@@ -88,3 +88,54 @@ def test_trace_summary_cli(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "== pageout ==" in out
     assert "slowest 1 request(s):" in out
+
+
+def _write_faulted_trace(path):
+    clock = Clock()
+    tracer = Tracer()
+    tracer.bind(clock)
+    # A fast span, untouched by faults.
+    span = tracer.span("pageout", page_id=1)
+    clock.now += 0.002
+    span.end("ok")
+    # A crash and a retry storm land inside the slow span.
+    slow = tracer.span("pageout", page_id=2)
+    clock.now += 0.001
+    tracer.emit("faults", "crash", server="server-0")
+    tracer.emit("faults", "drop", src="client", dst="server-0")
+    tracer.emit("net.rpc", "timeout", src="client", dst="server-0", attempt=1)
+    clock.now += 0.5
+    slow.end("ok")
+    clock.now += 0.001  # strictly after the span: bounds are inclusive
+    tracer.emit("faults", "drop", src="client", dst="server-1")
+    tracer.write_jsonl(str(path))
+
+
+def test_fault_events_collected_and_attributed(tmp_path):
+    path = tmp_path / "faulted.jsonl"
+    _write_faulted_trace(path)
+    summary = summarize(load_trace(str(path)))
+    assert len(summary.fault_events) == 4
+    slow = max(summary.spans, key=lambda s: s["end"] - s["start"])
+    inside = summary.faults_during(slow["start"], slow["end"])
+    assert [e["event"] for e in inside] == ["crash", "drop", "timeout"]
+    fast = min(summary.spans, key=lambda s: s["end"] - s["start"])
+    assert summary.faults_during(fast["start"], fast["end"]) == []
+
+
+def test_render_summary_shows_fault_timeline_and_span_attribution(tmp_path):
+    path = tmp_path / "faulted.jsonl"
+    _write_faulted_trace(path)
+    text = render_summary(summarize(load_trace(str(path))), top=1)
+    assert "fault timeline (4 events):" in text
+    # Scheduled campaign events outrank per-packet noise in the listing.
+    assert text.index("faults.crash") < text.index("faults.drop")
+    assert "faults during span: faults.crash, faults.drop, net.rpc.timeout" in text
+
+
+def test_unfaulted_trace_renders_no_fault_sections(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write_sample_trace(path)
+    text = render_summary(summarize(load_trace(str(path))))
+    assert "fault timeline" not in text
+    assert "faults during span" not in text

@@ -317,6 +317,25 @@ def test_all_of_failure_propagates():
     assert sim.run_until_complete(p) == "failed"
 
 
+def test_run_until_complete_failure_does_not_poison_next_run():
+    """Regression: a process failure raised out of run_until_complete()
+    left the completion event queued and undefused, so the *next*
+    run_until_complete() re-raised the stale exception as its own."""
+    sim = Simulator()
+
+    def dies(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("first failure")
+
+    def lives(sim):
+        yield sim.timeout(1.0)
+        return "fine"
+
+    with pytest.raises(RuntimeError, match="first failure"):
+        sim.run_until_complete(sim.process(dies(sim)))
+    assert sim.run_until_complete(sim.process(lives(sim))) == "fine"
+
+
 def test_run_until_complete_detects_deadlock():
     sim = Simulator()
 
