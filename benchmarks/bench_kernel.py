@@ -99,10 +99,15 @@ def measure_kernels(n_events: int = 200_000, repeats: int = 3) -> dict:
         ("timeout_chain", bench_timeout_chain, n_events),
         ("relay_path", bench_relay_path, n_events // 3),
     ):
-        rates = {
-            name: max(bench(kernel, n) for _ in range(repeats))
-            for name, kernel in KERNELS.items()
-        }
+        # Interleaved rounds (every kernel once per round) rather than
+        # one block per kernel: frequency scaling or a noisy neighbour
+        # mid-run then degrades all kernels alike instead of landing
+        # entirely on whichever kernel's block it overlapped — the A/B
+        # ratio stays honest even when the host drifts.
+        rates = {name: 0.0 for name in KERNELS}
+        for _ in range(repeats):
+            for name, kernel in KERNELS.items():
+                rates[name] = max(rates[name], bench(kernel, n))
         results[path_name] = {
             "events_per_sec": {k: round(v) for k, v in rates.items()},
             "speedup": round(rates["optimized"] / rates["seed"], 3),

@@ -114,7 +114,24 @@ def _cmd_compression(args) -> str:
 def _cmd_resilience(args) -> str:
     levels = ("light",) if args.quick else tuple(args.levels)
     return exp.render_resilience(
-        exp.run_resilience(policies=tuple(args.policies), levels=levels)
+        exp.run_resilience(
+            policies=tuple(args.policies),
+            levels=levels,
+            pipelined=args.pipelined,
+            pipeline_window=args.window,
+            pipeline_prefetch=args.prefetch,
+        )
+    )
+
+
+def _cmd_pipelining(args) -> str:
+    return exp.render_pipelining(
+        exp.run_pipelining(
+            windows=tuple(args.windows),
+            app=args.app,
+            policy=args.policy,
+            prefetch_depth=args.prefetch,
+        )
     )
 
 
@@ -175,6 +192,7 @@ _ALL = [
     "diurnal",
     "compression",
     "resilience",
+    "pipelining",
     "profile",
     "ablate",
 ]
@@ -340,7 +358,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true",
         help="CI smoke: the 'light' campaign only",
     )
+    p.add_argument(
+        "--pipelined", action="store_true",
+        help="run the whole campaign with the PR 4 pipelined datapath "
+        "(write-behind queue + prefetcher) engaged",
+    )
+    p.add_argument(
+        "--window", type=int, default=4, metavar="N",
+        help="in-flight pageout window when --pipelined (default 4)",
+    )
+    p.add_argument(
+        "--prefetch", type=int, default=4, metavar="DEPTH",
+        help="prefetch depth when --pipelined (default 4)",
+    )
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "pipelining", parents=[runner_flags],
+        help="pipelined datapath: write-behind window sweep + prefetch probe")
+    p.add_argument(
+        "--windows", nargs="+", type=int, default=list(exp.WINDOWS), metavar="W",
+        help="in-flight window sizes to sweep (default: 1 2 4 8; "
+        "window 1 is the synchronous baseline)",
+    )
+    p.add_argument("--app", default="gauss", choices=_APPS)
+    p.add_argument(
+        "--policy", default="parity-logging",
+        choices=[name for name in _POLICIES if name != "disk"],
+        help="reliability policy under the pipeline (DISK has no remote "
+        "datapath to pipeline)",
+    )
+    p.add_argument(
+        "--prefetch", type=int, default=8, metavar="DEPTH",
+        help="prefetch depth for the hit-rate probe (default 8)",
+    )
+    p.set_defaults(func=_cmd_pipelining)
 
     p = sub.add_parser(
         "profile", parents=[runner_flags], help="device-independent workload fault profiles")

@@ -166,6 +166,14 @@ class ProtocolSpec:
     before shipping them.  A ratio of 2.0 halves the bytes on the wire at
     ``compression_cpu`` extra CPU per page each way; 1.0 (the default and
     the paper's configuration) disables it.
+
+    ``batch_cpu_fraction`` models OSF/1-style pageout clustering (and the
+    PR 4 write-behind queue): pages after the first in one clustered
+    drain batch ride an already-open stream, so they skip the
+    per-message syscall/connection share of the 1.6 ms and pay only this
+    fraction of ``per_page_cpu``.  Only the drain path opts in (see
+    :meth:`~repro.net.protocol.ProtocolStack.begin_cluster`); a fraction
+    of 1.0 disables the amortisation.
     """
 
     name: str = "tcp/ip"
@@ -174,6 +182,7 @@ class ProtocolSpec:
     request_bytes: int = 64  # pagein request / control message size
     compression_ratio: float = 1.0
     compression_cpu: float = 0.0
+    batch_cpu_fraction: float = 0.4
 
     def __post_init__(self) -> None:
         if self.per_page_cpu < 0:
@@ -182,6 +191,10 @@ class ProtocolSpec:
             raise ValueError("compression_ratio must be >= 1.0")
         if self.compression_cpu < 0:
             raise ValueError("compression_cpu must be non-negative")
+        if not 0.0 < self.batch_cpu_fraction <= 1.0:
+            raise ValueError(
+                f"batch_cpu_fraction must be in (0, 1]: {self.batch_cpu_fraction}"
+            )
 
 
 #: The paper's client/server workstation: DEC Alpha 3000 model 300, 32 MB.

@@ -35,6 +35,7 @@ from ..net.switched import SwitchedNetwork
 from ..net.token_ring import TokenRing, TokenRingSpec
 from ..obs.metrics import MetricsRegistry
 from ..obs.trace import current_tracer
+from ..pipeline import PipelineSpec
 from ..sim import RngRegistry, Simulator
 from ..vm.machine import Machine
 from ..vm.pager import LocalDiskPager, Pager
@@ -132,6 +133,9 @@ def build_cluster(
     init_time: float = 0.21,
     network_threshold: Optional[float] = None,
     retry_spec: Optional["RetrySpec"] = None,
+    pipeline_window: int = 1,
+    pipeline_prefetch: int = 0,
+    pipeline_backlog: int = 0,
 ) -> Cluster:
     """Assemble a paper-style testbed.
 
@@ -148,6 +152,11 @@ def build_cluster(
 
     ``switched_spec`` replaces the shared Ethernet with a full-duplex
     switched network (the Fig 4 "faster network" configurations).
+
+    ``pipeline_window``/``pipeline_prefetch``/``pipeline_backlog``
+    configure the PR 4 pipelined datapath (write-behind pageout queue,
+    adaptive prefetcher); the defaults (1, 0, 0) keep the paper's
+    synchronous datapath bit-identically.
     """
     if policy not in POLICY_NAMES:
         raise ConfigurationError(
@@ -245,11 +254,17 @@ def build_cluster(
             policy_obj = WriteThrough(
                 client_host.name, stack, servers, wt_backend, page_size=page_size
             )
+        pipeline_spec = PipelineSpec(
+            window=pipeline_window,
+            prefetch=pipeline_prefetch,
+            backlog=pipeline_backlog,
+        )
         pager = RemoteMemoryPager(
             policy_obj,
             disk_backend=disk_backend,
             registry=registry,
             network_threshold=network_threshold,
+            pipeline=pipeline_spec if pipeline_spec.enabled else None,
         )
 
     machine = Machine(
@@ -269,6 +284,9 @@ def build_cluster(
     metrics.attach("pager", pager.counters)
     if isinstance(pager, RemoteMemoryPager):
         metrics.attach("pager.recovery_time", pager.recovery_times)
+        if pager.pipeline is not None:
+            metrics.attach("pipeline", pager.pipeline.counters)
+            metrics.attach("pipeline.queue_depth", pager.pipeline.queue_depth)
     if policy_obj is not None:
         metrics.attach("policy", policy_obj.counters)
     for server in servers + ([parity_server] if parity_server else []):

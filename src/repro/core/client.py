@@ -35,6 +35,7 @@ from ..errors import (
     SwapSpaceExhausted,
 )
 from ..log import get_logger
+from ..pipeline import PagingPipeline, PipelineSpec
 from ..sim import NULL_SPAN, Resource, Simulator, Tally
 from ..vm.page import page_checksum
 from ..vm.pager import Pager
@@ -44,6 +45,9 @@ from .server import MemoryServer
 __all__ = ["RemoteMemoryPager"]
 
 log = get_logger(__name__)
+
+#: Sentinel for "the pipeline could not serve this pagein locally".
+_MISS = object()
 
 
 class RemoteMemoryPager(Pager):
@@ -58,6 +62,7 @@ class RemoteMemoryPager(Pager):
         registry: Optional[ServerRegistry] = None,
         network_threshold: Optional[float] = None,
         threshold_window: int = 16,
+        pipeline: Optional[PipelineSpec] = None,
     ):
         super().__init__()
         self.policy = policy
@@ -66,6 +71,16 @@ class RemoteMemoryPager(Pager):
         self.registry = registry
         self.network_threshold = network_threshold
         self.threshold_window = threshold_window
+        #: The pipelined datapath (PR 4), or None for the paper's
+        #: synchronous path.  A disabled spec (window=1, prefetch=0)
+        #: also means None: the synchronous code below runs untouched,
+        #: which is what makes the window=1 baseline bit-identical.
+        self.pipeline: Optional[PagingPipeline] = (
+            PagingPipeline(self, pipeline)
+            if pipeline is not None and pipeline.enabled
+            else None
+        )
+        self._pageout_queue = self.pipeline.queue if self.pipeline else None
         self._on_disk: Set[int] = set()
         self._disk_contents: Dict[int, Optional[bytes]] = {}
         self._recent_transfer_times: list = []
@@ -83,6 +98,13 @@ class RemoteMemoryPager(Pager):
         #: is in flight: recovery interrupting that pageout may find the
         #: redundancy still holding the previous version legitimately.
         self._inflight_previous: Dict[int, int] = {}
+        #: Pages whose pageout transmission is in flight *right now*.  A
+        #: crash mid-transmission can leave the redundancy holding any
+        #: prefix of the multi-transfer protocol (e.g. parity's member
+        #: update without the parity fold), so recovery must not judge
+        #: what it reconstructs for these pages — the client still holds
+        #: the definitive bytes and retries the pageout after recovery.
+        self._inflight_pageouts: set = set()
         #: Callbacks invoked with the crashed server when recovery starts
         #: (fault-injection hook: lets a chaos plan crash a second server
         #: *during* recovery, Hydra-style composed faults).
@@ -104,6 +126,14 @@ class RemoteMemoryPager(Pager):
 
     # ----------------------------------------------------------- interface
     def pageout(self, page_id: int, contents: Optional[bytes] = None):
+        pipe = self.pipeline
+        if pipe is not None:
+            if pipe.prefetcher is not None:
+                # Any pageout supersedes whatever the prefetcher fetched.
+                pipe.prefetcher.invalidate(page_id)
+            if pipe.queue is not None:
+                yield from self._pipelined_pageout(page_id, contents, pipe)
+                return
         self.counters.add("pageouts")
         # The request span: phases follow the lifecycle enqueue (waiting
         # for the paging daemon) -> dispatch (policy chose placement) ->
@@ -161,10 +191,48 @@ class RemoteMemoryPager(Pager):
         finally:
             span.end("error")  # no-op unless an exception escaped
 
+    def _pipelined_pageout(self, page_id: int, contents, pipe):
+        """Generator: write-behind pageout — commit to the queue, return.
+
+        The ledger is updated *now* (the page is committed the moment the
+        queue admits it); transmission, fallbacks, and recovery happen in
+        the queue's drainer, which reuses the synchronous path's policy
+        wrapper and disk fallbacks per entry (`PageoutQueue._transmit`).
+        """
+        self.counters.add("pageouts")
+        if contents is not None:
+            new = page_checksum(contents)
+            old = self.checksums.get(page_id)
+            if old is not None and old != new and page_id not in self._inflight_previous:
+                # The redundancy legitimately holds the last *transmitted*
+                # version until this entry settles (see _pageout_settled).
+                self._inflight_previous[page_id] = old
+            self.checksums[page_id] = new
+        yield from pipe.queue.enqueue(page_id, contents)
+
+    def _pageout_settled(self, page_id: int, contents) -> None:
+        """Queue callback: one write-behind entry finished transmitting."""
+        if self._pageout_queue is None:
+            return
+        if self._pageout_queue.lookup(page_id) is not None:
+            # A newer version is still pending; the servers now hold the
+            # version just transmitted — that is the checksum recovery
+            # may legitimately encounter until the newer entry settles.
+            if contents is not None:
+                self._inflight_previous[page_id] = page_checksum(contents)
+            return
+        self._inflight_previous.pop(page_id, None)
+
     def pagein(self, page_id: int):
         self.counters.add("pageins")
         span = self.sim.tracer.span("pagein", page_id)
         try:
+            pipe = self.pipeline
+            if pipe is not None:
+                contents = yield from self._pipelined_pagein(page_id, pipe, span)
+                if contents is not _MISS:
+                    span.end("ok")
+                    return contents
             if page_id in self._on_disk:
                 span.phase("disk")
                 contents = yield from self._disk_pagein(page_id)
@@ -194,6 +262,44 @@ class RemoteMemoryPager(Pager):
         finally:
             span.end("error")
 
+    def _pipelined_pagein(self, page_id: int, pipe, span):
+        """Generator: try the local pipeline (write-back queue, prefetch
+        cache) before any remote traffic; returns ``_MISS`` on a miss.
+
+        Queue hits return the queued bytes directly — they are the
+        newest committed version and never left the client, so there is
+        nothing to verify.  Prefetch-cache hits were checksum-verified
+        on arrival (`AdaptivePrefetcher._fetch`).
+        """
+        prefetcher = pipe.prefetcher
+        if prefetcher is not None:
+            # Feed the detector the true demand-fault stream, whatever
+            # source ends up serving the fault.
+            prefetcher.observe_fault(page_id)
+        if pipe.queue is not None:
+            entry = pipe.queue.lookup(page_id)
+            if entry is not None:
+                pipe.counters.add("writeback_hits")
+                span.phase("writeback-hit")
+                self.sim.tracer.emit("pipeline", "writeback_hit", page_id=page_id)
+                return entry.contents
+        if prefetcher is not None:
+            waiter = prefetcher.inflight_event(page_id)
+            if waiter is not None:
+                # The predicted fault arrived before its prefetch landed:
+                # ride the in-flight fetch instead of issuing a second one.
+                span.phase("prefetch-wait")
+                yield waiter
+            hit, contents = prefetcher.take(page_id)
+            if hit:
+                pipe.counters.add("prefetch_hits")
+                if waiter is not None:
+                    pipe.counters.add("prefetch_late_hits")
+                span.phase("prefetch-hit")
+                self.sim.tracer.emit("pipeline", "prefetch_hit", page_id=page_id)
+                return contents
+        return _MISS
+
     def _checksum_ok(self, page_id: int, contents) -> bool:
         """Does ``contents`` match the pageout checksum for ``page_id``?
 
@@ -203,6 +309,12 @@ class RemoteMemoryPager(Pager):
         """
         expected = self.checksums.get(page_id)
         if expected is None:
+            return True
+        if page_id in self._inflight_pageouts:
+            # Mid-pageout: the redundancy may hold any prefix of the
+            # transfer protocol (a first placement may have reached the
+            # data server but not the parity fold).  Whatever recovery
+            # re-protects is overwritten by the post-recovery retry.
             return True
         actual = page_checksum(contents)
         return actual == expected or actual == self._inflight_previous.get(page_id)
@@ -250,12 +362,28 @@ class RemoteMemoryPager(Pager):
         return clean
 
     def release(self, page_id: int) -> None:
+        if self.pipeline is not None:
+            if self.pipeline.queue is not None:
+                self.pipeline.queue.release(page_id)
+            if self.pipeline.prefetcher is not None:
+                self.pipeline.prefetcher.invalidate(page_id)
+            self._inflight_previous.pop(page_id, None)
         self.policy.release(page_id)
         if page_id in self._on_disk and self.disk_backend is not None:
             self.disk_backend.release_page(page_id)
         self._on_disk.discard(page_id)
         self._disk_contents.pop(page_id, None)
         self.checksums.pop(page_id, None)
+
+    @property
+    def pending_drain(self) -> bool:
+        """Does the machine's end-of-run barrier need to call drain()?"""
+        return self.pipeline is not None
+
+    def drain(self):
+        """Generator: settle the write-behind queue, quiesce prefetching."""
+        if self.pipeline is not None:
+            yield from self.pipeline.drain()
 
     @property
     def transfers(self) -> int:
@@ -268,6 +396,7 @@ class RemoteMemoryPager(Pager):
 
     # ------------------------------------------------------ policy wrapper
     def _policy_pageout(self, page_id: int, contents, span=NULL_SPAN):
+        self._inflight_pageouts.add(page_id)
         try:
             yield from self.policy.pageout(page_id, contents, span=span)
         except ServerCrashed as crash:
@@ -275,6 +404,8 @@ class RemoteMemoryPager(Pager):
             yield from self._handle_crash(crash)
             span.phase("dispatch")
             yield from self.policy.pageout(page_id, contents, span=span)
+        finally:
+            self._inflight_pageouts.discard(page_id)
 
     def _handle_crash(self, crash: ServerCrashed):
         """Run the policy's recovery exactly once per crash event.

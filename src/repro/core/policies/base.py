@@ -138,7 +138,16 @@ class ReliabilityPolicy:
                     span=NULL_SPAN, label: str = "transfer"):
         """Generator: one server->client page transfer; returns contents."""
         span.phase("server")
-        contents = yield from server.fetch(key)
+        try:
+            contents = yield from server.fetch(key)
+        except PageNotFound:
+            # The server is alive but denies a page our placement says it
+            # holds: post-reboot amnesia (a flap that evaded the watchdog,
+            # or a demand read racing the recovery that is re-homing this
+            # server's pages).  The copy is gone exactly as if the server
+            # were down — surface crash semantics so the pager runs (or
+            # waits out) recovery and retries.
+            raise ServerCrashed(server.name) from None
         yield from self.stack.fetch_page(
             self.client_host, server.host.name, self.page_size,
             span=span, label=label,

@@ -141,7 +141,15 @@ class ParityLogging(ReliabilityPolicy):
         return group
 
     def _xor_into_buffer(self, group: ParityGroup, contents: Optional[bytes]):
-        """Generator: fold a page into the group's client-side parity."""
+        """Generator: fold a page into the group's client-side parity.
+
+        ``buffer_xors`` counts every full-page fold.  With the PR 4
+        write-behind queue, a page re-dirtied while queued is coalesced
+        *before* it reaches this policy, so a superseded version is never
+        folded in (and never has to be folded out again) — the counter is
+        how tests pin that the wasted XOR actually disappears.
+        """
+        self.counters.add("buffer_xors")
         yield self.sim.timeout(CLIENT_XOR_CPU)
         if self.content_mode and contents is not None:
             group.buffer = xor_bytes(group.buffer, contents)

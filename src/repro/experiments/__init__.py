@@ -27,6 +27,12 @@ from .latency import render_latency, run_latency
 from .loaded_ethernet import render_loaded_ethernet, run_loaded_ethernet
 from .multi_client import build_multi_client, render_multi_client, run_multi_client
 from .network_comparison import render_network_comparison, run_network_comparison
+from .pipelining import (
+    PREFETCH_WORKLOADS,
+    WINDOWS,
+    render_pipelining,
+    run_pipelining,
+)
 from .remote_disk import render_remote_disk, run_remote_disk
 from .resilience import (
     LEVELS,
@@ -87,4 +93,8 @@ __all__ = [
     "render_resilience",
     "LEVELS",
     "RESILIENCE_POLICIES",
+    "run_pipelining",
+    "render_pipelining",
+    "WINDOWS",
+    "PREFETCH_WORKLOADS",
 ]

@@ -79,32 +79,39 @@ def _level_plan(level: str) -> Optional[FaultPlan]:
         # The acceptance campaign: one crash + 1% loss + one rot burst.
         return FaultPlan.standard_campaign()
     if level == "heavy":
-        # Everything at once: steady loss/duplication/delay, a crash, a
-        # flapping server, a loss burst, and an at-rest corruption burst
-        # — each far enough apart that recovery windows never overlap.
+        # Everything at once: steady loss/duplication/delay, a loss
+        # burst, a crash, a flapping server, and an at-rest corruption
+        # burst.  The schedule respects what single-redundancy policies
+        # can actually survive: the flap outage (4 s) is longer than the
+        # watchdog's suspicion threshold so the lost copies are detected
+        # and re-protected, and the rot burst lands last — rot composed
+        # with an un-repaired crash in the same group is two faults in
+        # one XOR equation, unrecoverable by design.
         return FaultPlan(
             drop_rate=0.02,
             duplicate_rate=0.01,
             delay_rate=0.05,
             watchdog_interval=0.5,
             events=(
+                ("loss_burst", 2.0, 1.0, 0.2),
                 ("crash", 5.0, 0),
-                ("flap", 8.0, 2, 2.5),
-                ("loss_burst", 11.0, 1.0, 0.2),
-                ("corrupt_burst", 15.0, 1, 4),
+                ("flap", 12.0, 2, 4.0),
+                ("corrupt_burst", 40.0, 1, 4),
             ),
         )
     raise ValueError(f"unknown resilience level {level!r}: pick from {LEVELS}")
 
 
-def _run_inline(policy: str, plan: Optional[FaultPlan]) -> Dict[str, object]:
+def _run_inline(
+    policy: str, plan: Optional[FaultPlan], build: Dict[str, object]
+) -> Dict[str, object]:
     """Run one faulted cell inline, tolerating a mid-run workload death."""
     from ..core.builder import build_cluster
 
     workload_name, workload_kwargs = _WORKLOAD
     from ..runner.registry import make_workload
 
-    cluster = build_cluster(policy=policy, **_BUILD)
+    cluster = build_cluster(policy=policy, **build)
     controller = ChaosController(cluster, plan) if plan is not None else None
     report = None
     error: Optional[str] = None
@@ -121,14 +128,27 @@ def run_resilience(
     policies=RESILIENCE_POLICIES,
     levels=("clean", "light"),
     runner=None,
+    pipelined: bool = False,
+    pipeline_window: int = 4,
+    pipeline_prefetch: int = 4,
 ) -> Dict[str, Dict[str, Dict[str, object]]]:
     """Fault level x policy sweep; returns ``results[level][policy]``.
 
     Each cell is ``{"report": CompletionReport | None, "extras": dict,
     "error": str | None}`` where ``extras`` carries the integrity
     verdict, the injected-fault trace, and RPC/recovery counters.
+
+    ``pipelined=True`` runs the whole campaign with the PR 4 datapath
+    engaged (write-behind queue + prefetcher): coalescing and reordering
+    under injected faults must still end CLEAN for every redundant
+    policy.
     """
     policies, levels = list(policies), list(levels)
+    build = dict(_BUILD)
+    if pipelined:
+        build.update(
+            pipeline_window=pipeline_window, pipeline_prefetch=pipeline_prefetch
+        )
     run = (runner or default_runner()).run
     results: Dict[str, Dict[str, Dict[str, object]]] = {}
     specs, placements = [], []
@@ -137,13 +157,13 @@ def run_resilience(
         plan = _level_plan(level)
         for policy in policies:
             if policy == "no-reliability" and plan is not None:
-                results[level][policy] = _run_inline(policy, plan)
+                results[level][policy] = _run_inline(policy, plan, build)
                 continue
             spec = RunSpec.make(
                 _WORKLOAD[0],
                 policy,
                 workload_kwargs=_WORKLOAD[1],
-                overrides=_BUILD,
+                overrides=build,
                 hook="chaos" if plan is not None else None,
                 hook_kwargs=plan.as_kwargs() if plan is not None else None,
                 extract=("resilience",),

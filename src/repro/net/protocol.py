@@ -107,6 +107,35 @@ class ProtocolStack:
         #: RPC timeout/retry policy; None (the default) keeps the
         #: original fire-and-wait wire path with zero added overhead.
         self.retry: Optional[RetrySpec] = None
+        # Clustered-batch framing state (see begin_cluster): while a
+        # cluster is open, page sends *originating at the cluster's host*
+        # after the head pay only ``spec.batch_cpu_fraction`` of the
+        # per-page protocol CPU.
+        self._cluster_src: Optional[str] = None
+        self._cluster_head_pending = False
+
+    # ------------------------------------------------------------- batching
+    def begin_cluster(self, src: str) -> None:
+        """Open a clustered-batch frame (the write-behind drain path).
+
+        Models OSF/1 pageout clustering: the drain daemon streams a batch
+        of pages down one already-open connection, so only the first page
+        pays the full per-message protocol cost; the rest pay
+        ``spec.batch_cpu_fraction`` of it.  Only page sends whose source
+        is ``src`` (the draining client) join the cluster — pagein
+        responses and server-to-server recovery copies that happen to
+        overlap the drain window keep their full cost.  Wire transfers
+        stay one per page: each page is still a distinct frame train, and
+        the fault injector still gets one independent drop/corrupt draw
+        per page.
+        """
+        self._cluster_src = src
+        self._cluster_head_pending = True
+
+    def end_cluster(self) -> None:
+        """Close the clustered-batch frame; sends revert to full cost."""
+        self._cluster_src = None
+        self._cluster_head_pending = False
 
     # ------------------------------------------------------------------ CPU
     def cpu_account(self, host: str) -> CpuAccount:
@@ -146,6 +175,13 @@ class ProtocolStack:
         """
         if is_page:
             cpu = self.spec.per_page_cpu
+            if self._cluster_src is not None and src == self._cluster_src:
+                if self._cluster_head_pending:
+                    self._cluster_head_pending = False
+                    self.counters.add("batch_heads")
+                else:
+                    cpu *= self.spec.batch_cpu_fraction
+                    self.counters.add("batched_page_sends")
             if self.spec.compression_ratio > 1.0:
                 cpu += 2 * self.spec.compression_cpu  # compress + decompress
                 payload = max(1, int(payload / self.spec.compression_ratio))
@@ -153,6 +189,9 @@ class ProtocolStack:
             self.cpu_account(src).charge(cpu / 2)
             self.cpu_account(dst).charge(cpu / 2)
             self.counters.add("page_transfers")
+            # Measured pptime in integer microseconds: the pipelining
+            # experiment reads this to show protocol-CPU amortisation.
+            self.counters.add("protocol_cpu_us", int(round(cpu * 1e6)))
             span.phase(f"{label}.protocol")
             yield self.sim.timeout(cpu)
         self.counters.add("messages")

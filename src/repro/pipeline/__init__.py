@@ -1,0 +1,19 @@
+"""Pipelined paging datapath (PR 4, beyond-paper performance work).
+
+Write-behind pageout queue with coalescing and clustered batch drain,
+plus a Leap-style adaptive prefetcher — see DESIGN.md "Pipelined
+datapath" for the model and its correctness argument.
+"""
+
+from .datapath import PagingPipeline
+from .prefetch import AdaptivePrefetcher, majority_trend
+from .queue import PageoutQueue
+from .spec import PipelineSpec
+
+__all__ = [
+    "PagingPipeline",
+    "PageoutQueue",
+    "AdaptivePrefetcher",
+    "PipelineSpec",
+    "majority_trend",
+]

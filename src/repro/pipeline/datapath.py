@@ -1,0 +1,62 @@
+"""The pipelined datapath facade the pager and builder wire against.
+
+One :class:`PagingPipeline` per :class:`~repro.core.client.RemoteMemoryPager`
+bundles the write-behind queue and the adaptive prefetcher behind a
+single object with shared observability: every pipeline counter
+(coalesces, drain batches, prefetch hits, ...) lives in one
+:class:`~repro.sim.Counter` registered as ``pipeline.*`` in the metrics
+registry, and the queue-depth distribution as ``pipeline.queue_depth``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim import Counter, Tally
+from .prefetch import AdaptivePrefetcher
+from .queue import PageoutQueue
+from .spec import PipelineSpec
+
+__all__ = ["PagingPipeline"]
+
+
+class PagingPipeline:
+    """Write-behind queue + prefetcher for one pager, per its spec."""
+
+    def __init__(self, pager, spec: PipelineSpec):
+        if not spec.enabled:
+            raise ValueError(
+                "PagingPipeline requires an enabled spec (window > 1 or "
+                "prefetch > 0); the disabled spec means the synchronous path"
+            )
+        self.spec = spec
+        self.counters = Counter()
+        self.queue_depth = Tally()
+        self.queue: Optional[PageoutQueue] = (
+            PageoutQueue(pager, spec, self.counters, self.queue_depth)
+            if spec.write_behind
+            else None
+        )
+        self.prefetcher: Optional[AdaptivePrefetcher] = (
+            AdaptivePrefetcher(pager, spec, self.counters)
+            if spec.prefetch > 0
+            else None
+        )
+
+    @property
+    def pending(self) -> int:
+        """Pageouts admitted but not yet settled (0 when queue is off)."""
+        return self.queue.pending if self.queue is not None else 0
+
+    def drain(self):
+        """Generator: settle the queue and quiesce the prefetcher.
+
+        The machine's end-of-run barrier: after this, every admitted
+        pageout is durably placed (server or disk) and the prefetch cache
+        is empty, so post-run integrity replay exercises the real remote
+        paths.
+        """
+        if self.queue is not None:
+            yield from self.queue.wait_idle()
+        if self.prefetcher is not None:
+            yield from self.prefetcher.quiesce()

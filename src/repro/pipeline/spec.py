@@ -1,0 +1,67 @@
+"""Configuration for the pipelined paging datapath.
+
+A :class:`PipelineSpec` switches the
+:class:`~repro.core.client.RemoteMemoryPager` from the paper's
+synchronous one-RPC-per-page datapath to a pipelined one (DESIGN.md
+"Pipelined datapath"):
+
+* ``window > 1`` enables the **write-behind pageout queue**: pageouts
+  complete at enqueue time, a single drainer transmits them in clustered
+  batches of up to ``window`` pages, and a page re-dirtied while queued
+  is coalesced in place (one transfer instead of two).
+* ``prefetch > 0`` enables the **adaptive prefetcher**: a Leap-style
+  majority vote over the recent fault deltas predicts the next pages and
+  pulls them into a bounded client-side cache ahead of the faults.
+
+The default spec (``window=1, prefetch=0``) is *disabled*: the pager
+keeps the exact synchronous code path, bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PipelineSpec"]
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """Knobs of the pipelined datapath (all plain data, cache-friendly)."""
+
+    #: Maximum pages per clustered drain batch; 1 = synchronous legacy path.
+    window: int = 1
+    #: Prefetch depth per detected trend; 0 = prefetcher off.
+    prefetch: int = 0
+    #: Queued-but-untransmitted pageouts before producers block
+    #: (defaults to ``8 * window`` when zero).
+    backlog: int = 0
+    #: Bounded prefetch-cache capacity, in pages.
+    cache_pages: int = 64
+    #: Fault-delta history the trend detector votes over.
+    history: int = 8
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1: {self.window}")
+        if self.prefetch < 0:
+            raise ValueError(f"prefetch must be >= 0: {self.prefetch}")
+        if self.backlog < 0:
+            raise ValueError(f"backlog must be >= 0: {self.backlog}")
+        if self.cache_pages < 1:
+            raise ValueError(f"cache_pages must be >= 1: {self.cache_pages}")
+        if self.history < 2:
+            raise ValueError(f"history must be >= 2: {self.history}")
+
+    @property
+    def enabled(self) -> bool:
+        """Does this spec change anything at all?"""
+        return self.window > 1 or self.prefetch > 0
+
+    @property
+    def write_behind(self) -> bool:
+        """Is the write-behind queue engaged (vs synchronous pageouts)?"""
+        return self.window > 1
+
+    @property
+    def max_backlog(self) -> int:
+        return self.backlog if self.backlog else 8 * self.window

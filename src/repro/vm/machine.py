@@ -220,12 +220,16 @@ class Machine:
             self._utime += pending_cpu
             yield self.sim.timeout(pending_cpu)
 
-        # Drain outstanding asynchronous pageouts before declaring done.
-        if self._inflight_by_page:
+        # Drain outstanding asynchronous pageouts before declaring done —
+        # both the machine's in-flight pageout processes and anything the
+        # pager itself buffers (the PR 4 write-behind queue / prefetch
+        # cache settle behind Pager.drain()).
+        if self._inflight_by_page or self.pager.pending_drain:
             span = self.sim.tracer.span("drain", component="machine")
             span.phase("drain")
             while self._inflight_by_page:
                 yield self.sim.any_of(list(self._inflight_by_page.values()))
+            yield from self.pager.drain()
             span.end("ok")
 
         return self._report(name, start)

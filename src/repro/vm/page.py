@@ -14,6 +14,7 @@ Both modes drive identical control paths in the pager and policies.
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import Optional
 
 __all__ = [
@@ -22,10 +23,79 @@ __all__ = [
     "zero_page",
     "page_checksum",
     "corrupt_bytes",
+    "set_fastpath",
+    "clear_fastpath_caches",
+    "fastpath_stats",
     "PageVersioner",
 ]
 
 _MIX = 0x9E3779B97F4A7C15  # Fibonacci hashing constant: cheap, well mixed
+
+# --------------------------------------------------------------- fast path
+# Content-mode runs regenerate, checksum, and compare the same page
+# payloads thousands of times (every pageout start, every machine verify,
+# every parity XOR).  All three primitives below are pure functions of
+# their inputs, so memoising them cannot change any simulated result —
+# only wall-clock.  ``set_fastpath(False)`` restores the uncached
+# behaviour for A/B benchmarking (benchmarks/bench_pipeline.py).
+#
+# The caches return *shared immutable* ``bytes`` objects; nothing in the
+# codebase mutates page payloads in place (parity goes through
+# ``xor_bytes``, corruption through ``corrupt_bytes`` — both allocate).
+# A bonus of identity-sharing: equality checks on cache hits
+# (``contents == expected`` in the machine's verify loop) short-circuit
+# on ``a is b`` inside CPython before comparing a single byte.
+
+_FASTPATH = True
+_ZERO_PAGES: dict = {}  # size -> the shared all-zero page (few sizes ever)
+#: id(contents) -> (contents, crc).  The strong reference in the value
+#: keeps the id stable; the ``hit[0] is contents`` guard below makes a
+#: recycled id (after a cache flush) harmless.
+_CHECKSUM_MEMO: dict = {}
+_CHECKSUM_MEMO_MAX = 8192
+
+
+def set_fastpath(enabled: bool) -> bool:
+    """Toggle the content fast path; returns the previous setting.
+
+    Flushes every cache on each call so A/B benchmark phases never see
+    another phase's warm state.
+    """
+    global _FASTPATH
+    previous = _FASTPATH
+    _FASTPATH = bool(enabled)
+    clear_fastpath_caches()
+    return previous
+
+
+def clear_fastpath_caches() -> None:
+    """Drop all memoised pages/checksums (benchmark hygiene)."""
+    _ZERO_PAGES.clear()
+    _CHECKSUM_MEMO.clear()
+    _page_bytes_cached.cache_clear()
+
+
+def fastpath_stats() -> dict:
+    """Cache occupancy/hit counters for the obs layer and benchmarks."""
+    info = _page_bytes_cached.cache_info()
+    return {
+        "enabled": _FASTPATH,
+        "page_bytes_hits": info.hits,
+        "page_bytes_misses": info.misses,
+        "page_bytes_entries": info.currsize,
+        "zero_page_sizes": len(_ZERO_PAGES),
+        "checksum_entries": len(_CHECKSUM_MEMO),
+    }
+
+
+def _generate_page_bytes(page_id: int, version: int, size: int) -> bytes:
+    word = ((page_id * _MIX) ^ (version * 0xC2B2AE3D27D4EB4F)) & (2**64 - 1)
+    pattern = word.to_bytes(8, "little")
+    reps, rest = divmod(size, 8)
+    return pattern * reps + pattern[:rest]
+
+
+_page_bytes_cached = lru_cache(maxsize=4096)(_generate_page_bytes)
 
 
 def page_bytes(page_id: int, version: int, size: int) -> bytes:
@@ -37,17 +107,21 @@ def page_bytes(page_id: int, version: int, size: int) -> bytes:
     """
     if size <= 0:
         raise ValueError(f"page size must be positive: {size}")
-    word = ((page_id * _MIX) ^ (version * 0xC2B2AE3D27D4EB4F)) & (2**64 - 1)
-    pattern = word.to_bytes(8, "little")
-    reps, rest = divmod(size, 8)
-    return pattern * reps + pattern[:rest]
+    if _FASTPATH:
+        return _page_bytes_cached(page_id, version, size)
+    return _generate_page_bytes(page_id, version, size)
 
 
 def zero_page(size: int) -> bytes:
     """An all-zero page (the initial state of every parity buffer)."""
     if size <= 0:
         raise ValueError(f"page size must be positive: {size}")
-    return bytes(size)
+    if not _FASTPATH:
+        return bytes(size)
+    page = _ZERO_PAGES.get(size)
+    if page is None:
+        page = _ZERO_PAGES[size] = bytes(size)
+    return page
 
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
@@ -65,8 +139,23 @@ def page_checksum(contents: bytes) -> int:
     CRC32 is enough here: the threat model is simulated bit-rot and
     transport corruption, not an adversary.  The pager records this at
     pageout and verifies it at pagein (DESIGN.md "Fault model").
+
+    Checksum-once-per-version: because page payloads come out of the
+    ``page_bytes`` cache as shared objects, the CRC is memoised by object
+    identity.  The stored strong reference pins the id; a hit is only
+    trusted when the stored object *is* the argument, so a recycled id
+    after a cache flush can never alias a different payload.
     """
-    return zlib.crc32(contents) & 0xFFFFFFFF
+    if not _FASTPATH:
+        return zlib.crc32(contents) & 0xFFFFFFFF
+    hit = _CHECKSUM_MEMO.get(id(contents))
+    if hit is not None and hit[0] is contents:
+        return hit[1]
+    crc = zlib.crc32(contents) & 0xFFFFFFFF
+    if len(_CHECKSUM_MEMO) >= _CHECKSUM_MEMO_MAX:
+        _CHECKSUM_MEMO.clear()  # epoch flush: O(1) amortised, no LRU links
+    _CHECKSUM_MEMO[id(contents)] = (contents, crc)
+    return crc
 
 
 def corrupt_bytes(contents: bytes, rng, flips: int = 3) -> bytes:

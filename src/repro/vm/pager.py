@@ -63,6 +63,20 @@ class Pager:
     def release(self, page_id: int) -> None:
         """The page is dead (process exit); backing copies may be freed."""
 
+    @property
+    def pending_drain(self) -> bool:
+        """Does this pager buffer work the end-of-run barrier must settle?
+
+        False for every synchronous pager; the pipelined remote pager
+        (write-behind queue, prefetch cache) overrides it.
+        """
+        return False
+
+    def drain(self):
+        """Generator: settle any buffered/asynchronous work (no-op here)."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
 
 class InstantPager(Pager):
     """A zero-cost backing store: every operation completes immediately.

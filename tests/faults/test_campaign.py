@@ -131,3 +131,25 @@ def test_heavy_flap_rearms_watchdog():
     kinds = [kind for _, kind, _ in controller.fault_log]
     assert kinds.count("flap_down") == 1 and kinds.count("flap_up") == 1
     assert check_page_integrity(cluster).clean
+
+
+@pytest.mark.parametrize("pipelined", [False, True], ids=["sync", "pipelined"])
+def test_heavy_campaign_clean_on_both_datapaths(pipelined):
+    """The full heavy campaign — steady loss/dup/delay, a loss burst, a
+    crash, a watchdog-visible flap, and a final rot burst — leaves every
+    redundant policy CLEAN on the synchronous and the write-behind
+    datapath alike, while NO RELIABILITY stays lossy.  Pins the two
+    composed-fault windows this campaign once exposed: a crash inside a
+    first-placement pageout, and a demand read racing the recovery of a
+    rebooted (amnesiac) server."""
+    results = run_resilience(
+        levels=("heavy",),
+        runner=ExperimentRunner(jobs=2, use_cache=False),
+        pipelined=pipelined,
+    )
+    for policy in RELIABLE:
+        cell = results["heavy"][policy]
+        assert cell["error"] is None, f"{policy}: {cell['error']}"
+        assert cell["extras"]["verdict"] == "CLEAN"
+    lossy = results["heavy"]["no-reliability"]
+    assert lossy["extras"]["verdict"].startswith("LOSSY")

@@ -1,0 +1,97 @@
+"""Recovery racing the datapath: the two composed-fault windows the
+heavy campaign exposed.
+
+* A crash landing *inside* a first-placement pageout leaves the
+  redundancy holding an arbitrary prefix of the multi-transfer protocol
+  (parity: member stored, parity fold missing — or nothing at all).
+  Recovery must not judge what it reconstructs for that page against the
+  pageout checksum: the client still holds the definitive bytes and
+  retries the pageout the moment recovery returns.
+
+* A server that reboots after a flap is alive but *empty*.  A demand
+  read of a page the placement still maps there must surface crash
+  semantics (the copy is gone exactly as if the host were down), run or
+  wait out recovery, and retry — not die on ``PageNotFound``.
+"""
+
+from repro.config import MachineSpec
+from repro.core import build_cluster
+from repro.faults import check_page_integrity
+from repro.vm.page import page_bytes
+
+SMALL = MachineSpec(
+    name="midflight-small",
+    ram_bytes=2 * 1024 * 1024,
+    kernel_resident_bytes=1 * 1024 * 1024,
+    page_size=8192,
+)
+
+BUILD = dict(
+    machine_spec=SMALL,
+    n_servers=4,
+    content_mode=True,
+    seed=3,
+    server_capacity_pages=600,
+)
+
+
+def test_crash_inside_first_placement_pageout_recovers():
+    cluster = build_cluster(policy="parity", **BUILD)
+    pager = cluster.pager
+    policy = pager.policy
+    sim = cluster.sim
+    size = SMALL.page_size
+
+    def crash_soon(server, delay):
+        yield sim.timeout(delay)
+        server.crash()
+
+    def driver():
+        # Prime every slot group so parity pages exist and recovery has
+        # real members to XOR (round-robin: pages 0..7 cover all four
+        # servers twice).
+        for pid in range(8):
+            yield from pager.pageout(pid, page_bytes(pid, 1, size))
+        # Page 100 is a *first* placement and round-robin puts it on the
+        # same server as page 0.  Crash that server 4 ms into the
+        # pageout: inside transfer 1, before the parity fold.
+        victim, _ = policy._placement[0]
+        sim.process(crash_soon(victim, 0.004), name="saboteur")
+        yield from pager.pageout(100, page_bytes(100, 1, size))
+        got = yield from pager.pagein(100)
+        assert got == page_bytes(100, 1, size)
+
+    sim.process(driver(), name="driver")
+    sim.run()
+
+    assert pager.counters["recoveries"] == 1
+    # Nothing mid-flight anymore: the exemption closed with the pageout.
+    assert not pager._inflight_pageouts
+    report = check_page_integrity(cluster)
+    assert report.clean, report.verdict
+
+
+def test_reboot_amnesia_surfaces_as_crash_and_recovers():
+    cluster = build_cluster(policy="parity", **BUILD)
+    pager = cluster.pager
+    policy = pager.policy
+    sim = cluster.sim
+    size = SMALL.page_size
+
+    def driver():
+        for pid in range(8):
+            yield from pager.pageout(pid, page_bytes(pid, 1, size))
+        # A flap nobody saw: down and back up, memory gone, still mapped.
+        victim, _ = policy._placement[3]
+        victim.crash()
+        victim.restart()
+        assert victim.is_alive and victim.stored_pages == 0
+        got = yield from pager.pagein(3)
+        assert got == page_bytes(3, 1, size)
+
+    sim.process(driver(), name="driver")
+    sim.run()
+
+    assert pager.counters["recoveries"] == 1
+    report = check_page_integrity(cluster)
+    assert report.clean, report.verdict

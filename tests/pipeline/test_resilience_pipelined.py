@@ -1,0 +1,24 @@
+"""The chaos campaign with the pipeline engaged must still end CLEAN.
+
+Reordered, coalesced, and prefetched transfers change *when* pages cross
+the wire — they must not change whether every redundant policy can
+produce every page, byte-perfect, after crashes, loss, and rot.
+"""
+
+from repro.experiments import run_resilience
+
+
+def test_light_campaign_clean_with_pipeline():
+    results = run_resilience(
+        policies=("parity-logging", "mirroring"),
+        levels=("clean", "light"),
+        pipelined=True,
+        pipeline_window=4,
+        pipeline_prefetch=4,
+    )
+    for level, by_policy in results.items():
+        for policy, cell in by_policy.items():
+            assert cell["error"] is None, (level, policy, cell["error"])
+            assert cell["extras"]["verdict"] == "CLEAN", (level, policy)
+            integrity = cell["extras"]["integrity"]
+            assert not integrity["lost"] and not integrity["corrupted"]

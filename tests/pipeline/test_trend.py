@@ -1,0 +1,36 @@
+"""Majority-trend detector unit tests."""
+
+from repro.pipeline import majority_trend
+
+
+def test_sequential_elects_plus_one():
+    assert majority_trend([1, 1, 1, 1]) == 1
+
+
+def test_stride_elected():
+    assert majority_trend([4, 4, 4, 4, 4]) == 4
+    assert majority_trend([-2, -2, -2, -2]) == -2
+
+
+def test_random_elects_nothing():
+    assert majority_trend([3, -7, 12, 1, -4, 9]) is None
+
+
+def test_strict_majority_required():
+    # Half is not a majority.
+    assert majority_trend([1, 1, 5, 9]) is None
+    # One over half is.
+    assert majority_trend([1, 1, 1, 5, 9]) == 1
+
+
+def test_tolerates_minority_noise():
+    assert majority_trend([1, 1, 7, 1, 1, -3, 1]) == 1
+
+
+def test_zero_delta_never_a_trend():
+    # Repeated faults on one page must not trigger self-prefetch.
+    assert majority_trend([0, 0, 0, 0]) is None
+
+
+def test_empty_history():
+    assert majority_trend([]) is None

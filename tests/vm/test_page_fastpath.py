@@ -1,0 +1,82 @@
+"""Content fast path: memoised pages, shared zero page, CRC-once.
+
+The fast path may only change wall-clock, never values: every test here
+compares the cached primitives against the uncached originals.
+"""
+
+import zlib
+
+import pytest
+
+from repro.vm.page import (
+    clear_fastpath_caches,
+    fastpath_stats,
+    page_bytes,
+    page_checksum,
+    set_fastpath,
+    zero_page,
+)
+
+
+@pytest.fixture(autouse=True)
+def _restore_fastpath():
+    previous = set_fastpath(True)
+    yield
+    set_fastpath(previous)
+
+
+def test_page_bytes_identity_shared_on_hits():
+    a = page_bytes(11, 2, 256)
+    b = page_bytes(11, 2, 256)
+    assert a is b  # shared immutable object: `==` short-circuits on `is`
+
+
+def test_page_bytes_values_match_uncached():
+    cached = page_bytes(3, 7, 4096)
+    set_fastpath(False)
+    assert page_bytes(3, 7, 4096) == cached
+    assert page_bytes(3, 7, 4096) is not page_bytes(3, 7, 4096)
+
+
+def test_zero_page_shared_and_correct():
+    assert zero_page(64) is zero_page(64)
+    assert zero_page(64) == b"\x00" * 64
+    set_fastpath(False)
+    assert zero_page(64) == b"\x00" * 64
+
+
+def test_checksum_matches_crc32_and_uncached_path():
+    payload = page_bytes(5, 1, 8192)
+    expected = zlib.crc32(payload) & 0xFFFFFFFF
+    assert page_checksum(payload) == expected
+    assert page_checksum(payload) == expected  # memo hit, same value
+    set_fastpath(False)
+    assert page_checksum(payload) == expected
+
+
+def test_checksum_distinguishes_equal_length_payloads():
+    a = page_bytes(1, 1, 512)
+    b = page_bytes(1, 2, 512)
+    assert page_checksum(a) != page_checksum(b)
+
+
+def test_checksum_of_fresh_unshared_bytes():
+    # Payloads that never came from the cache (e.g. corrupted ones) must
+    # still checksum correctly despite the id-based memo.
+    raw = bytes(range(256))
+    assert page_checksum(raw) == zlib.crc32(raw) & 0xFFFFFFFF
+    mutated = bytes([raw[0] ^ 1]) + raw[1:]
+    assert page_checksum(mutated) != page_checksum(raw)
+
+
+def test_set_fastpath_returns_previous_and_flushes():
+    assert set_fastpath(False) is True
+    assert set_fastpath(True) is False
+    page_bytes(9, 9, 128)
+    stats = fastpath_stats()
+    assert stats["enabled"] and stats["page_bytes_entries"] >= 1
+    clear_fastpath_caches()
+    stats = fastpath_stats()
+    assert stats["page_bytes_entries"] == 0
+    assert stats["checksum_entries"] == 0
+    assert stats["zero_page_sizes"] == 0
