@@ -226,6 +226,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
     )
+    group.add_argument(
+        "--no-compile", action="store_true",
+        help="disable the trace-compilation fast path: execute every "
+        "reference stream interpretively (A/B switch; results are "
+        "bit-identical either way)",
+    )
+    group.add_argument(
+        "--profile", default=None, metavar="PATH",
+        help="profile the whole subcommand under cProfile and write a "
+        "pstats dump to PATH (inspect with 'python -m pstats PATH')",
+    )
     obs_group = runner_flags.add_argument_group("observability")
     obs_group.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -436,11 +447,26 @@ def _trace_paths(path: str) -> tuple:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import os
+
     parser = build_parser()
     args = parser.parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
     if args.jobs < 0:
         parser.error(f"argument --jobs: must be >= 0, got {args.jobs}")
+    if args.no_compile:
+        # Environment, not a module flag: worker processes spawned by the
+        # parallel runner inherit it, so the A/B switch holds at any -j.
+        os.environ["REPRO_NO_COMPILE"] = "1"
+    if args.no_cache:
+        # "recompute every run" covers compiled fault schedules too.
+        os.environ["REPRO_SCHEDULE_CACHE"] = "0"
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     tracer = None
     use_cache = not args.no_cache
     if args.trace:
@@ -478,6 +504,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         sys.stderr.close()
         return 0
     finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            if not sys.stderr.closed:
+                print(
+                    f"profile: pstats dump -> {args.profile} "
+                    f"(python -m pstats {args.profile})",
+                    file=sys.stderr,
+                )
         if tracer is not None:
             from .obs.trace import uninstall_tracer
 

@@ -1,0 +1,31 @@
+"""Reference-trace compilation: precomputed fault schedules.
+
+The paper's pager only ever sees the *fault stream* (§4.3: thousands of
+pageins/pageouts for an FFT that touches millions of pages), yet the
+interpreted :class:`~repro.vm.machine.Machine` pays per-reference Python
+for every resident hit.  This package pre-simulates the replacement
+policy over a workload's reference stream in one tight pass and emits a
+compact :class:`FaultSchedule` the machine replays in O(faults) —
+bit-identically, because the schedule records the exact CPU-flush
+amounts and fault decisions the interpreted path would make, so the
+simulation-event sequence is literally unchanged (see DESIGN.md §12).
+"""
+
+from .schedule import SCHEDULE_FORMAT, FaultSchedule
+from .compiler import compile_trace
+from .plan import (
+    compile_enabled,
+    plan_replay,
+    schedule_cache_enabled,
+    set_compile_enabled,
+)
+
+__all__ = [
+    "SCHEDULE_FORMAT",
+    "FaultSchedule",
+    "compile_trace",
+    "plan_replay",
+    "compile_enabled",
+    "schedule_cache_enabled",
+    "set_compile_enabled",
+]

@@ -1,0 +1,152 @@
+"""Eligibility, caching, and dispatch for compiled replay.
+
+:func:`plan_replay` is the single integration point ``Cluster.run``
+consults before executing a workload: it decides whether the run may use
+the batch-replay fast path, fetches or compiles the fault schedule, and
+emits ``compile.*`` trace events so every decision is visible in a
+``--trace`` recording.
+
+Compilation is on by default but **strictly conservative** — it engages
+only when the resident set is a pure function of the reference stream:
+
+* the workload declares itself deterministic (every ``trace()`` call
+  yields the same stream);
+* the replacement policy supports the batch-step API (FIFO/LRU/Clock);
+* no speculative fetch can perturb residency: both the machine-level
+  read-ahead (``Machine.prefetch``) and the PR 4 adaptive prefetcher
+  bypass to interpreted execution, with a ``compile.bypass`` event.
+
+Anything that only acts *pager-side* — write-behind windows, chaos
+fault injection, RPC retries, background load — cannot change which
+references fault, so those runs stay compiled (and stay byte-identical;
+``tests/compile`` pins the chaos campaigns).
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Any, Optional
+
+from .compiler import compile_trace
+from .schedule import FaultSchedule
+
+__all__ = [
+    "plan_replay",
+    "compile_enabled",
+    "set_compile_enabled",
+    "schedule_cache_enabled",
+]
+
+_process_default: Optional[bool] = None
+
+
+def set_compile_enabled(enabled: Optional[bool]) -> None:
+    """Process-wide override: True/False force, None restores the default
+    (on unless ``REPRO_NO_COMPILE`` is set in the environment)."""
+    global _process_default
+    _process_default = enabled
+
+
+def compile_enabled() -> bool:
+    """The process-wide default for trace compilation."""
+    if _process_default is not None:
+        return _process_default
+    return not os.environ.get("REPRO_NO_COMPILE")
+
+
+def schedule_cache_enabled() -> bool:
+    """Whether compiled schedules may be cached on disk (the CLI's
+    ``--no-cache`` clears this via ``REPRO_SCHEDULE_CACHE=0``)."""
+    return os.environ.get("REPRO_SCHEDULE_CACHE", "1") != "0"
+
+
+def _bypass_reason(machine, pager, workload) -> Optional[str]:
+    """Why this run must stay interpreted, or None when eligible."""
+    if not getattr(workload, "deterministic", False):
+        return "nondeterministic-workload"
+    if getattr(machine, "prefetch", 0):
+        return "machine-prefetch"
+    pipeline = getattr(pager, "pipeline", None)
+    if pipeline is not None and getattr(pipeline, "prefetcher", None) is not None:
+        return "pipeline-prefetch"
+    policy = machine.replacement
+    if not getattr(policy, "supports_batch_touch", False):
+        return f"replacement:{getattr(policy, 'name', type(policy).__name__)}"
+    if machine.spec.user_frames < 1:
+        # Let the interpreted path raise its configuration error.
+        return "no-user-frames"
+    return None
+
+
+def _schedule_key(machine, workload, token) -> dict:
+    """Everything that determines the compiled schedule's content."""
+    spec = machine.spec
+    return {
+        "workload": list(token),
+        "replacement": machine.replacement.name,
+        "user_frames": spec.user_frames,
+        "page_size": spec.page_size,
+        "cpu_speed": spec.cpu_speed,
+        "max_cpu_chunk": machine.max_cpu_chunk,
+        "free_batch": machine.free_batch,
+    }
+
+
+def plan_replay(cluster, workload) -> Optional[FaultSchedule]:
+    """Decide how ``cluster`` should run ``workload``.
+
+    Returns a :class:`FaultSchedule` to replay, or None to execute the
+    reference stream interpretively.
+    """
+    machine = cluster.machine
+    tracer = machine.sim.tracer
+
+    enabled = machine.compile_schedules
+    if enabled is None:
+        enabled = compile_enabled()
+    if not enabled:
+        tracer.emit("compile", "bypass", reason="disabled")
+        return None
+
+    reason = _bypass_reason(machine, cluster.pager, workload)
+    if reason is not None:
+        tracer.emit("compile", "bypass", reason=reason)
+        return None
+
+    token = workload.schedule_token() if hasattr(workload, "schedule_token") else None
+    cache = None
+    key: Any = None
+    if token is not None and schedule_cache_enabled():
+        from ..runner.cache import ScheduleCache
+
+        cache = ScheduleCache()
+        key = _schedule_key(machine, workload, token)
+        schedule = cache.get(key)
+        if schedule is not None:
+            tracer.emit(
+                "compile", "cache-hit",
+                faults=schedule.n_faults, refs=schedule.n_refs,
+            )
+            return schedule
+
+    started = perf_counter()
+    schedule = compile_trace(
+        workload.trace(),
+        user_frames=machine.spec.user_frames,
+        policy=type(machine.replacement)(),
+        cpu_speed=machine.spec.cpu_speed,
+        max_cpu_chunk=machine.max_cpu_chunk,
+        free_batch=machine.free_batch,
+    )
+    wall_ms = (perf_counter() - started) * 1e3
+    if cache is not None:
+        schedule.meta = dict(key)
+        cache.put(key, schedule)
+    tracer.emit(
+        "compile", "compiled",
+        faults=schedule.n_faults, refs=schedule.n_refs,
+        ops=len(schedule.ops), wall_ms=round(wall_ms, 3),
+        cached=cache is not None,
+    )
+    return schedule

@@ -1,0 +1,76 @@
+"""The fault-schedule artifact: a compiled reference stream.
+
+A schedule is a flat list of ops, in execution order:
+
+* ``["c", amount]`` — flush ``amount`` simulated CPU seconds as one
+  timeout.  These are the *exact* ``pending_cpu`` values the interpreted
+  hot loop would flush (accumulated in the same float order, cut at the
+  same ``max_cpu_chunk`` boundaries and fault points), so the replay's
+  timeout sequence is bit-identical — run-length encoding of the
+  resident-hit spans between faults.
+* ``["b", [page_id, ...]]`` — version bumps for pages first-written
+  during the preceding hit span (clean->dirty transitions).  Bumps only
+  feed ``PageVersioner.contents`` reads, which happen at fault time, so
+  applying them at the span boundary preserves every pageout payload.
+* ``["f", page_id, is_write, needs_pagein, [victim_id, ...]]`` — one
+  recorded page fault: the faulting page, whether the reference wrote,
+  whether the page is on backing store (pagein) or fresh (zero-fill),
+  and the *dirty* victims the batch eviction pages out, in eviction
+  order.  Clean victims leave no trace at fault time (their page-table
+  flags are part of ``final_ptes``).
+
+``policy_state`` and ``final_ptes`` snapshot the replacement policy and
+every touched page-table entry as interpreted execution would leave
+them, so a replayed machine is indistinguishable after the run too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["FaultSchedule", "SCHEDULE_FORMAT"]
+
+#: Bump when the op or artifact layout changes incompatibly.
+SCHEDULE_FORMAT = 1
+
+
+@dataclass
+class FaultSchedule:
+    """A compiled reference stream, ready for ``Machine.run_schedule``."""
+
+    ops: List[list]
+    n_refs: int
+    n_faults: int
+    policy_state: Any
+    final_ptes: List[list]
+    #: Provenance: the cache key fields the schedule was compiled under.
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form (floats round-trip exactly via repr)."""
+        return {
+            "format": SCHEDULE_FORMAT,
+            "ops": self.ops,
+            "n_refs": self.n_refs,
+            "n_faults": self.n_faults,
+            "policy_state": self.policy_state,
+            "final_ptes": self.final_ptes,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "FaultSchedule":
+        if data.get("format") != SCHEDULE_FORMAT:
+            raise ValueError(
+                f"incompatible schedule format {data.get('format')!r} "
+                f"(expected {SCHEDULE_FORMAT})"
+            )
+        return cls(
+            ops=data["ops"],
+            n_refs=data["n_refs"],
+            n_faults=data["n_faults"],
+            policy_state=data["policy_state"],
+            final_ptes=data["final_ptes"],
+            meta=data.get("meta", {}),
+        )

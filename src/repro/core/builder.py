@@ -91,7 +91,21 @@ class Cluster:
     rngs: Optional[RngRegistry] = None
 
     def run(self, workload, name: Optional[str] = None):
-        """Run ``workload`` to completion; returns its CompletionReport."""
+        """Run ``workload`` to completion; returns its CompletionReport.
+
+        When the run is eligible (deterministic workload, batch-capable
+        replacement policy, no speculative prefetching — see
+        ``repro.compile.plan``), the reference stream is compiled to a
+        fault schedule and replayed in O(faults); otherwise it executes
+        interpretively.  Both paths produce bit-identical reports.
+        """
+        from ..compile import plan_replay
+
+        schedule = plan_replay(self, workload)
+        if schedule is not None:
+            return self.machine.run_schedule_to_completion(
+                schedule, name=name or workload.name
+            )
         return self.machine.run_to_completion(
             workload.trace(), name=name or workload.name
         )
@@ -136,6 +150,7 @@ def build_cluster(
     pipeline_window: int = 1,
     pipeline_prefetch: int = 0,
     pipeline_backlog: int = 0,
+    compile_schedules: Optional[bool] = None,
 ) -> Cluster:
     """Assemble a paper-style testbed.
 
@@ -157,6 +172,10 @@ def build_cluster(
     configure the PR 4 pipelined datapath (write-behind pageout queue,
     adaptive prefetcher); the defaults (1, 0, 0) keep the paper's
     synchronous datapath bit-identically.
+
+    ``compile_schedules`` forces the trace-compilation fast path on
+    (True) or off (False) for this cluster's machine; None follows the
+    process default (on, unless ``--no-compile``/``REPRO_NO_COMPILE``).
     """
     if policy not in POLICY_NAMES:
         raise ConfigurationError(
@@ -274,6 +293,7 @@ def build_cluster(
         replacement=replacement,
         content_mode=content_mode,
         init_time=init_time,
+        compile_schedules=compile_schedules,
         name="client",
     )
 

@@ -69,7 +69,8 @@ class CompletionReport:
             f"{self.name}: etime={self.etime:.2f}s utime={self.utime:.2f}s "
             f"systime={self.systime:.2f}s init={self.inittime:.2f}s "
             f"ptime={self.ptime:.2f}s faults={self.faults} "
-            f"(in={self.pageins}, out={self.pageouts})"
+            f"(in={self.pageins}, out={self.pageouts}, "
+            f"zero={self.zero_fills}, transfers={self.page_transfers})"
         )
 
 
@@ -117,6 +118,10 @@ class Machine:
         streaming workload overlaps pagein latency with compute.  A fault
         on a page whose prefetch is still in flight waits for it rather
         than fetching twice.
+    compile_schedules:
+        Trace-compilation override (see ``repro.compile``): True forces
+        the batch-replay path where eligible, False forces interpreted
+        execution, None (default) follows the process-wide setting.
     """
 
     def __init__(
@@ -131,6 +136,7 @@ class Machine:
         pageout_window: int = 16,
         free_batch: int = 16,
         prefetch: int = 0,
+        compile_schedules: Optional[bool] = None,
         name: str = "client",
     ):
         if init_time < 0 or max_cpu_chunk <= 0:
@@ -153,6 +159,10 @@ class Machine:
         self.pageout_window = pageout_window
         self.free_batch = free_batch
         self.prefetch = prefetch
+        #: Tri-state trace-compilation override consulted by the compile
+        #: planner at Cluster.run time: True/False force, None defers to
+        #: the process-wide default (on unless REPRO_NO_COMPILE is set).
+        self.compile_schedules = compile_schedules
         self._utime = 0.0
         self._systime = 0.0
         self._inflight_slots = 0
@@ -174,6 +184,26 @@ class Machine:
         """Convenience: run ``trace`` and drive the simulator to its end."""
         return self.sim.run_until_complete(self.run(trace, name))
 
+    def run_schedule(self, schedule, name: str = "workload") -> Process:
+        """Start replaying a compiled fault schedule (see ``repro.compile``).
+
+        The replay path issues *exactly* the simulation-event sequence of
+        :meth:`run` on the schedule's source trace — the same CPU-flush
+        timeouts, the same fault-service charges, pageouts, and pageins,
+        in the same order — so every report field, counter, metric, and
+        downstream RNG draw is bit-identical.  What it skips is the
+        per-reference Python between those events (page-table lookups and
+        replacement-policy touches for resident hits), making sim work
+        O(faults) instead of O(references).
+        """
+        return self.sim.process(
+            self._execute_schedule(schedule, name), name=f"run:{name}"
+        )
+
+    def run_schedule_to_completion(self, schedule, name: str = "workload") -> CompletionReport:
+        """Convenience: replay ``schedule`` and drive the simulator."""
+        return self.sim.run_until_complete(self.run_schedule(schedule, name))
+
     @property
     def resident_count(self) -> int:
         return len(self.replacement)
@@ -193,6 +223,17 @@ class Machine:
 
         yield self.sim.timeout(self.init_time)
 
+        # Resident-hit touches are buffered and applied as one batch
+        # before every simulation yield (and before every eviction
+        # decision), so nothing that runs while this process is parked —
+        # read-ahead inserts, concurrent machines — can observe or
+        # interleave with a half-applied touch sequence.  The net policy
+        # state is exactly that of per-reference touching; this is the
+        # same batch-step API the trace compiler replays off-line.
+        batch_touch = getattr(policy, "supports_batch_touch", False)
+        touches: list = []
+        touch_append = touches.append
+
         pending_cpu = 0.0
         for page_id, is_write, cpu in trace:
             pending_cpu += cpu / speed
@@ -202,28 +243,120 @@ class Machine:
                 if is_write and not pte.dirty:
                     pte.dirty = True
                     versioner.bump(page_id)
-                policy.touch(page_id, is_write)
+                if batch_touch:
+                    touch_append(page_id)
+                else:
+                    policy.touch(page_id, is_write)
                 if pending_cpu >= max_chunk:
+                    if touches:
+                        policy.touch_batch(touches)
+                        touches.clear()
                     self._utime += pending_cpu
                     yield self.sim.timeout(pending_cpu)
                     pending_cpu = 0.0
                 continue
 
             # Page fault: flush accumulated compute, then service it.
+            if touches:
+                policy.touch_batch(touches)
+                touches.clear()
             if pending_cpu > 0.0:
                 self._utime += pending_cpu
                 yield self.sim.timeout(pending_cpu)
                 pending_cpu = 0.0
             yield from self._service_fault(pte, is_write, user_frames)
 
+        if touches:
+            policy.touch_batch(touches)
+            touches.clear()
         if pending_cpu > 0.0:
             self._utime += pending_cpu
             yield self.sim.timeout(pending_cpu)
 
-        # Drain outstanding asynchronous pageouts before declaring done —
-        # both the machine's in-flight pageout processes and anything the
-        # pager itself buffers (the PR 4 write-behind queue / prefetch
-        # cache settle behind Pager.drain()).
+        yield from self._drain_tail()
+        return self._report(name, start)
+
+    def _execute_schedule(self, schedule, name: str):
+        spec = self.spec
+        if spec.user_frames < 1:
+            raise PagingError(f"machine {self.name!r} has no user frames")
+        sim = self.sim
+        start = sim.now
+        replay_span = sim.tracer.span("replay", component="compile")
+
+        yield sim.timeout(self.init_time)
+
+        timeout = sim.timeout
+        bump = self.versioner.bump
+        for op in schedule.ops:
+            tag = op[0]
+            if tag == "c":
+                amount = op[1]
+                self._utime += amount
+                yield timeout(amount)
+            elif tag == "f":
+                yield from self._service_fault_compiled(op[1], op[2], op[3], op[4])
+            else:  # "b": version bumps from first writes in a hit span
+                for page_id in op[1]:
+                    bump(page_id)
+
+        self._restore_schedule_state(schedule)
+        yield from self._drain_tail()
+        replay_span.end("ok", faults=schedule.n_faults, refs=schedule.n_refs)
+        return self._report(name, start)
+
+    def _service_fault_compiled(self, page_id: int, is_write, needs_pagein, pageouts):
+        """Replay one recorded fault: identical event sequence to
+        :meth:`_service_fault`, with eviction decisions precomputed."""
+        self.counters.add("faults")
+        fault_cpu = self.spec.fault_service_cpu / self.spec.cpu_speed
+        self._systime += fault_cpu
+        yield self.sim.timeout(fault_cpu)
+
+        span = self.sim.tracer.span("fault", page_id, component="machine")
+        span.phase("evict")
+
+        for victim_id in pageouts:
+            contents = self.versioner.contents(victim_id)
+            yield from self._start_pageout(victim_id, contents, span)
+            self.counters.add("pageouts")
+
+        inflight = self._inflight_by_page.get(page_id)
+        if inflight is not None:
+            span.phase("writeback_wait")
+            yield inflight
+
+        if needs_pagein:
+            span.phase("pagein")
+            contents = yield from self.pager.pagein(page_id)
+            self.counters.add("pageins")
+            if self.content_mode:
+                self._verify(page_id, contents)
+        else:
+            self.counters.add("zero_fills")
+        span.end("ok")
+
+        if is_write:
+            self.versioner.bump(page_id)
+
+    def _restore_schedule_state(self, schedule) -> None:
+        """Leave the machine exactly as interpreted execution would have:
+        the replacement policy's internal order and every touched page's
+        table entry (the replay skips their per-reference upkeep)."""
+        self.replacement.restore_state(schedule.policy_state)
+        page_table = self.page_table
+        for page_id, resident, dirty, referenced, on_backing_store in schedule.final_ptes:
+            pte = page_table.entry(page_id)
+            pte.resident = bool(resident)
+            pte.dirty = bool(dirty)
+            pte.referenced = bool(referenced)
+            pte.on_backing_store = bool(on_backing_store)
+
+    def _drain_tail(self):
+        """Drain outstanding asynchronous pageouts before declaring done —
+        both the machine's in-flight pageout processes and anything the
+        pager itself buffers (the PR 4 write-behind queue / prefetch
+        cache settle behind Pager.drain())."""
         if self._inflight_by_page or self.pager.pending_drain:
             span = self.sim.tracer.span("drain", component="machine")
             span.phase("drain")
@@ -231,8 +364,6 @@ class Machine:
                 yield self.sim.any_of(list(self._inflight_by_page.values()))
             yield from self.pager.drain()
             span.end("ok")
-
-        return self._report(name, start)
 
     def _service_fault(self, pte, is_write: bool, user_frames: int):
         """Fault path: evict if full (async pageout of a dirty victim),

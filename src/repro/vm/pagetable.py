@@ -38,6 +38,8 @@ class PageTableEntry:
 class PageTable:
     """All page-table entries for one address space, created lazily."""
 
+    __slots__ = ("_entries",)
+
     def __init__(self) -> None:
         self._entries: Dict[int, PageTableEntry] = {}
 

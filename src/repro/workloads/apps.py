@@ -46,6 +46,7 @@ class Mvec(Workload):
 
     name = "mvec"
     CPU_SECONDS_PER_PAGE_TOUCH = 1.2e-3
+    _schedule_token_fields = ("n",)
 
     def __init__(self, n: int = 2100, page_size: int = 8192):
         if n < 1:
@@ -79,6 +80,7 @@ class Gauss(Workload):
 
     name = "gauss"
     CPU_SECONDS_PER_PAGE_TOUCH = 0.8e-3
+    _schedule_token_fields = ("n", "passes")
 
     def __init__(self, n: int = 1700, passes: int = 4, page_size: int = 8192):
         if n < 1 or passes < 1:
@@ -112,6 +114,7 @@ class Qsort(Workload):
 
     name = "qsort"
     CPU_SECONDS_PER_PAGE_TOUCH = 1.7e-3
+    _schedule_token_fields = ("records",)
     LEAF_PAGES = 64
     LEAF_PASSES = 3
 
@@ -163,6 +166,7 @@ class Fft(Workload):
 
     name = "fft"
     CPU_SECONDS_PER_PAGE_TOUCH = 7.8e-3
+    _schedule_token_fields = ("elements", "passes")
 
     #: Twiddle-factor table as a fraction of one data array (a partial
     #: table re-read each pass; brings the paper's "700 K element" FFT to
@@ -219,11 +223,13 @@ class ImageFilter(Workload):
 
     name = "filter"
     CPU_SECONDS_PER_PAGE_TOUCH = 7.5e-3
+    _schedule_token_fields = ("image_bytes",)
 
     def __init__(self, image_bytes: int = 12 * (1 << 20), page_size: int = 8192):
         if image_bytes < 1:
             raise ValueError(f"image size must be positive: {image_bytes}")
         super().__init__(page_size)
+        self.image_bytes = image_bytes
         self.image = self.layout.add("image", image_bytes)
         self.temp = self.layout.add("temp", image_bytes)
         self.output = self.layout.add("output", image_bytes)
@@ -258,6 +264,7 @@ class KernelBuild(Workload):
     name = "cc"
     CPU_SECONDS_PER_PAGE_TOUCH = 1.55e-3
     COMPILE_PASSES = 2
+    _schedule_token_fields = ("units", "object_pages", "scratch_pages", "compiler_pages")
 
     def __init__(
         self,
@@ -271,6 +278,9 @@ class KernelBuild(Workload):
             raise ValueError("all sizing parameters must be positive")
         super().__init__(page_size)
         self.units = units
+        self.object_pages = object_pages
+        self.scratch_pages = scratch_pages
+        self.compiler_pages = compiler_pages
         self.link_passes = 2  # symbol resolution, then relocation/emit
         self.compiler = self.layout.add("compiler", compiler_pages * page_size)
         self.scratch = self.layout.add("scratch", scratch_pages * page_size)

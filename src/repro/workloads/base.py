@@ -26,7 +26,7 @@ Two modelling decisions (see DESIGN.md §2):
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from ..config import PAGE_SIZE
 
@@ -121,9 +121,47 @@ class Workload:
 
     name = "abstract"
 
+    #: True when every :meth:`trace` call yields the same reference
+    #: stream (all built-ins: sweeps are pure functions of the layout and
+    #: the synthetics re-seed a private RNG per call).  The trace
+    #: compiler only engages for deterministic workloads.
+    deterministic = True
+
+    #: Attribute names that, with the class name and page size, pin the
+    #: reference stream exactly — the workload part of a fault schedule's
+    #: cache key.  ``None`` means "not content-addressable": the schedule
+    #: is still compiled, just never cached across processes.
+    _schedule_token_fields: Optional[Tuple[str, ...]] = None
+
     def __init__(self, page_size: int = PAGE_SIZE):
         self.page_size = page_size
         self.layout = Layout(page_size)
+        self._materialized: Optional[Tuple[Ref, ...]] = None
+
+    def schedule_token(self) -> Optional[Tuple]:
+        """Identity of the reference stream for schedule caching.
+
+        Returns a JSON-serialisable tuple (class name, page size, the
+        class's ``_schedule_token_fields`` values) or None when the
+        stream has no stable content address.
+        """
+        fields = self._schedule_token_fields
+        if fields is None:
+            return None
+        return (type(self).__name__, self.page_size) + tuple(
+            getattr(self, name) for name in fields
+        )
+
+    def materialize(self) -> Tuple[Ref, ...]:
+        """The full reference stream as a cached tuple.
+
+        Only meaningful for deterministic workloads; tooling that walks
+        the stream repeatedly (the trace compiler's tests, benchmarks)
+        uses this to pay generation once.
+        """
+        if self._materialized is None:
+            self._materialized = tuple(self.trace())
+        return self._materialized
 
     @property
     def footprint_pages(self) -> int:

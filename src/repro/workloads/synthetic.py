@@ -14,6 +14,7 @@ class SequentialScan(Workload):
     """``passes`` zigzag sweeps over one region (pure streaming)."""
 
     name = "sequential-scan"
+    _schedule_token_fields = ("n_pages", "passes", "write", "cpu_per_page")
 
     def __init__(
         self,
@@ -24,6 +25,7 @@ class SequentialScan(Workload):
         page_size: int = 8192,
     ):
         super().__init__(page_size)
+        self.n_pages = n_pages
         self.region = self.layout.add("data", n_pages * page_size)
         self.passes = passes
         self.write = write
@@ -43,6 +45,7 @@ class UniformRandom(Workload):
     """``n_refs`` uniformly random page references."""
 
     name = "uniform-random"
+    _schedule_token_fields = ("n_pages", "n_refs", "write_fraction", "cpu_per_page", "seed")
 
     def __init__(
         self,
@@ -56,6 +59,7 @@ class UniformRandom(Workload):
         if not 0 <= write_fraction <= 1:
             raise ValueError(f"write_fraction outside [0, 1]: {write_fraction}")
         super().__init__(page_size)
+        self.n_pages = n_pages
         self.region = self.layout.add("data", n_pages * page_size)
         self.n_refs = n_refs
         self.write_fraction = write_fraction
@@ -74,6 +78,7 @@ class ZipfAccess(Workload):
     """Zipf-distributed references: a few pages dominate."""
 
     name = "zipf"
+    _schedule_token_fields = ("n_pages", "n_refs", "skew", "write_fraction", "cpu_per_page", "seed")
 
     def __init__(
         self,
@@ -88,6 +93,7 @@ class ZipfAccess(Workload):
         if skew <= 0:
             raise ValueError(f"skew must be positive: {skew}")
         super().__init__(page_size)
+        self.n_pages = n_pages
         self.region = self.layout.add("data", n_pages * page_size)
         self.n_refs = n_refs
         self.skew = skew
@@ -119,6 +125,7 @@ class HotCold(Workload):
     working-set shape for replacement-policy ablations."""
 
     name = "hot-cold"
+    _schedule_token_fields = ("hot_pages", "cold_pages", "n_refs", "hot_fraction", "cpu_per_page", "seed")
 
     def __init__(
         self,
@@ -133,6 +140,8 @@ class HotCold(Workload):
         if not 0 <= hot_fraction <= 1:
             raise ValueError(f"hot_fraction outside [0, 1]: {hot_fraction}")
         super().__init__(page_size)
+        self.hot_pages = hot_pages
+        self.cold_pages = cold_pages
         self.hot = self.layout.add("hot", hot_pages * page_size)
         self.cold = self.layout.add("cold", cold_pages * page_size)
         self.n_refs = n_refs

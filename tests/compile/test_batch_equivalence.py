@@ -1,0 +1,144 @@
+"""Batch-step replacement API == per-reference stepping, exactly.
+
+The trace compiler's correctness rests on one claim: applying the
+touches between two eviction decisions as a single ``touch_batch`` call
+produces the *same policy state* — and therefore the same victim
+sequence forever after — as touching per reference.  These property
+tests drive randomized reference streams through paired policy
+instances (one touched per-reference, one batched at arbitrary flush
+boundaries) and require identical victims at every eviction and
+identical exported state at the end.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm.replacement import (
+    ClockReplacement,
+    FifoReplacement,
+    LruReplacement,
+    make_replacement,
+)
+
+POLICIES = [FifoReplacement, LruReplacement, ClockReplacement]
+
+
+def _drive(policy_cls, stream, frames, flush_every):
+    """Run ``stream`` against per-ref and batched twins; compare victims.
+
+    ``stream`` is a list of page ids over a small universe; a reference
+    to a non-resident page faults (evicting one victim when full), a
+    resident one touches.  The batched twin buffers touches and flushes
+    every ``flush_every`` references and before every eviction — the
+    machine's actual discipline (flush before every yield and fault).
+    """
+    per_ref = policy_cls()
+    batched = policy_cls()
+    resident = set()
+    buffer = []
+    victims_a = []
+    victims_b = []
+    since_flush = 0
+    for page in stream:
+        if page in resident:
+            per_ref.touch(page)
+            buffer.append(page)
+            since_flush += 1
+            if since_flush >= flush_every:
+                batched.touch_batch(buffer)
+                buffer.clear()
+                since_flush = 0
+            continue
+        if buffer:
+            batched.touch_batch(buffer)
+            buffer.clear()
+            since_flush = 0
+        if len(resident) >= frames:
+            victim_a = per_ref.evict()
+            victim_b = batched.evict()
+            victims_a.append(victim_a)
+            victims_b.append(victim_b)
+            resident.discard(victim_a)
+        per_ref.insert(page)
+        batched.insert(page)
+        resident.add(page)
+    if buffer:
+        batched.touch_batch(buffer)
+    return per_ref, batched, victims_a, victims_b
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+@settings(max_examples=60, deadline=None)
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=23), min_size=1, max_size=300),
+    frames=st.integers(min_value=1, max_value=12),
+    flush_every=st.integers(min_value=1, max_value=40),
+)
+def test_batch_touch_matches_per_reference_stepping(
+    policy_cls, stream, frames, flush_every
+):
+    per_ref, batched, victims_a, victims_b = _drive(
+        policy_cls, stream, frames, flush_every
+    )
+    assert victims_a == victims_b
+    assert per_ref.export_state() == batched.export_state()
+    assert len(per_ref) == len(batched)
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_batch_touch_long_randomized_stream(policy_cls):
+    """A deeper soak than hypothesis' defaults: 20k refs, hot/cold mix."""
+    rng = random.Random(20260806)
+    universe = list(range(64))
+    stream = [
+        rng.choice(universe[:8]) if rng.random() < 0.8 else rng.choice(universe)
+        for _ in range(20_000)
+    ]
+    per_ref, batched, victims_a, victims_b = _drive(policy_cls, stream, 24, 17)
+    assert victims_a == victims_b
+    assert per_ref.export_state() == batched.export_state()
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_export_restore_roundtrip_preserves_future_victims(policy_cls):
+    rng = random.Random(99)
+    policy = policy_cls()
+    resident = set()
+    for page in (rng.randrange(40) for _ in range(2_000)):
+        if page in resident:
+            policy.touch(page)
+        else:
+            if len(resident) >= 15:
+                resident.discard(policy.evict())
+            policy.insert(page)
+            resident.add(page)
+    clone = policy_cls()
+    clone.restore_state(policy.export_state())
+    assert len(clone) == len(policy)
+    assert [policy.evict() for _ in range(len(policy))] == [
+        clone.evict() for _ in range(len(clone))
+    ]
+
+
+def test_lru_plain_dict_semantics():
+    """The plain-dict LRU keeps exact-stack order (the OrderedDict
+    contract it replaced): first-inserted evicts first, touch moves to
+    the MRU end."""
+    lru = make_replacement("lru")
+    for page in (1, 2, 3):
+        lru.insert(page)
+    lru.touch(1)
+    assert lru.evict() == 2
+    assert lru.evict() == 3
+    assert lru.evict() == 1
+
+
+def test_batch_touch_raises_on_nonresident():
+    for name in ("fifo", "lru", "clock"):
+        policy = make_replacement(name)
+        policy.insert(1)
+        with pytest.raises(KeyError):
+            policy.touch_batch([1, 7])

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.vm",
     "repro.workloads",
     "repro.cluster",
+    "repro.compile",
     "repro.core",
     "repro.analysis",
     "repro.experiments",

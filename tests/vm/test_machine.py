@@ -136,6 +136,11 @@ def test_report_summary_mentions_key_fields():
     report = machine.run_to_completion([(0, False, 0.01)], name="demo")
     text = report.summary()
     assert "demo" in text and "etime" in text and "faults" in text
+    # The paging-traffic counters must all appear (zero_fills and
+    # page_transfers were historically dropped from the line).
+    assert f"zero={report.zero_fills}" in text
+    assert f"transfers={report.page_transfers}" in text
+    assert f"in={report.pageins}" in text and f"out={report.pageouts}" in text
 
 
 def test_lru_beats_fifo_on_looping_with_hot_page():
