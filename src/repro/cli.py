@@ -233,6 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical either way)",
     )
     group.add_argument(
+        "--no-analytic-ethernet", action="store_true",
+        help="disable the uncontended-medium analytic Ethernet service "
+        "path: simulate every frame's CSMA/CD state machine (A/B "
+        "switch; results are bit-identical either way)",
+    )
+    group.add_argument(
         "--profile", default=None, metavar="PATH",
         help="profile the whole subcommand under cProfile and write a "
         "pstats dump to PATH (inspect with 'python -m pstats PATH')",
@@ -458,8 +464,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Environment, not a module flag: worker processes spawned by the
         # parallel runner inherit it, so the A/B switch holds at any -j.
         os.environ["REPRO_NO_COMPILE"] = "1"
+    if args.no_analytic_ethernet:
+        os.environ["REPRO_NO_ANALYTIC_ETH"] = "1"
     if args.no_cache:
-        # "recompute every run" covers compiled fault schedules too.
+        # "recompute every run" covers compiled fault schedules too
+        # (and the recorded effect capsules keyed off them).
         os.environ["REPRO_SCHEDULE_CACHE"] = "0"
     profiler = None
     if args.profile:

@@ -52,13 +52,23 @@ def compile_trace(
     if len(policy) != 0:
         raise ValueError("compile_trace needs a fresh (empty) policy instance")
 
-    ops: list = []
-    append_op = ops.append
+    # Columnar schedule under construction (format 2, see schedule.py):
+    # segment-major arrays instead of a flat op list.
+    chunk_cpu: list = []
+    seg_chunks: list = []
+    seg_bumps: list = []
+    bump_pages: list = []
+    fault_page: list = []
+    fault_flags: list = []
+    victim_lens: list = []
+    all_victims: list = []
+
     states: dict = {}
     touches: list = []
     touch_append = touches.append
     bumps: list = []
     pending_cpu = 0.0
+    cur_chunks = 0
     n_refs = 0
     n_faults = 0
 
@@ -78,21 +88,25 @@ def compile_trace(
                 if touches:
                     policy.touch_batch(touches)
                     touches.clear()
-                append_op(["c", pending_cpu])
+                chunk_cpu.append(pending_cpu)
+                cur_chunks += 1
                 pending_cpu = 0.0
             continue
 
-        # Page fault: close the hit span, then record the decisions the
-        # interpreted fault path would make.
+        # Page fault: close the hit span (segment), then record the
+        # decisions the interpreted fault path would make.
         if touches:
             policy.touch_batch(touches)
             touches.clear()
         if pending_cpu > 0.0:
-            append_op(["c", pending_cpu])
+            chunk_cpu.append(pending_cpu)
+            cur_chunks += 1
             pending_cpu = 0.0
-        if bumps:
-            append_op(["b", bumps])
-            bumps = []
+        seg_chunks.append(cur_chunks)
+        cur_chunks = 0
+        seg_bumps.append(len(bumps))
+        bump_pages.extend(bumps)
+        bumps.clear()
 
         victims: list = []
         if len(policy) >= user_frames:
@@ -106,9 +120,10 @@ def compile_trace(
                     vst[_ON_BACKING] = True
                     victims.append(victim_id)
 
-        append_op(
-            ["f", page_id, 1 if is_write else 0, 1 if st[_ON_BACKING] else 0, victims]
-        )
+        fault_page.append(page_id)
+        fault_flags.append((1 if is_write else 0) | (2 if st[_ON_BACKING] else 0))
+        victim_lens.append(len(victims))
+        all_victims.extend(victims)
         n_faults += 1
         st[_RESIDENT] = True
         st[_DIRTY] = bool(is_write)
@@ -119,16 +134,25 @@ def compile_trace(
         policy.touch_batch(touches)
         touches.clear()
     if pending_cpu > 0.0:
-        append_op(["c", pending_cpu])
-    if bumps:
-        append_op(["b", bumps])
+        chunk_cpu.append(pending_cpu)
+        cur_chunks += 1
+    seg_chunks.append(cur_chunks)  # tail segment after the last fault
+    seg_bumps.append(len(bumps))
+    bump_pages.extend(bumps)
 
     final_ptes = [
         [page_id, st[_RESIDENT], st[_DIRTY], st[_REFERENCED], st[_ON_BACKING]]
         for page_id, st in states.items()
     ]
     return FaultSchedule(
-        ops=ops,
+        chunk_cpu=chunk_cpu,
+        seg_chunks=seg_chunks,
+        seg_bumps=seg_bumps,
+        bump_pages=bump_pages,
+        fault_page=fault_page,
+        fault_flags=fault_flags,
+        victim_lens=victim_lens,
+        victims=all_victims,
         n_refs=n_refs,
         n_faults=n_faults,
         policy_state=policy.export_state(),

@@ -1,0 +1,380 @@
+"""Effect capsules: whole-run memoisation for vectorized replay.
+
+A compiled fault schedule makes replay O(faults); an *effect capsule*
+makes a repeat of the same run O(1) in kernel events.  The first
+eligible kernel replay of a (cluster fingerprint, schedule) cell
+records everything the run changes that any report, metric snapshot or
+final-state check can observe:
+
+* the final simulation clock (one ``Simulator.at`` event reconciles the
+  replay with the kernel at that exact instant);
+* the machine's ``utime``/``systime`` accumulators;
+* every registry instrument (counters and tallies, restored
+  field-for-field so Welford state and snapshots are bit-identical);
+* the network wire-utilisation tracker and drop count (the two
+  instruments that live outside the registry, read by gauges);
+* the per-fault latencies, kept for the §4.3 array-reduced
+  decomposition the ``compile.vectorized`` trace event reports.
+
+Replay then restores all of it wholesale — plus the page-version bumps
+and final machine state the schedule already carries — and returns the
+same :class:`~repro.vm.machine.CompletionReport` byte-for-byte.
+
+Eligibility is **strictly conservative** (see
+:func:`effects_bypass_reason`): anything the capsule cannot reproduce
+per-event — tracing spans, the pipelined datapath, a chaos-wrapped
+network, background processes, a non-fresh cluster — falls back to the
+per-fault kernel replay, with a ``compile.fallback`` event naming the
+reason.  The capsule key (:func:`effects_key`) reads the *live* cluster
+configuration at plan time, so post-build mutations of known knobs
+(CPU load, retry specs, crashed servers) address different capsules.
+
+One sharp edge: a capsule replay restores *reported* state only.  The
+backing stores (memory servers, swap disk), placement maps and parity
+state stay empty, so a replayed cluster cannot run a second workload
+(``Cluster.run`` guards this with a clear error) and must not be
+inspected below the report/metrics surface.  That is why capsules are
+**opt-in**: export ``REPRO_EFFECT_CACHE=1`` (the compile benchmark and
+its CI job do) to enable them for sweep-style consumers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..sim import Counter, NullTracer, Tally
+
+__all__ = [
+    "RunEffects",
+    "EFFECTS_FORMAT",
+    "capture_effects",
+    "restore_effects",
+    "validate_effects",
+    "effects_bypass_reason",
+    "effects_cache_enabled",
+    "effects_key",
+    "decompose_ptime",
+]
+
+#: Bump when the capsule layout changes incompatibly.
+EFFECTS_FORMAT = 1
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
+
+def effects_cache_enabled() -> bool:
+    """Whether effect capsules may be recorded and replayed.
+
+    **Opt-in** (``REPRO_EFFECT_CACHE=1``), unlike the schedule cache:
+    a capsule replay restores every *reported* surface (CompletionReport,
+    metric snapshots, gauges, machine state) but quarantines the cluster
+    — backing stores, placement maps, and parity state stay empty, which
+    is only acceptable for callers that consume reports and metrics
+    (sweep drivers, benchmarks), not for experiments that inspect paging
+    internals afterwards.
+    """
+    return os.environ.get("REPRO_EFFECT_CACHE") == "1"
+
+
+@dataclass
+class RunEffects:
+    """Everything one recorded run changed, restorable wholesale."""
+
+    final_now: float
+    utime: float
+    systime: float
+    #: Dotted instrument name -> {"kind": "counter"|"tally", ...payload}.
+    instruments: Dict[str, dict]
+    #: Wire utilisation tracker internals (TimeWeighted fields + depth).
+    wire: Dict[str, float]
+    #: Network frame-drop count (outside the stats registry).
+    drops: Optional[int]
+    #: Per-fault service latencies, in fault order (§4.3 reductions).
+    fault_elapsed: List[float]
+    #: Protocol-stack CPU accounts: host name -> busy seconds.
+    accounts: Dict[str, float] = field(default_factory=dict)
+    #: Host memory state: name -> [native_pages, granted_pages].
+    hosts: Dict[str, list] = field(default_factory=dict)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict for the on-disk effect-capsule cache."""
+        return {
+            "format": EFFECTS_FORMAT,
+            "final_now": self.final_now,
+            "utime": self.utime,
+            "systime": self.systime,
+            "instruments": self.instruments,
+            "wire": self.wire,
+            "drops": self.drops,
+            "fault_elapsed": self.fault_elapsed,
+            "accounts": self.accounts,
+            "hosts": self.hosts,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, Any]) -> "RunEffects":
+        if data.get("format") != EFFECTS_FORMAT:
+            raise ValueError(
+                f"incompatible effects format {data.get('format')!r} "
+                f"(expected {EFFECTS_FORMAT})"
+            )
+        return cls(
+            final_now=data["final_now"],
+            utime=data["utime"],
+            systime=data["systime"],
+            instruments=data["instruments"],
+            wire=data["wire"],
+            drops=data["drops"],
+            fault_elapsed=data["fault_elapsed"],
+            accounts=data.get("accounts", {}),
+            hosts=data.get("hosts", {}),
+            meta=data.get("meta", {}),
+        )
+
+
+# ------------------------------------------------------------------ capture
+def _capture_tally(tally: Tally) -> dict:
+    return {
+        "kind": "tally",
+        "count": tally.count,
+        "total": tally.total,
+        "mean": tally._mean,
+        "m2": tally._m2,
+        "min": tally.minimum,
+        "max": tally.maximum,
+        "samples": list(tally._samples) if tally._samples is not None else None,
+    }
+
+
+def _restore_tally(tally: Tally, payload: dict) -> None:
+    tally.count = payload["count"]
+    tally.total = payload["total"]
+    tally._mean = payload["mean"]
+    tally._m2 = payload["m2"]
+    tally.minimum = payload["min"]
+    tally.maximum = payload["max"]
+    if payload["samples"] is not None:
+        tally._samples = list(payload["samples"])
+    tally._sorted = None
+
+
+def capture_effects(cluster, fault_elapsed: List[float]) -> RunEffects:
+    """Snapshot a just-completed recorded run into a capsule."""
+    machine = cluster.machine
+    instruments: Dict[str, dict] = {}
+    for name, obj in cluster.metrics.instruments().items():
+        if isinstance(obj, Counter):
+            instruments[name] = {"kind": "counter", "counts": obj.as_dict()}
+        elif isinstance(obj, Tally):
+            instruments[name] = _capture_tally(obj)
+        else:  # pragma: no cover - eligibility rejects opaque instruments
+            raise TypeError(f"cannot capture instrument {name!r}: {type(obj)}")
+    wire = cluster.network.stats.wire
+    all_hosts = [cluster.client_host] + list(cluster.server_hosts)
+    capsule = RunEffects(
+        final_now=machine.sim.now,
+        utime=machine._utime,
+        systime=machine._systime,
+        instruments=instruments,
+        wire={
+            "last_time": wire._tw._last_time,
+            "level": wire._tw._level,
+            "area": wire._tw._area,
+            "start": wire._tw._start,
+            "depth": wire._depth,
+        },
+        drops=getattr(cluster.network, "_drops", None),
+        fault_elapsed=list(fault_elapsed),
+        accounts={
+            host: account.busy_seconds
+            for host, account in cluster.stack._accounts.items()
+        },
+        hosts={
+            host.name: [host._native_pages, host._granted_pages]
+            for host in all_hosts
+        },
+    )
+    capsule.meta["decomposition"] = decompose_ptime(capsule)
+    return capsule
+
+
+def restore_effects(cluster, effects: RunEffects) -> None:
+    """Apply a capsule to a fresh cluster (instrument state only; the
+    machine-side restore happens in ``Machine._execute_effects``)."""
+    live = cluster.metrics.instruments()
+    for name, payload in effects.instruments.items():
+        obj = live[name]
+        if payload["kind"] == "counter":
+            obj._counts = dict(payload["counts"])
+        else:
+            _restore_tally(obj, payload)
+    wire = cluster.network.stats.wire
+    wire._tw._last_time = effects.wire["last_time"]
+    wire._tw._level = effects.wire["level"]
+    wire._tw._area = effects.wire["area"]
+    wire._tw._start = effects.wire["start"]
+    wire._depth = int(effects.wire["depth"])
+    if effects.drops is not None:
+        cluster.network._drops = effects.drops
+    for host, busy in effects.accounts.items():
+        cluster.stack.cpu_account(host).busy_seconds = busy
+    by_name = {cluster.client_host.name: cluster.client_host}
+    by_name.update({h.name: h for h in cluster.server_hosts})
+    for name, (native, granted) in effects.hosts.items():
+        host = by_name.get(name)
+        if host is not None:
+            host._native_pages = native
+            host._granted_pages = granted
+
+
+def validate_effects(cluster, effects: RunEffects) -> bool:
+    """Structural check before committing to a capsule replay: the live
+    registry must expose exactly the instruments the capsule restores,
+    with matching kinds.  (A mismatch means the fingerprint missed a
+    configuration difference — treat the capsule as a miss.)"""
+    live = cluster.metrics.instruments()
+    if set(live) != set(effects.instruments):
+        return False
+    for name, payload in effects.instruments.items():
+        obj = live[name]
+        if payload["kind"] == "counter" and not isinstance(obj, Counter):
+            return False
+        if payload["kind"] == "tally" and not isinstance(obj, Tally):
+            return False
+    if effects.drops is not None and not hasattr(cluster.network, "_drops"):
+        return False
+    return True
+
+
+# --------------------------------------------------------------- eligibility
+def effects_bypass_reason(cluster) -> Optional[str]:
+    """Why this run must stay on per-fault kernel replay, or None."""
+    if not effects_cache_enabled():
+        return "effects-disabled"
+    sim = cluster.machine.sim
+    if not isinstance(sim.tracer, NullTracer):
+        return "tracing"
+    if getattr(cluster.pager, "pipeline", None) is not None:
+        return "pipelining"
+    if cluster.stack.network is not cluster.network:
+        return "chaos-network"
+    baseline = getattr(cluster, "baseline_processes", None)
+    if baseline is None or sim.process_count != baseline:
+        return "background-activity"
+    if sim.now != 0.0:
+        return "not-fresh"
+    wire = cluster.network.stats.wire
+    if wire._depth != 0 or wire._tw._area != 0.0 or wire._tw._level != 0.0:
+        return "not-fresh"
+    for name, obj in cluster.metrics.instruments().items():
+        if isinstance(obj, Counter):
+            if obj._counts:
+                return "not-fresh"
+        elif isinstance(obj, Tally):
+            if obj.count:
+                return "not-fresh"
+        else:
+            return f"opaque-instrument:{name}"
+    return None
+
+
+def effects_key(cluster, schedule_key: dict) -> dict:
+    """Everything (beyond the schedule) that determines run effects.
+
+    Read *live* from the cluster at plan time, so post-build mutation of
+    any fingerprinted knob (host CPU load, retry spec, crashed servers,
+    thresholds) addresses a different capsule.  Unknown mutations are
+    the residual risk; the eligibility gates above exclude every
+    dynamic actor (processes, chaos wraps, pipelines, tracers).
+    """
+    machine = cluster.machine
+    stack = cluster.stack
+    network = cluster.network
+
+    def host_entry(host) -> list:
+        return [
+            host.name,
+            repr(host.spec),
+            host.cpu_load,
+            host.native_pages,
+            host.granted_pages,
+            getattr(host, "reserve_pages", None),
+        ]
+
+    def server_entry(server) -> list:
+        return [
+            server.name,
+            type(server).__name__,
+            server.capacity_pages,
+            server.overflow_fraction,
+            bool(server._crashed),
+        ]
+
+    all_servers = list(cluster.servers)
+    if cluster.parity_server is not None:
+        all_servers.append(cluster.parity_server)
+    return {
+        "format": EFFECTS_FORMAT,
+        "schedule": schedule_key,
+        "seed": cluster.rngs.seed if cluster.rngs is not None else None,
+        "policy": type(cluster.policy).__name__ if cluster.policy else "disk",
+        "pager": type(cluster.pager).__name__,
+        "network": [
+            type(network).__name__,
+            repr(getattr(network, "spec", None)),
+            getattr(network, "analytic", None),
+        ],
+        "protocol": [repr(stack.spec), repr(stack.retry)],
+        "disk": repr(cluster.local_disk.spec),
+        "machine": [
+            repr(machine.spec),
+            machine.init_time,
+            machine.max_cpu_chunk,
+            machine.pageout_window,
+            machine.free_batch,
+            machine.prefetch,
+            machine.content_mode,
+        ],
+        "network_threshold": getattr(cluster.pager, "network_threshold", None),
+        "hosts": [host_entry(cluster.client_host)]
+        + [host_entry(h) for h in cluster.server_hosts],
+        "servers": [server_entry(s) for s in all_servers],
+        "metric_names": cluster.metrics.names(),
+    }
+
+
+# ------------------------------------------------------------- decomposition
+def decompose_ptime(effects: RunEffects) -> Dict[str, float]:
+    """Array-reduced §4.3 view of the recorded fault latencies.
+
+    ``fault_wait`` is the summed per-fault stall (the paper's ptime net
+    of the end-of-run drain); the percentiles locate the distribution.
+    Diagnostic only — nothing byte-critical consumes these sums.
+    """
+    if not effects.fault_elapsed:
+        return {"fault_wait": 0.0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    if _np is not None:
+        arr = _np.asarray(effects.fault_elapsed, dtype=_np.float64)
+        return {
+            "fault_wait": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "p50": float(_np.percentile(arr, 50)),
+            "p95": float(_np.percentile(arr, 95)),
+            "max": float(arr.max()),
+        }
+    data = sorted(effects.fault_elapsed)  # pragma: no cover
+    n = len(data)
+    return {
+        "fault_wait": sum(data),
+        "mean": sum(data) / n,
+        "p50": data[n // 2],
+        "p95": data[min(n - 1, int(0.95 * n))],
+        "max": data[-1],
+    }

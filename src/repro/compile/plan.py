@@ -1,10 +1,13 @@
 """Eligibility, caching, and dispatch for compiled replay.
 
-:func:`plan_replay` is the single integration point ``Cluster.run``
-consults before executing a workload: it decides whether the run may use
-the batch-replay fast path, fetches or compiles the fault schedule, and
-emits ``compile.*`` trace events so every decision is visible in a
-``--trace`` recording.
+:func:`plan_run` is the single integration point ``Cluster.run``
+consults before executing a workload: it decides whether the run may
+use the batch-replay fast path, fetches or compiles the fault
+schedule, decides whether a recorded *effect capsule* (see
+:mod:`repro.compile.effects`) can serve the whole run, and emits
+``compile.*`` trace events so every decision is visible in a
+``--trace`` recording.  :func:`plan_replay` is the schedule-only
+subset, kept for callers that dispatch replay themselves.
 
 Compilation is on by default but **strictly conservative** — it engages
 only when the resident set is a pure function of the reference stream:
@@ -19,19 +22,32 @@ only when the resident set is a pure function of the reference stream:
 Anything that only acts *pager-side* — write-behind windows, chaos
 fault injection, RPC retries, background load — cannot change which
 references fault, so those runs stay compiled (and stay byte-identical;
-``tests/compile`` pins the chaos campaigns).
+``tests/compile`` pins the chaos campaigns).  The effect capsule is
+stricter still (per-op fidelity matters there): every capsule decision
+is reported as ``compile.vectorized`` (capsule replay) or
+``compile.fallback`` (kernel replay, with the reason).
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Optional
 
 from .compiler import compile_trace
+from .effects import (
+    RunEffects,
+    effects_bypass_reason,
+    effects_cache_enabled,
+    effects_key,
+    validate_effects,
+)
 from .schedule import FaultSchedule
 
 __all__ = [
+    "ReplayPlan",
+    "plan_run",
     "plan_replay",
     "compile_enabled",
     "set_compile_enabled",
@@ -59,6 +75,24 @@ def schedule_cache_enabled() -> bool:
     """Whether compiled schedules may be cached on disk (the CLI's
     ``--no-cache`` clears this via ``REPRO_SCHEDULE_CACHE=0``)."""
     return os.environ.get("REPRO_SCHEDULE_CACHE", "1") != "0"
+
+
+@dataclass
+class ReplayPlan:
+    """How ``Cluster.run`` should execute one workload.
+
+    * ``schedule is None`` — interpreted execution.
+    * ``schedule`` set, ``effects is None``, no ``record_key`` — plain
+      per-fault kernel replay.
+    * ``effects`` set — replay the effect capsule (O(1) kernel events).
+    * ``record_key`` set — kernel replay, then record a capsule for the
+      next identical run.
+    """
+
+    schedule: Optional[FaultSchedule] = None
+    effects: Optional[RunEffects] = None
+    record_cache: Any = None
+    record_key: Any = None
 
 
 def _bypass_reason(machine, pager, workload) -> Optional[str]:
@@ -93,12 +127,9 @@ def _schedule_key(machine, workload, token) -> dict:
     }
 
 
-def plan_replay(cluster, workload) -> Optional[FaultSchedule]:
-    """Decide how ``cluster`` should run ``workload``.
-
-    Returns a :class:`FaultSchedule` to replay, or None to execute the
-    reference stream interpretively.
-    """
+def _plan_schedule(cluster, workload):
+    """Shared schedule decision: (schedule, key) — key is None when the
+    workload has no identity token.  Emits bypass/cache-hit/compiled."""
     machine = cluster.machine
     tracer = machine.sim.tracer
 
@@ -107,28 +138,29 @@ def plan_replay(cluster, workload) -> Optional[FaultSchedule]:
         enabled = compile_enabled()
     if not enabled:
         tracer.emit("compile", "bypass", reason="disabled")
-        return None
+        return None, None
 
     reason = _bypass_reason(machine, cluster.pager, workload)
     if reason is not None:
         tracer.emit("compile", "bypass", reason=reason)
-        return None
+        return None, None
 
     token = workload.schedule_token() if hasattr(workload, "schedule_token") else None
-    cache = None
     key: Any = None
-    if token is not None and schedule_cache_enabled():
-        from ..runner.cache import ScheduleCache
-
-        cache = ScheduleCache()
+    cache = None
+    if token is not None:
         key = _schedule_key(machine, workload, token)
-        schedule = cache.get(key)
-        if schedule is not None:
-            tracer.emit(
-                "compile", "cache-hit",
-                faults=schedule.n_faults, refs=schedule.n_refs,
-            )
-            return schedule
+        if schedule_cache_enabled():
+            from ..runner.cache import ScheduleCache
+
+            cache = ScheduleCache()
+            schedule = cache.get(key)
+            if schedule is not None:
+                tracer.emit(
+                    "compile", "cache-hit",
+                    faults=schedule.n_faults, refs=schedule.n_refs,
+                )
+                return schedule, key
 
     started = perf_counter()
     schedule = compile_trace(
@@ -146,7 +178,56 @@ def plan_replay(cluster, workload) -> Optional[FaultSchedule]:
     tracer.emit(
         "compile", "compiled",
         faults=schedule.n_faults, refs=schedule.n_refs,
-        ops=len(schedule.ops), wall_ms=round(wall_ms, 3),
+        ops=schedule.n_ops, wall_ms=round(wall_ms, 3),
         cached=cache is not None,
     )
+    return schedule, key
+
+
+def plan_replay(cluster, workload) -> Optional[FaultSchedule]:
+    """Schedule-only decision (the PR 5 interface, unchanged).
+
+    Returns a :class:`FaultSchedule` to replay, or None to execute the
+    reference stream interpretively.
+    """
+    schedule, _ = _plan_schedule(cluster, workload)
     return schedule
+
+
+def plan_run(cluster, workload) -> ReplayPlan:
+    """Full decision for ``Cluster.run``: schedule plus effect capsule."""
+    schedule, key = _plan_schedule(cluster, workload)
+    if schedule is None:
+        return ReplayPlan()
+    tracer = cluster.machine.sim.tracer
+
+    if key is None:
+        reason: Optional[str] = "uncacheable-workload"
+    elif not schedule_cache_enabled():
+        reason = "cache-disabled"
+    elif not effects_cache_enabled():
+        reason = "effects-disabled"
+    else:
+        reason = effects_bypass_reason(cluster)
+    if reason is not None:
+        tracer.emit("compile", "fallback", reason=reason)
+        return ReplayPlan(schedule=schedule)
+
+    from ..runner.cache import EffectCache
+
+    ecache = EffectCache()
+    ekey = effects_key(cluster, key)
+    effects = ecache.get(ekey)
+    if effects is not None:
+        if not validate_effects(cluster, effects):
+            tracer.emit("compile", "fallback", reason="effects-mismatch")
+            return ReplayPlan(schedule=schedule)
+        tracer.emit(
+            "compile", "vectorized",
+            faults=schedule.n_faults, refs=schedule.n_refs,
+            **{f"ptime_{k}": v for k, v in
+               effects.meta.get("decomposition", {}).items()},
+        )
+        return ReplayPlan(schedule=schedule, effects=effects)
+    tracer.emit("compile", "fallback", reason="effects-cold")
+    return ReplayPlan(schedule=schedule, record_cache=ecache, record_key=ekey)

@@ -1,45 +1,73 @@
 """The fault-schedule artifact: a compiled reference stream.
 
-A schedule is a flat list of ops, in execution order:
+Format 2 stores the schedule **columnar**, one array per op field,
+instead of format 1's flat ``["c", ...]/["b", ...]/["f", ...]`` op
+list.  Execution order is segment-major: segment ``i`` (one per fault,
+plus a trailing tail segment) is
 
-* ``["c", amount]`` — flush ``amount`` simulated CPU seconds as one
-  timeout.  These are the *exact* ``pending_cpu`` values the interpreted
-  hot loop would flush (accumulated in the same float order, cut at the
-  same ``max_cpu_chunk`` boundaries and fault points), so the replay's
-  timeout sequence is bit-identical — run-length encoding of the
-  resident-hit spans between faults.
-* ``["b", [page_id, ...]]`` — version bumps for pages first-written
-  during the preceding hit span (clean->dirty transitions).  Bumps only
-  feed ``PageVersioner.contents`` reads, which happen at fault time, so
-  applying them at the span boundary preserves every pageout payload.
-* ``["f", page_id, is_write, needs_pagein, [victim_id, ...]]`` — one
-  recorded page fault: the faulting page, whether the reference wrote,
-  whether the page is on backing store (pagein) or fresh (zero-fill),
-  and the *dirty* victims the batch eviction pages out, in eviction
+* ``seg_chunks[i]`` CPU-flush amounts taken in order from
+  ``chunk_cpu`` — the *exact* ``pending_cpu`` values the interpreted
+  hot loop would flush (accumulated in the same float order, cut at
+  the same ``max_cpu_chunk`` boundaries and fault points);
+* ``seg_bumps[i]`` page ids taken from ``bump_pages`` — version bumps
+  for pages first-written during the hit span (clean->dirty
+  transitions).  Bumps only feed ``PageVersioner.contents`` reads,
+  which happen at fault time, so applying them at the span boundary
+  preserves every pageout payload;
+* for ``i < n_faults``, one recorded fault: ``fault_page[i]``,
+  ``fault_flags[i]`` (bit 0 = the reference wrote, bit 1 = the page is
+  on backing store, i.e. pagein rather than zero-fill) and
+  ``victim_lens[i]`` *dirty* victims from ``victims``, in eviction
   order.  Clean victims leave no trace at fault time (their page-table
   flags are part of ``final_ptes``).
 
-``policy_state`` and ``final_ptes`` snapshot the replacement policy and
-every touched page-table entry as interpreted execution would leave
-them, so a replayed machine is indistinguishable after the run too.
+The columns are plain Python lists (JSON-trivial, and exactly what the
+replay hot loop wants — no numpy scalars can leak into simulator
+arithmetic); :meth:`arrays` materialises cached numpy views for the
+reductions (§4.3 transfer/CPU terms, validation).  ``policy_state``
+and ``final_ptes`` snapshot the replacement policy and every touched
+page-table entry as interpreted execution would leave them, so a
+replayed machine is indistinguishable after the run too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = ["FaultSchedule", "SCHEDULE_FORMAT"]
 
-#: Bump when the op or artifact layout changes incompatibly.
-SCHEDULE_FORMAT = 1
+#: Bump when the op or artifact layout changes incompatibly.  The
+#: schedule cache hashes this into every entry path, so a bump makes
+#: stale entries silently miss (they are never deserialised).
+SCHEDULE_FORMAT = 2
+
+try:  # numpy backs the reductions; the replay path never requires it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
 
 
 @dataclass
 class FaultSchedule:
     """A compiled reference stream, ready for ``Machine.run_schedule``."""
 
-    ops: List[list]
+    #: CPU-flush amounts (simulated seconds), all segments concatenated.
+    chunk_cpu: List[float]
+    #: Per-segment chunk counts; ``len(seg_chunks) == n_faults + 1``.
+    seg_chunks: List[int]
+    #: Per-segment version-bump counts (same length as ``seg_chunks``).
+    seg_bumps: List[int]
+    #: Bumped page ids, all segments concatenated.
+    bump_pages: List[int]
+    #: Faulting page per fault.
+    fault_page: List[int]
+    #: Fault flag bits per fault (bit 0 = write, bit 1 = pagein).
+    fault_flags: List[int]
+    #: Dirty-victim batch length per fault.
+    victim_lens: List[int]
+    #: Dirty victims, all faults concatenated, in eviction order.
+    victims: List[int]
     n_refs: int
     n_faults: int
     policy_state: Any
@@ -47,11 +75,93 @@ class FaultSchedule:
     #: Provenance: the cache key fields the schedule was compiled under.
     meta: Dict[str, Any] = field(default_factory=dict)
 
+    # ------------------------------------------------------------ views
+    @property
+    def n_ops(self) -> int:
+        """Op count in the equivalent flat (format 1) encoding."""
+        return (
+            len(self.chunk_cpu)
+            + self.n_faults
+            + sum(1 for n in self.seg_bumps if n)
+        )
+
+    @property
+    def ops(self) -> List[list]:
+        """Flat format-1 op list, reconstructed on demand (diagnostics)."""
+        ops: List[list] = []
+        ci = bi = vi = 0
+        n_faults = self.n_faults
+        for s, (nc, nb) in enumerate(zip(self.seg_chunks, self.seg_bumps)):
+            for j in range(ci, ci + nc):
+                ops.append(["c", self.chunk_cpu[j]])
+            ci += nc
+            if nb:
+                ops.append(["b", self.bump_pages[bi:bi + nb]])
+                bi += nb
+            if s < n_faults:
+                nv = self.victim_lens[s]
+                flags = self.fault_flags[s]
+                ops.append([
+                    "f", self.fault_page[s], flags & 1, (flags >> 1) & 1,
+                    self.victims[vi:vi + nv],
+                ])
+                vi += nv
+        return ops
+
+    def arrays(self) -> Optional[Dict[str, Any]]:
+        """Cached numpy views of the columns (None without numpy)."""
+        if _np is None:
+            return None
+        cached = self.__dict__.get("_arrays")
+        if cached is None:
+            cached = self.__dict__["_arrays"] = {
+                "chunk_cpu": _np.asarray(self.chunk_cpu, dtype=_np.float64),
+                "seg_chunks": _np.asarray(self.seg_chunks, dtype=_np.int64),
+                "seg_bumps": _np.asarray(self.seg_bumps, dtype=_np.int64),
+                "fault_page": _np.asarray(self.fault_page, dtype=_np.int64),
+                "fault_flags": _np.asarray(self.fault_flags, dtype=_np.uint8),
+                "victim_lens": _np.asarray(self.victim_lens, dtype=_np.int64),
+            }
+        return cached
+
+    def transfer_counts(self) -> Dict[str, int]:
+        """Array-reduced transfer profile: pageins, pageouts, zero fills."""
+        arrays = self.arrays()
+        if arrays is not None:
+            flags = arrays["fault_flags"]
+            pageins = int(((flags & 2) != 0).sum())
+            pageouts = int(arrays["victim_lens"].sum())
+        else:  # pragma: no cover - numpy ships with the toolchain
+            pageins = sum(1 for f in self.fault_flags if f & 2)
+            pageouts = len(self.victims)
+        return {
+            "pageins": pageins,
+            "pageouts": pageouts,
+            "zero_fills": self.n_faults - pageins,
+            "transfers": pageins + pageouts,
+        }
+
+    def total_cpu(self) -> float:
+        """Array-reduced total user-CPU flush (diagnostic; the replay
+        accumulates the same chunks sequentially for bit-exactness)."""
+        arrays = self.arrays()
+        if arrays is not None:
+            return float(arrays["chunk_cpu"].sum())
+        return sum(self.chunk_cpu)  # pragma: no cover
+
+    # ---------------------------------------------------------- serialise
     def to_json_dict(self) -> Dict[str, Any]:
         """JSON-serialisable form (floats round-trip exactly via repr)."""
         return {
             "format": SCHEDULE_FORMAT,
-            "ops": self.ops,
+            "chunk_cpu": self.chunk_cpu,
+            "seg_chunks": self.seg_chunks,
+            "seg_bumps": self.seg_bumps,
+            "bump_pages": self.bump_pages,
+            "fault_page": self.fault_page,
+            "fault_flags": self.fault_flags,
+            "victim_lens": self.victim_lens,
+            "victims": self.victims,
             "n_refs": self.n_refs,
             "n_faults": self.n_faults,
             "policy_state": self.policy_state,
@@ -67,7 +177,14 @@ class FaultSchedule:
                 f"(expected {SCHEDULE_FORMAT})"
             )
         return cls(
-            ops=data["ops"],
+            chunk_cpu=data["chunk_cpu"],
+            seg_chunks=data["seg_chunks"],
+            seg_bumps=data["seg_bumps"],
+            bump_pages=data["bump_pages"],
+            fault_page=data["fault_page"],
+            fault_flags=data["fault_flags"],
+            victim_lens=data["victim_lens"],
+            victims=data["victims"],
             n_refs=data["n_refs"],
             n_faults=data["n_faults"],
             policy_state=data["policy_state"],

@@ -89,6 +89,11 @@ class Cluster:
     #: injectors draw their dedicated ``faults.*`` streams from it so
     #: chaos never perturbs workload determinism.
     rngs: Optional[RngRegistry] = None
+    #: Process count right after assembly — the effect-capsule planner
+    #: compares it against ``sim.process_count`` to detect background
+    #: activity the capsule could not reproduce.
+    baseline_processes: Optional[int] = None
+    _effects_replayed: bool = field(default=False, repr=False)
 
     def run(self, workload, name: Optional[str] = None):
         """Run ``workload`` to completion; returns its CompletionReport.
@@ -97,18 +102,44 @@ class Cluster:
         replacement policy, no speculative prefetching — see
         ``repro.compile.plan``), the reference stream is compiled to a
         fault schedule and replayed in O(faults); otherwise it executes
-        interpretively.  Both paths produce bit-identical reports.
+        interpretively.  When, additionally, a recorded *effect capsule*
+        matches this exact cluster configuration (see
+        ``repro.compile.effects``), the whole run is replayed in O(1)
+        kernel events.  Every path produces bit-identical reports.
         """
-        from ..compile import plan_replay
+        from ..compile import capture_effects, plan_run, restore_effects
 
-        schedule = plan_replay(self, workload)
-        if schedule is not None:
-            return self.machine.run_schedule_to_completion(
-                schedule, name=name or workload.name
+        if self._effects_replayed:
+            # A capsule replay restores observable state only — the
+            # backing stores stay empty, so a second workload would
+            # fault on pages that were never really paged out.
+            raise ConfigurationError(
+                "this cluster already served a run from an effect capsule; "
+                "build a fresh cluster for another workload"
             )
-        return self.machine.run_to_completion(
-            workload.trace(), name=name or workload.name
-        )
+        run_name = name or workload.name
+        plan = plan_run(self, workload)
+        if plan.schedule is None:
+            return self.machine.run_to_completion(workload.trace(), name=run_name)
+        if plan.effects is not None:
+            effects = plan.effects
+            self._effects_replayed = True
+            return self.machine.run_effects_to_completion(
+                plan.schedule,
+                effects,
+                restore=lambda: restore_effects(self, effects),
+                name=run_name,
+            )
+        if plan.record_key is not None:
+            fault_log: List[float] = []
+            report = self.machine.run_schedule_to_completion(
+                plan.schedule, name=run_name, fault_log=fault_log
+            )
+            plan.record_cache.put(
+                plan.record_key, capture_effects(self, fault_log)
+            )
+            return report
+        return self.machine.run_schedule_to_completion(plan.schedule, name=run_name)
 
     def add_spare_server(self, capacity_pages: Optional[int] = None) -> MemoryServer:
         """Register an extra idle donor the pager can recruit (for
@@ -151,6 +182,7 @@ def build_cluster(
     pipeline_prefetch: int = 0,
     pipeline_backlog: int = 0,
     compile_schedules: Optional[bool] = None,
+    analytic_ethernet: Optional[bool] = None,
 ) -> Cluster:
     """Assemble a paper-style testbed.
 
@@ -176,6 +208,12 @@ def build_cluster(
     ``compile_schedules`` forces the trace-compilation fast path on
     (True) or off (False) for this cluster's machine; None follows the
     process default (on, unless ``--no-compile``/``REPRO_NO_COMPILE``).
+
+    ``analytic_ethernet`` forces the uncontended-medium analytic service
+    path of the shared Ethernet on (True) or off (False); None follows
+    the process default (on, unless ``--no-analytic-ethernet`` /
+    ``REPRO_NO_ANALYTIC_ETH``).  Ignored for switched/token-ring
+    networks.
     """
     if policy not in POLICY_NAMES:
         raise ConfigurationError(
@@ -195,7 +233,9 @@ def build_cluster(
     elif token_ring_spec is not None:
         network = TokenRing(sim, spec=token_ring_spec)
     else:
-        network = EthernetCsmaCd(sim, spec=ethernet_spec, rngs=rngs)
+        network = EthernetCsmaCd(
+            sim, spec=ethernet_spec, rngs=rngs, analytic=analytic_ethernet
+        )
     stack = ProtocolStack(network, spec=protocol_spec)
     if retry_spec is not None:
         stack.retry = retry_spec
@@ -338,4 +378,7 @@ def build_cluster(
         server_hosts=server_hosts,
         metrics=metrics,
         rngs=rngs,
+        # Stamped after assembly: any process spawned beyond this count
+        # (background load, fault injectors) disqualifies capsule replay.
+        baseline_processes=sim.process_count,
     )

@@ -85,6 +85,12 @@ class UnreliableNetwork:
         self.delay_rate = delay_rate
         self.max_extra_delay = max_extra_delay
         self.counters = Counter()
+        if any((drop_rate, corrupt_rate, duplicate_rate, delay_rate)):
+            # Chaos campaigns pin frame-level digests; keep the wrapped
+            # network off its analytic fast path so fault timing lands on
+            # the exact event sequence those digests were recorded from.
+            if getattr(inner, "analytic", None):
+                inner.analytic = False
 
     def __getattr__(self, name: str):
         # Everything not overridden here (attach, partition, heal, stats,

@@ -48,6 +48,11 @@ class NetworkStats:
         self.counters = Counter()
         self.message_latency = Tally()
         self.wire = UtilizationTracker(now=sim.now)
+        #: Optional hook a network installs to settle lazily-deferred
+        #: wire accounting before anyone reads utilisation (the analytic
+        #: Ethernet fast path defers its busy/idle marks — see
+        #: ``repro.net.ethernet``).
+        self._pre_read = None
 
     def delivered(self, message: Message) -> None:
         """Account one delivered message (counters + latency tally)."""
@@ -57,6 +62,8 @@ class NetworkStats:
 
     def utilization(self) -> float:
         """Fraction of elapsed time the wire carried bits."""
+        if self._pre_read is not None:
+            self._pre_read()
         return self.wire.utilization(self._sim.now)
 
 

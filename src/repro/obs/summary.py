@@ -60,6 +60,10 @@ class TraceSummary:
         self.spans: List[Dict[str, Any]] = []
         #: Fault-ish events (see _FAULT_COMPONENTS), in timestamp order.
         self.fault_events: List[Dict[str, Any]] = []
+        #: ``compile.*`` planner events (bypass/compiled/cache-hit/
+        #: fallback/vectorized), in order — which fast path served each
+        #: run, and why the faster tiers were skipped when they were.
+        self.compile_events: List[Dict[str, Any]] = []
         self.open_spans = 0
         self.runs: List[str] = []
 
@@ -84,6 +88,8 @@ def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
                     summary.runs.append(label)
             if record["component"] in _FAULT_COMPONENTS:
                 summary.fault_events.append(record)
+            elif record["component"] == "compile":
+                summary.compile_events.append(record)
         elif kind == "span":
             if record["end"] is None:
                 summary.open_spans += 1
@@ -179,6 +185,32 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
         lines.append(f"runs: {', '.join(summary.runs)}")
     if summary.open_spans:
         lines.append(f"warning: {summary.open_spans} span(s) never ended")
+    if summary.compile_events:
+        lines.append("")
+        lines.append("compile fast path:")
+        # One line per decision kind; fallbacks and bypasses break down
+        # by reason so a sweep that silently lost its capsule replays is
+        # visible at a glance.
+        by_kind: Dict[str, int] = {}
+        reasons: Dict[str, Dict[str, int]] = {}
+        for event in summary.compile_events:
+            kind = event["event"]
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+            reason = (event.get("attrs") or {}).get("reason")
+            if reason:
+                bucket = reasons.setdefault(kind, {})
+                bucket[reason] = bucket.get(reason, 0) + 1
+        for kind in sorted(by_kind):
+            line = f"  {kind}: {by_kind[kind]}"
+            if kind in reasons:
+                detail = ", ".join(
+                    f"{reason}={count}"
+                    for reason, count in sorted(
+                        reasons[kind].items(), key=lambda item: -item[1]
+                    )
+                )
+                line += f"  ({detail})"
+            lines.append(line)
     if summary.fault_events:
         lines.append("")
         lines.append(f"fault timeline ({len(summary.fault_events)} events):")

@@ -27,7 +27,13 @@ from typing import Any, Dict, Optional, Tuple
 from ..vm.machine import CompletionReport
 from .spec import RunSpec
 
-__all__ = ["ResultCache", "ScheduleCache", "default_cache_dir", "fingerprint"]
+__all__ = [
+    "ResultCache",
+    "ScheduleCache",
+    "EffectCache",
+    "default_cache_dir",
+    "fingerprint",
+]
 
 #: Bump when the on-disk entry layout changes.
 _FORMAT = 1
@@ -229,6 +235,84 @@ class ScheduleCache:
 
     def clear(self) -> int:
         """Delete every cached schedule; returns the number removed."""
+        removed = 0
+        if self.dir.is_dir():
+            for file in self.dir.glob("*.json"):
+                file.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+class EffectCache:
+    """Content-addressed store of recorded run-effect capsules.
+
+    Keys combine the schedule key with the live cluster fingerprint
+    (see ``repro.compile.effects.effects_key``), the capsule and
+    schedule format versions, the package version, and the same source
+    digest the other caches use — editing any result-determining source
+    invalidates every capsule.  Lives under ``<cache>/effects/`` and
+    follows the same write-then-rename, fail-to-miss discipline.
+    """
+
+    def __init__(self, cache_dir: Optional[os.PathLike] = None):
+        base = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.dir = base / "effects"
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: Dict[str, Any]) -> Path:
+        from ..compile.effects import EFFECTS_FORMAT
+        from ..compile.schedule import SCHEDULE_FORMAT
+
+        import repro
+
+        payload = json.dumps(
+            {
+                "format": EFFECTS_FORMAT,
+                "schedule_format": SCHEDULE_FORMAT,
+                "version": repro.__version__,
+                "sources": _source_digest(),
+                "key": key,
+            },
+            sort_keys=True,
+        )
+        return self.dir / f"{hashlib.sha256(payload.encode()).hexdigest()}.json"
+
+    def get(self, key: Dict[str, Any]):
+        """Load a cached capsule, or None on miss/corruption."""
+        from ..compile.effects import RunEffects
+
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                effects = RunEffects.from_json_dict(json.load(handle))
+        except (OSError, ValueError, TypeError, KeyError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return effects
+
+    def put(self, key: Dict[str, Any], effects) -> bool:
+        """Store one capsule; returns False on any failure."""
+        try:
+            payload = json.dumps(effects.to_json_dict())
+        except (TypeError, ValueError):
+            return False
+        path = self._path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Delete every cached capsule; returns the number removed."""
         removed = 0
         if self.dir.is_dir():
             for file in self.dir.glob("*.json"):

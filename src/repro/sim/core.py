@@ -471,6 +471,11 @@ class Simulator:
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Processes ever started via :meth:`process`.  The effect-capsule
+        #: planner compares this against the cluster builder's baseline to
+        #: detect background activity (traffic generators, watchdogs,
+        #: chaos injectors) that per-fault replay could not reproduce.
+        self.process_count = 0
         # Observability hook: components read ``sim.tracer`` to open
         # request spans and emit structured events.  The no-op default
         # keeps the event loop itself untouched — tracing costs nothing
@@ -503,10 +508,28 @@ class Simulator:
         """An event firing ``delay`` seconds from now with ``value``."""
         return Timeout(self, delay, value)
 
+    def at(self, when: float, value: Any = None) -> Event:
+        """An event firing at the absolute instant ``when`` with ``value``.
+
+        The batch-replay fast paths use this to reconcile with the event
+        kernel at precomputed boundaries: scheduling one event at an
+        exact absolute time avoids re-deriving it from a chain of
+        relative delays (whose float rounding the caller has already
+        accumulated in the reference order).
+        """
+        if when < self._now:
+            raise ValueError(f"at(when={when}) is in the past (now={self._now})")
+        event = Event(self)
+        event._state = TRIGGERED
+        event._value = value
+        heappush(self._heap, (when, next(self._seq), event))
+        return event
+
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None
     ) -> Process:
         """Start a new process running ``generator``."""
+        self.process_count += 1
         return Process(self, generator, name=name)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:

@@ -1,0 +1,163 @@
+"""Effect capsules: O(1) replay of a recorded run — opt-in and guarded.
+
+With ``REPRO_EFFECT_CACHE=1`` the first eligible run of a (cluster
+fingerprint, schedule) cell records everything it changed; an identical
+later run replays the capsule in one kernel event.  These tests pin the
+contract: byte-identical reports, metrics and final machine state on
+replay; a hard error on reusing the quarantined cluster; conservative
+fallbacks (with the right reasons) whenever fidelity would be lost; and
+silent cache misses on any format or fingerprint change.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import MachineSpec
+from repro.core.builder import build_cluster
+from repro.errors import ConfigurationError
+from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
+from repro.sim import NullTracer
+from repro.workloads import Gauss
+
+_SMALL = MachineSpec(
+    name="effects-small",
+    ram_bytes=2 * 1024 * 1024,
+    kernel_resident_bytes=1 * 1024 * 1024,
+    page_size=8192,
+)
+
+
+@pytest.fixture(autouse=True)
+def _capsules_on(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_EFFECT_CACHE", "1")
+    monkeypatch.delenv("REPRO_SCHEDULE_CACHE", raising=False)
+
+
+class _SpyTracer(NullTracer):
+    """Records ``compile.*`` emissions without disqualifying the capsule
+    tier (the eligibility gate checks ``isinstance(..., NullTracer)``:
+    a real tracer needs per-event spans a capsule replay cannot fake,
+    but this spy only listens to the planner's own decision events)."""
+
+    def __init__(self):
+        self.events = []
+
+    def emit(self, component, event, **attrs):
+        if component == "compile":
+            self.events.append((event, attrs))
+
+
+def _run(policy="mirroring", spy=None, **overrides):
+    cluster = build_cluster(
+        policy=policy, n_servers=2, seed=5, machine_spec=_SMALL, **overrides
+    )
+    if spy is not None:
+        cluster.machine.sim.tracer = spy
+    report = cluster.run(Gauss(n=300, passes=2))
+    return cluster, report
+
+
+def test_capsule_replay_is_byte_identical():
+    cold_spy, warm_spy = _SpyTracer(), _SpyTracer()
+    cold_cluster, cold_report = _run(spy=cold_spy)
+    warm_cluster, warm_report = _run(spy=warm_spy)
+    assert dataclasses.asdict(cold_report) == dataclasses.asdict(warm_report)
+    assert cold_cluster.metrics.snapshot() == warm_cluster.metrics.snapshot()
+    # Final machine state is restored too (schedule-carried PTEs/policy).
+    assert (
+        warm_cluster.machine.replacement.export_state()
+        == cold_cluster.machine.replacement.export_state()
+    )
+    assert warm_cluster.machine.sim.now == cold_cluster.machine.sim.now
+    # Decision trail: cold run recorded, warm run replayed the capsule.
+    assert [e for e, _ in cold_spy.events] == ["compiled", "fallback"]
+    assert cold_spy.events[1][1]["reason"] == "effects-cold"
+    assert [e for e, _ in warm_spy.events] == ["cache-hit", "vectorized"]
+    # The vectorized event carries the §4.3 array-reduced decomposition.
+    attrs = warm_spy.events[1][1]
+    assert attrs["ptime_fault_wait"] > 0.0
+    assert attrs["ptime_p95"] >= attrs["ptime_p50"] > 0.0
+
+
+def test_replayed_cluster_refuses_a_second_run():
+    """Capsule replay restores *reported* state only — backing stores
+    stay empty — so the cluster is quarantined afterwards."""
+    _run()  # record
+    cluster, _ = _run()  # replay
+    with pytest.raises(ConfigurationError, match="effect capsule"):
+        cluster.run(Gauss(n=300, passes=2))
+
+
+def test_live_tracer_falls_back_to_kernel_replay():
+    """A real tracer needs the per-event spans, so capsules stand down
+    — and both runs still agree byte-for-byte."""
+    tracer = Tracer()
+    install_tracer(tracer)
+    try:
+        _, first = _run()
+        _, second = _run()
+    finally:
+        uninstall_tracer()
+    assert dataclasses.asdict(first) == dataclasses.asdict(second)
+    reasons = [
+        (r.get("attrs") or {}).get("reason")
+        for r in tracer.events
+        if r["component"] == "compile" and r["event"] == "fallback"
+    ]
+    assert reasons == ["tracing", "tracing"]
+
+
+def test_pipelining_falls_back():
+    spy = _SpyTracer()
+    _run(spy=spy, pipeline_window=4)
+    assert ("fallback", {"reason": "pipelining"}) in [
+        (e, a) for e, a in spy.events if e == "fallback"
+    ]
+
+
+def test_post_build_mutation_addresses_a_different_capsule():
+    """The capsule key reads the *live* cluster: mutating a
+    fingerprinted knob after build must miss the recorded capsule."""
+    _run()  # record the unmutated cell
+    spy = _SpyTracer()
+    cluster = build_cluster(
+        policy="mirroring", n_servers=2, seed=5, machine_spec=_SMALL
+    )
+    cluster.machine.sim.tracer = spy
+    cluster.server_hosts[0].add_cpu_load(0.5)
+    cluster.run(Gauss(n=300, passes=2))
+    fallbacks = [a["reason"] for e, a in spy.events if e == "fallback"]
+    assert fallbacks == ["effects-cold"]  # miss -> records a new capsule
+
+
+def test_structural_mismatch_treated_as_miss(tmp_path):
+    """A capsule whose instrument set no longer matches the live
+    registry (fingerprint gap) is rejected before replay."""
+    _run()  # record
+    capsules = list((tmp_path / "effects").glob("*.json"))
+    assert len(capsules) == 1
+    data = json.loads(capsules[0].read_text())
+    dropped = sorted(data["instruments"])[0]
+    del data["instruments"][dropped]
+    capsules[0].write_text(json.dumps(data))
+
+    spy = _SpyTracer()
+    _run(spy=spy)
+    fallbacks = [a["reason"] for e, a in spy.events if e == "fallback"]
+    assert fallbacks == ["effects-mismatch"]
+
+
+def test_stale_effects_format_misses_silently(tmp_path, monkeypatch):
+    """A format bump re-addresses every entry path: stale capsules are
+    never even deserialised."""
+    from repro.compile import effects as effects_mod
+
+    _run()  # record under the current format
+    spy = _SpyTracer()
+    monkeypatch.setattr(effects_mod, "EFFECTS_FORMAT", 9999)
+    _, _ = _run(spy=spy)
+    fallbacks = [a["reason"] for e, a in spy.events if e == "fallback"]
+    assert fallbacks == ["effects-cold"]  # silent miss, fresh recording

@@ -64,6 +64,23 @@ def test_format_mismatch_recompiles(tmp_path):
         FaultSchedule.from_json_dict(data)
 
 
+def test_stale_format_entries_silently_miss(monkeypatch):
+    """The cache path hashes SCHEDULE_FORMAT, so a format bump (like
+    PR 6's columnar v2) never even opens entries written under the old
+    layout — they are a silent miss, not a deserialisation error."""
+    from repro.compile import schedule as schedule_mod
+
+    schedule = _compile_small()
+    cache = ScheduleCache()
+    key = {"workload": ["Gauss", 8192, 300, 2], "user_frames": 128}
+    assert cache.put(key, schedule)
+    assert cache.get(key) is not None
+    monkeypatch.setattr(schedule_mod, "SCHEDULE_FORMAT", 9999)
+    fresh = ScheduleCache()
+    assert fresh.get(key) is None
+    assert (fresh.hits, fresh.misses) == (0, 1)
+
+
 def test_second_run_hits_cache_and_is_identical():
     tracer = Tracer()
     install_tracer(tracer)
@@ -80,9 +97,18 @@ def test_second_run_hits_cache_and_is_identical():
         uninstall_tracer()
     assert first == second
     compile_events = [
-        r["event"] for r in tracer.events if r["component"] == "compile"
+        (r["event"], (r.get("attrs") or {}).get("reason"))
+        for r in tracer.events
+        if r["component"] == "compile"
     ]
-    assert compile_events == ["compiled", "cache-hit"]
+    # The effect-capsule tier is opt-in (REPRO_EFFECT_CACHE=1), so each
+    # run also reports its fallback to per-fault kernel replay.
+    assert compile_events == [
+        ("compiled", None),
+        ("fallback", "effects-disabled"),
+        ("cache-hit", None),
+        ("fallback", "effects-disabled"),
+    ]
 
 
 def test_recorded_workload_compiles_uncached(tmp_path):
