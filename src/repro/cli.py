@@ -135,6 +135,34 @@ def _cmd_pipelining(args) -> str:
     )
 
 
+def _cmd_monitor(args) -> str:
+    import json
+
+    if args.campaign:
+        campaign = exp.run_monitor_campaign(
+            loads=args.loads,
+            workload=args.app,
+            policy=args.policy,
+            interval=args.interval,
+            capacity=args.capacity,
+            seed=args.seed,
+        )
+        if args.json:
+            return json.dumps(campaign, indent=2, sort_keys=True)
+        return exp.render_monitor_campaign(campaign)
+    point = exp.run_monitor(
+        workload=args.app,
+        policy=args.policy,
+        load=args.load,
+        interval=args.interval,
+        capacity=args.capacity,
+        seed=args.seed,
+    )
+    if args.json:
+        return json.dumps(point, indent=2, sort_keys=True)
+    return exp.render_monitor(point, width=args.width)
+
+
 def _cmd_profile(args) -> str:
     from .workloads import PAPER_WORKLOADS, profile_workload, render_profiles
 
@@ -193,6 +221,7 @@ _ALL = [
     "compression",
     "resilience",
     "pipelining",
+    "monitor",
     "profile",
     "ablate",
 ]
@@ -410,6 +439,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="prefetch depth for the hit-rate probe (default 8)",
     )
     p.set_defaults(func=_cmd_pipelining)
+
+    p = sub.add_parser(
+        "monitor", parents=[runner_flags],
+        help="time-series telemetry + saturation health monitor")
+    p.add_argument("--app", default="gauss", choices=_APPS)
+    p.add_argument("--policy", default="no-reliability", choices=_POLICIES)
+    p.add_argument(
+        "--load", type=float, default=0.0, metavar="FRAC",
+        help="background Ethernet load fraction for the single run "
+        "(default 0.0)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=exp.monitor.DEFAULT_INTERVAL,
+        metavar="SEC",
+        help="sampling interval in simulated seconds (default %(default)s)",
+    )
+    p.add_argument(
+        "--capacity", type=int, default=512, metavar="N",
+        help="ring-buffer capacity per series; oldest samples are evicted "
+        "beyond this (default 512)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--width", type=int, default=60, metavar="COLS",
+        help="sparkline width for the ASCII timelines (default 60)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the raw series/health payload as JSON instead of ASCII",
+    )
+    p.add_argument(
+        "--campaign", action="store_true",
+        help="rising-load sweep: compare where health first warns against "
+        "the measured §4.6 collapse knee",
+    )
+    p.add_argument(
+        "--loads", nargs="+", type=float,
+        default=list(exp.monitor.CAMPAIGN_LOADS), metavar="FRAC",
+        help="load levels for --campaign",
+    )
+    p.set_defaults(func=_cmd_monitor)
 
     p = sub.add_parser(
         "profile", parents=[runner_flags], help="device-independent workload fault profiles")

@@ -97,6 +97,13 @@ class ReplayPlan:
 
 def _bypass_reason(machine, pager, workload) -> Optional[str]:
     """Why this run must stay interpreted, or None when eligible."""
+    if getattr(machine.sim.sampler, "enabled", False):
+        # Telemetry sampling wants the real event-by-event timeline:
+        # merged-chunk replay lumps utime between fault boundaries and
+        # would distort mid-run samples, so sampled runs pin themselves
+        # to interpreted execution (and thereby stay deterministic
+        # across --jobs and cache replay).
+        return "telemetry"
     if not getattr(workload, "deterministic", False):
         return "nondeterministic-workload"
     if getattr(machine, "prefetch", 0):

@@ -33,7 +33,9 @@ from ..net.ethernet import EthernetCsmaCd
 from ..net.protocol import ProtocolStack, RetrySpec
 from ..net.switched import SwitchedNetwork
 from ..net.token_ring import TokenRing, TokenRingSpec
+from ..obs.health import HealthMonitor, HealthSpec
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import TelemetrySampler
 from ..obs.trace import current_tracer
 from ..pipeline import PipelineSpec
 from ..sim import RngRegistry, Simulator
@@ -93,6 +95,10 @@ class Cluster:
     #: compares it against ``sim.process_count`` to detect background
     #: activity the capsule could not reproduce.
     baseline_processes: Optional[int] = None
+    #: The sim-clock telemetry sampler and its health monitor; both None
+    #: unless the cluster was built with ``telemetry_interval > 0``.
+    telemetry: Optional[TelemetrySampler] = None
+    health: Optional[HealthMonitor] = None
     _effects_replayed: bool = field(default=False, repr=False)
 
     def run(self, workload, name: Optional[str] = None):
@@ -118,18 +124,24 @@ class Cluster:
                 "build a fresh cluster for another workload"
             )
         run_name = name or workload.name
+        if self.telemetry is not None:
+            # The kernel Periodic retires when the heap drains; re-arm
+            # for this run phase so sampling spans the whole workload.
+            self.telemetry.ensure_running()
         plan = plan_run(self, workload)
         if plan.schedule is None:
-            return self.machine.run_to_completion(workload.trace(), name=run_name)
+            return self._finish(
+                self.machine.run_to_completion(workload.trace(), name=run_name)
+            )
         if plan.effects is not None:
             effects = plan.effects
             self._effects_replayed = True
-            return self.machine.run_effects_to_completion(
+            return self._finish(self.machine.run_effects_to_completion(
                 plan.schedule,
                 effects,
                 restore=lambda: restore_effects(self, effects),
                 name=run_name,
-            )
+            ))
         if plan.record_key is not None:
             fault_log: List[float] = []
             report = self.machine.run_schedule_to_completion(
@@ -138,8 +150,23 @@ class Cluster:
             plan.record_cache.put(
                 plan.record_key, capture_effects(self, fault_log)
             )
-            return report
-        return self.machine.run_schedule_to_completion(plan.schedule, name=run_name)
+            return self._finish(report)
+        return self._finish(
+            self.machine.run_schedule_to_completion(plan.schedule, name=run_name)
+        )
+
+    def _finish(self, report):
+        """Close out telemetry for the run: final sample, health digest.
+
+        The health summary rides in ``report.meta["health"]`` so it
+        survives the runner's process pool and the result cache exactly
+        like ``meta["metrics"]`` does.
+        """
+        if self.telemetry is not None:
+            self.telemetry.finalize()
+            if self.health is not None:
+                report.meta["health"] = self.health.summary()
+        return report
 
     def add_spare_server(self, capacity_pages: Optional[int] = None) -> MemoryServer:
         """Register an extra idle donor the pager can recruit (for
@@ -183,6 +210,12 @@ def build_cluster(
     pipeline_backlog: int = 0,
     compile_schedules: Optional[bool] = None,
     analytic_ethernet: Optional[bool] = None,
+    telemetry_interval: float = 0.0,
+    telemetry_capacity: int = 512,
+    health_warn_load: float = 0.70,
+    health_crit_load: float = 0.90,
+    health_warn_delay_ms: float = 20.0,
+    health_crit_delay_ms: float = 100.0,
 ) -> Cluster:
     """Assemble a paper-style testbed.
 
@@ -214,6 +247,19 @@ def build_cluster(
     the process default (on, unless ``--no-analytic-ethernet`` /
     ``REPRO_NO_ANALYTIC_ETH``).  Ignored for switched/token-ring
     networks.
+
+    ``telemetry_interval`` (simulated seconds) > 0 installs a
+    :class:`~repro.obs.telemetry.TelemetrySampler` that records
+    per-server utilisation, wire utilisation, queue depth/delay, the
+    idle-memory pool, fault/retry rates and a per-fault latency
+    histogram into ``telemetry_capacity``-sample ring buffers, plus a
+    :class:`~repro.obs.health.HealthMonitor` with the given
+    WARN_LOAD/WARN_DELAY-style thresholds.  Sampling pins the run to
+    interpreted execution (``compile.bypass reason=telemetry``) so the
+    series are identical across ``--jobs`` and cache replay.  All
+    telemetry knobs are plain scalars on purpose: they travel through
+    ``RunSpec`` overrides and participate in the result-cache
+    fingerprint.
     """
     if policy not in POLICY_NAMES:
         raise ConfigurationError(
@@ -347,6 +393,7 @@ def build_cluster(
         if pager.pipeline is not None:
             metrics.attach("pipeline", pager.pipeline.counters)
             metrics.attach("pipeline.queue_depth", pager.pipeline.queue_depth)
+            metrics.attach("pipeline.queue_delay", pager.pipeline.queue_delay)
     if policy_obj is not None:
         metrics.attach("policy", policy_obj.counters)
     for server in servers + ([parity_server] if parity_server else []):
@@ -362,6 +409,79 @@ def build_cluster(
     tracer = current_tracer()
     if tracer is not None:
         sim.set_tracer(tracer)
+
+    telemetry: Optional[TelemetrySampler] = None
+    health: Optional[HealthMonitor] = None
+    if telemetry_interval > 0.0:
+        telemetry = TelemetrySampler(
+            telemetry_interval, capacity=telemetry_capacity
+        )
+        sim.set_sampler(telemetry)
+        all_servers = servers + ([parity_server] if parity_server else [])
+        # Windowed per-server CPU utilisation: differentiate the
+        # cumulative cpu_us counter (microseconds -> busy fraction).
+        for server in all_servers:
+            telemetry.add_probe(
+                f"util.server.{server.name}",
+                (lambda c=server.counters: c["cpu_us"]),
+                mode="rate",
+                scale=1e-6,
+            )
+        # Windowed wire utilisation (settles lazy analytic accounting).
+        telemetry.add_probe(
+            "util.wire", network.stats.busy_seconds, mode="rate"
+        )
+        # Windowed mean message latency, in milliseconds.
+        latency = network.stats.message_latency
+        telemetry.add_probe(
+            "net.latency_ms",
+            (lambda t=latency: (t.total, t.count)),
+            mode="mean",
+            scale=1e3,
+        )
+        # Pageout / write-behind queue depth and queueing delay.
+        if isinstance(pager, RemoteMemoryPager) and pager.pipeline is not None:
+            pipeline = pager.pipeline
+            telemetry.add_probe("queue.depth", lambda p=pipeline: p.pending)
+            delay = pipeline.queue_delay
+            telemetry.add_probe(
+                "queue.delay_ms",
+                (lambda t=delay: (t.total, t.count)),
+                mode="mean",
+                scale=1e3,
+            )
+        else:
+            telemetry.add_probe(
+                "queue.depth", lambda m=machine: m.inflight_pageouts
+            )
+        # Idle-memory pool: free donated pages across every server.
+        if all_servers:
+            telemetry.add_probe(
+                "pool.free_pages",
+                lambda ss=tuple(all_servers): sum(s.free_pages for s in ss),
+            )
+        # Fault and retry pressure, per simulated second.
+        telemetry.add_probe(
+            "rate.faults", (lambda c=machine.counters: c["faults"]), mode="rate"
+        )
+        telemetry.add_probe(
+            "rate.retries",
+            (lambda c=stack.counters: c["rpc_retries"]),
+            mode="rate",
+        )
+        for series_name, series in telemetry.series.items():
+            metrics.attach(f"telemetry.{series_name}", series)
+        metrics.attach("telemetry.fault_latency", telemetry.fault_latency)
+        health = HealthMonitor(
+            telemetry,
+            HealthSpec(
+                warn_load=health_warn_load,
+                crit_load=health_crit_load,
+                warn_delay_ms=health_warn_delay_ms,
+                crit_delay_ms=health_crit_delay_ms,
+            ),
+        )
+        health.bind(sim)
 
     return Cluster(
         sim=sim,
@@ -381,4 +501,6 @@ def build_cluster(
         # Stamped after assembly: any process spawned beyond this count
         # (background load, fault injectors) disqualifies capsule replay.
         baseline_processes=sim.process_count,
+        telemetry=telemetry,
+        health=health,
     )

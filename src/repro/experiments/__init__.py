@@ -25,6 +25,13 @@ from .harness import PAPER_CONFIGS, run_policy, run_suite
 from .heterogeneous import render_heterogeneous, run_heterogeneous
 from .latency import render_latency, run_latency
 from .loaded_ethernet import render_loaded_ethernet, run_loaded_ethernet
+from .monitor import (
+    collapse_knee,
+    render_monitor,
+    render_monitor_campaign,
+    run_monitor,
+    run_monitor_campaign,
+)
 from .multi_client import build_multi_client, render_multi_client, run_multi_client
 from .network_comparison import render_network_comparison, run_network_comparison
 from .pipelining import (
@@ -68,6 +75,11 @@ __all__ = [
     "render_busy_servers",
     "run_loaded_ethernet",
     "render_loaded_ethernet",
+    "run_monitor",
+    "render_monitor",
+    "run_monitor_campaign",
+    "render_monitor_campaign",
+    "collapse_knee",
     "run_network_comparison",
     "render_network_comparison",
     "run_server_scaling",

@@ -75,8 +75,11 @@ def run_policy(
     else:
         workload = workload_factory()
     report = cluster.run(workload)
+    health = report.meta.get("health")
     report.meta = build_meta(policy, kwargs.get("seed", 0), overrides, workload.name)
     report.meta["metrics"] = cluster.metrics.snapshot()
+    if health is not None:
+        report.meta["health"] = health
     return report
 
 

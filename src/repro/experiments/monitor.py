@@ -1,0 +1,347 @@
+"""Live saturation monitoring: per-server timelines and the §4.6 knee.
+
+``repro monitor`` runs one workload with the telemetry sampler on and
+renders the sampled series (per-server CPU, wire utilisation, queue
+depth/delay, idle pool, fault rate) as ASCII timelines alongside the
+health monitor's warn/critical transitions.  ``--campaign`` repeats the
+§4.6 loaded-Ethernet sweep with telemetry enabled at every load point
+and compares where the health monitor first warned against the measured
+throughput-collapse knee — the acceptance check for the early-warning
+contract: warnings must land *strictly below* the knee.
+
+Everything routes through the experiment runner, so the sampled series
+and health verdicts are byte-deterministic across ``--jobs`` and cache
+replay (sampling pins runs to interpreted execution; see
+``repro.compile.plan``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..analysis.report import format_table
+from ..runner import RunSpec, default_runner
+
+__all__ = [
+    "run_monitor",
+    "monitor_spec",
+    "render_monitor",
+    "run_monitor_campaign",
+    "render_monitor_campaign",
+    "collapse_knee",
+    "extract_series",
+    "DEFAULT_INTERVAL",
+    "CAMPAIGN_LOADS",
+]
+
+#: Default sampling interval (simulated seconds).  Paging traffic is
+#: bursty: sub-second windows see the wire pinned near 100% during any
+#: page transfer and report saturation on a perfectly healthy run.
+#: One-second windows average over fault bursts, so sustained elevation
+#: means sustained contention — the §4.6 signal.
+DEFAULT_INTERVAL = 1.0
+
+#: The default rising-load campaign (§4.6 sweep, densified near the
+#: collapse region).
+CAMPAIGN_LOADS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+#: Threshold defining the measured collapse knee: the first load level
+#: whose completion time is at least this multiple of the unloaded run.
+KNEE_SLOWDOWN = 2.0
+
+#: Campaign load-rule calibration.  A paging client's one-second
+#: windowed wire utilisation sits near 0.80 during normal operation
+#: (page transfers are wire-bound), so the stock 0.70 warn threshold
+#: would cry wolf on the unloaded baseline.  The campaign warns on
+#: sustained utilisation *above* the paging-burst floor; queueing
+#: delay (warn at 20ms windowed mean) is the discriminating
+#: approach-to-collapse signal either way.
+CAMPAIGN_WARN_LOAD = 0.85
+CAMPAIGN_CRIT_LOAD = 0.95
+
+_SPARK = " .:-=+*#%@"
+
+
+def extract_series(metrics: Dict[str, Any]) -> Dict[str, Dict[str, List[float]]]:
+    """Pull ``telemetry.*`` ring buffers out of a metrics snapshot."""
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for key in metrics:
+        if key.endswith(".__series__"):
+            prefix = key[: -len(".__series__")]
+            name = prefix[len("telemetry."):] if prefix.startswith("telemetry.") else prefix
+            series[name] = {
+                "times": list(metrics.get(f"{prefix}.times") or []),
+                "values": list(metrics.get(f"{prefix}.values") or []),
+                "dropped": metrics.get(f"{prefix}.dropped", 0),
+            }
+    return series
+
+
+def _extract_histogram(metrics: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+    prefix = "telemetry.fault_latency"
+    if f"{prefix}.__hist__" not in metrics:
+        return None
+    return {
+        "count": metrics.get(f"{prefix}.count", 0),
+        "p50": metrics.get(f"{prefix}.p50", 0.0),
+        "p95": metrics.get(f"{prefix}.p95", 0.0),
+        "p99": metrics.get(f"{prefix}.p99", 0.0),
+        "p999": metrics.get(f"{prefix}.p999", 0.0),
+    }
+
+
+def run_monitor(
+    workload: str = "gauss",
+    policy: str = "no-reliability",
+    load: float = 0.0,
+    interval: float = DEFAULT_INTERVAL,
+    capacity: int = 512,
+    seed: int = 0,
+    runner=None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    **overrides,
+) -> Dict[str, Any]:
+    """One telemetry-enabled run; returns series + health + etime.
+
+    ``load`` > 0 attaches §4.6 background Ethernet traffic.  Extra
+    ``overrides`` pass straight to :func:`~repro.core.builder.build_cluster`
+    (e.g. ``health_warn_load=0.6``, ``pipeline_window=16``).
+    """
+    spec = monitor_spec(
+        workload,
+        policy,
+        load=load,
+        interval=interval,
+        capacity=capacity,
+        seed=seed,
+        workload_kwargs=workload_kwargs,
+        **overrides,
+    )
+    result = (runner or default_runner()).run_one(spec)
+    return _point(result, load)
+
+
+def monitor_spec(
+    workload: str,
+    policy: str,
+    load: float = 0.0,
+    interval: float = DEFAULT_INTERVAL,
+    capacity: int = 512,
+    seed: int = 0,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    **overrides,
+) -> RunSpec:
+    """The picklable spec for one telemetry-enabled run."""
+    merged = {
+        "telemetry_interval": interval,
+        "telemetry_capacity": capacity,
+        **overrides,
+    }
+    return RunSpec.make(
+        workload,
+        policy,
+        workload_kwargs=workload_kwargs,
+        overrides=merged,
+        seed=seed,
+        hook="background-load" if load > 0 else None,
+        hook_kwargs={"total_load": load, "n_sources": 4} if load > 0 else None,
+        extract=("network-stats",),
+        label=f"monitor/{workload}/{policy}/load={load:.0%}",
+    )
+
+
+def _point(result, load: float) -> Dict[str, Any]:
+    report = result.report
+    metrics = report.meta.get("metrics", {})
+    return {
+        "load": load,
+        "etime": report.etime,
+        "health": report.meta.get("health"),
+        "series": extract_series(metrics),
+        "fault_latency": _extract_histogram(metrics),
+        "extras": dict(result.extras),
+    }
+
+
+# ---------------------------------------------------------------- campaign
+def run_monitor_campaign(
+    loads: Iterable[float] = CAMPAIGN_LOADS,
+    workload: str = "gauss",
+    policy: str = "no-reliability",
+    interval: float = DEFAULT_INTERVAL,
+    capacity: int = 512,
+    seed: int = 0,
+    runner=None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    **overrides,
+) -> Dict[str, Any]:
+    """§4.6 rising-load sweep with telemetry at every point.
+
+    Returns the per-load points plus the measured collapse knee and the
+    lowest load at which the health monitor warned — the early-warning
+    contract holds when ``first_warn_load`` is strictly below
+    ``knee_load``.
+    """
+    overrides.setdefault("health_warn_load", CAMPAIGN_WARN_LOAD)
+    overrides.setdefault("health_crit_load", CAMPAIGN_CRIT_LOAD)
+    loads = sorted(set(float(load) for load in loads))
+    specs = [
+        monitor_spec(
+            workload,
+            policy,
+            load=load,
+            interval=interval,
+            capacity=capacity,
+            seed=seed,
+            workload_kwargs=workload_kwargs,
+            **overrides,
+        )
+        for load in loads
+    ]
+    points = [
+        _point(result, load)
+        for load, result in zip(loads, (runner or default_runner()).run(specs))
+    ]
+    knee = collapse_knee(points)
+    first_warn = next(
+        (
+            point["load"]
+            for point in points
+            if point["health"] and point["health"]["status"] != "ok"
+        ),
+        None,
+    )
+    return {
+        "workload": workload,
+        "policy": policy,
+        "points": points,
+        "knee_load": knee,
+        "first_warn_load": first_warn,
+        "warned_before_knee": (
+            first_warn is not None and (knee is None or first_warn < knee)
+        ),
+    }
+
+
+def collapse_knee(points: List[Dict[str, Any]]) -> Optional[float]:
+    """The measured §4.6 collapse knee: lowest load whose completion
+    time reaches ``KNEE_SLOWDOWN``× the lowest-load run (None if the
+    sweep never collapses)."""
+    if not points:
+        return None
+    ordered = sorted(points, key=lambda p: p["load"])
+    baseline = ordered[0]["etime"]
+    if baseline <= 0:
+        return None
+    for point in ordered[1:]:
+        if point["etime"] >= KNEE_SLOWDOWN * baseline:
+            return point["load"]
+    return None
+
+
+# --------------------------------------------------------------- rendering
+def _sparkline(values: List[float], width: int, lo: float, hi: float) -> str:
+    """Resample ``values`` to ``width`` columns of density glyphs."""
+    if not values:
+        return ""
+    span = hi - lo
+    columns = []
+    n = len(values)
+    for col in range(min(width, n) if n < width else width):
+        if n <= width:
+            bucket = [values[col]] if col < n else []
+        else:
+            start = col * n // width
+            stop = max(start + 1, (col + 1) * n // width)
+            bucket = values[start:stop]
+        if not bucket:
+            break
+        peak = max(bucket)
+        frac = (peak - lo) / span if span > 0 else 0.0
+        frac = min(1.0, max(0.0, frac))
+        columns.append(_SPARK[round(frac * (len(_SPARK) - 1))])
+    return "".join(columns)
+
+
+def render_monitor(point: Dict[str, Any], width: int = 60) -> str:
+    """ASCII timelines + health transitions for one monitored run."""
+    lines: List[str] = []
+    label = f"load={point['load']:.0%}, etime={point['etime']:.2f}s"
+    lines.append(f"telemetry timelines ({label})")
+    series = point.get("series") or {}
+    if not series:
+        lines.append("  (no telemetry series; was telemetry_interval set?)")
+    name_width = max((len(name) for name in series), default=0)
+    for name in sorted(series):
+        values = series[name]["values"]
+        if not values:
+            continue
+        lo = min(0.0, min(values))
+        hi = max(values)
+        spark = _sparkline(values, width, lo, hi if hi > lo else lo + 1.0)
+        lines.append(
+            f"  {name:<{name_width}} |{spark:<{width}}| "
+            f"last={values[-1]:.3g} max={hi:.3g}"
+        )
+        if series[name].get("dropped"):
+            lines.append(
+                f"  {'':<{name_width}}  ({series[name]['dropped']} oldest "
+                "samples evicted from ring)"
+            )
+    hist = point.get("fault_latency")
+    if hist and hist["count"]:
+        lines.append(
+            f"  fault latency: n={hist['count']} "
+            f"p50={hist['p50'] * 1e3:.2f}ms p95={hist['p95'] * 1e3:.2f}ms "
+            f"p99={hist['p99'] * 1e3:.2f}ms p999={hist['p999'] * 1e3:.2f}ms"
+        )
+    health = point.get("health")
+    if health:
+        lines.append(f"health: {health['status']}")
+        for event in health["events"]:
+            lines.append(
+                f"  t={event['t']:8.2f}s {event['severity']:<8} "
+                f"{event['series']} ({event['rule']}): "
+                f"{event['value']:.3g} vs {event['threshold']:.3g}"
+            )
+    return "\n".join(lines)
+
+
+def render_monitor_campaign(campaign: Dict[str, Any]) -> str:
+    """Load-sweep table: etime, slowdown, health verdict per point."""
+    points = sorted(campaign["points"], key=lambda p: p["load"])
+    baseline = points[0]["etime"] if points else 0.0
+    rows: List[List[str]] = []
+    for point in points:
+        health = point["health"] or {}
+        first_warn = health.get("first_warn_time")
+        wire = point["extras"].get("wire_utilization")
+        rows.append(
+            [
+                f"{point['load']:.0%}",
+                f"{point['etime']:.1f}",
+                f"{point['etime'] / baseline:.2f}x" if baseline else "-",
+                health.get("status", "-"),
+                f"{first_warn:.1f}s" if first_warn is not None else "-",
+                f"{wire:.0%}" if wire is not None else "-",
+            ]
+        )
+    knee = campaign["knee_load"]
+    warn = campaign["first_warn_load"]
+    table = format_table(
+        ["offered load", "etime (s)", "slowdown", "health", "first warn", "wire busy"],
+        rows,
+        title=(
+            f"Saturation early-warning vs §4.6 collapse "
+            f"({campaign['workload']}/{campaign['policy']})"
+        ),
+    )
+    footer = [
+        f"collapse knee (>= {KNEE_SLOWDOWN:.0f}x etime): "
+        + (f"{knee:.0%}" if knee is not None else "not reached"),
+        "first health warning: " + (f"{warn:.0%}" if warn is not None else "never"),
+        "early warning "
+        + ("HELD (warned strictly below the knee)" if campaign["warned_before_knee"]
+           else "FAILED"),
+    ]
+    return table + "\n" + "\n".join(footer)

@@ -66,6 +66,14 @@ class NetworkStats:
             self._pre_read()
         return self.wire.utilization(self._sim.now)
 
+    def busy_seconds(self) -> float:
+        """Cumulative seconds the wire carried bits (settles lazy
+        accounting first) — telemetry differentiates this into windowed
+        wire utilisation."""
+        if self._pre_read is not None:
+            self._pre_read()
+        return self.wire.busy_seconds(self._sim.now)
+
 
 class Network:
     """Base class: host registry plus the transfer interface.

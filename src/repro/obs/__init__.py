@@ -1,12 +1,15 @@
-"""Observability: tracing, request spans, and the metrics registry.
+"""Observability: tracing, spans, metrics, telemetry, and health.
 
 ``repro.obs`` is the opt-in half of the observability layer.  The
-zero-cost half — ``NullTracer``/``NULL_TRACER`` — lives in the
-simulation kernel (:mod:`repro.sim.core`) so that ``repro.sim`` never
-imports this package; modules here import ``repro.sim`` freely.
+zero-cost half — ``NullTracer``/``NULL_TRACER`` and
+``NullSampler``/``NULL_SAMPLER`` — lives in the simulation kernel
+(:mod:`repro.sim.core`) so that ``repro.sim`` never imports this
+package; modules here import ``repro.sim`` freely.
 """
 
+from .health import HealthMonitor, HealthSpec
 from .metrics import MetricsRegistry, merge_snapshots
+from .telemetry import LogHistogram, TelemetrySampler, TimeSeries
 from .trace import (
     Span,
     Tracer,
@@ -21,6 +24,11 @@ from .trace import (
 __all__ = [
     "MetricsRegistry",
     "merge_snapshots",
+    "LogHistogram",
+    "TimeSeries",
+    "TelemetrySampler",
+    "HealthMonitor",
+    "HealthSpec",
     "Span",
     "Tracer",
     "current_tracer",

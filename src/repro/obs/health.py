@@ -1,0 +1,188 @@
+"""Saturation early-warning on top of the telemetry sampler.
+
+The paper's §4.6 shows throughput collapsing once the Ethernet and the
+servers saturate.  The health monitor watches the sampled series as the
+run progresses and raises ``health.warn`` / ``health.critical`` *before*
+the collapse point, in the style of the gateway-tier queue-delay
+warnings ROADMAP item 4 describes (WARN_LOAD / WARN_DELAY thresholds):
+
+* **load rules** — any series named ``util.*`` (per-server CPU, wire
+  busy fraction; values in [0, 1]) is checked against
+  ``warn_load`` / ``crit_load``;
+* **delay rules** — any series named ``*.delay_ms`` or ``*.latency_ms``
+  (queueing delay, message latency) is checked against
+  ``warn_delay_ms`` / ``crit_delay_ms``;
+* **burn rate** — a series that has spent at least ``burn_fraction`` of
+  the last ``burn_window`` samples above its warn threshold escalates
+  to critical even if no single sample crossed the critical line:
+  sustained pressure is what actually precedes the knee.
+
+Transitions are edge-triggered: one event when a series enters warn,
+one when it escalates to critical, one ``clear`` when it drops back.
+Events are appended to ``HealthMonitor.events`` (JSON-safe, rides in
+``CompletionReport.meta["health"]``) and mirrored to the simulator's
+tracer under component ``health`` so traced runs get a health timeline
+in ``trace-summary``.  Everything keys off the simulated clock, so
+verdicts are bit-deterministic across ``--jobs`` and cache replay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from .telemetry import TelemetrySampler
+
+__all__ = ["HealthSpec", "HealthMonitor"]
+
+_LEVELS = {"ok": 0, "warn": 1, "critical": 2}
+
+
+@dataclass(frozen=True)
+class HealthSpec:
+    """Thresholds for the saturation rules (all sim-side quantities)."""
+
+    #: Utilisation fraction that triggers warn / critical on ``util.*``.
+    warn_load: float = 0.70
+    crit_load: float = 0.90
+    #: Delay in milliseconds that triggers warn / critical on
+    #: ``*.delay_ms`` / ``*.latency_ms`` series.
+    warn_delay_ms: float = 20.0
+    crit_delay_ms: float = 100.0
+    #: Burn rate: escalate to critical when at least ``burn_fraction``
+    #: of the last ``burn_window`` samples sat above warn.
+    burn_window: int = 8
+    burn_fraction: float = 0.75
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.warn_load <= self.crit_load:
+            raise ValueError("need 0 < warn_load <= crit_load")
+        if not 0.0 < self.warn_delay_ms <= self.crit_delay_ms:
+            raise ValueError("need 0 < warn_delay_ms <= crit_delay_ms")
+        if self.burn_window < 1:
+            raise ValueError("burn_window must be at least 1")
+        if not 0.0 < self.burn_fraction <= 1.0:
+            raise ValueError("burn_fraction must be in (0, 1]")
+
+
+class HealthMonitor:
+    """Evaluates :class:`HealthSpec` rules on every telemetry sample."""
+
+    def __init__(self, sampler: TelemetrySampler, spec: Optional[HealthSpec] = None):
+        self.sampler = sampler
+        self.spec = spec or HealthSpec()
+        self.events: List[Dict[str, Any]] = []
+        self.first_warn_time: Optional[float] = None
+        self.first_critical_time: Optional[float] = None
+        self._states: Dict[str, str] = {}
+        self._history: Dict[str, deque] = {}
+        self._sim = None
+        sampler.listeners.append(self.on_sample)
+
+    def bind(self, sim) -> None:
+        """Attach the simulator whose tracer mirrors health events."""
+        self._sim = sim
+
+    # -- rule plumbing --------------------------------------------------------
+    def _thresholds(self, name: str) -> Optional[tuple]:
+        spec = self.spec
+        if name.startswith("util."):
+            return spec.warn_load, spec.crit_load
+        if name.endswith(".delay_ms") or name.endswith(".latency_ms"):
+            return spec.warn_delay_ms, spec.crit_delay_ms
+        return None
+
+    def on_sample(self, now: float, sample: Dict[str, float]) -> None:
+        """Sampler listener: classify every rule-bearing series."""
+        spec = self.spec
+        for name, value in sample.items():
+            thresholds = self._thresholds(name)
+            if thresholds is None:
+                continue
+            warn_at, crit_at = thresholds
+            level = (
+                "critical" if value >= crit_at
+                else "warn" if value >= warn_at
+                else "ok"
+            )
+            rule = "load" if name.startswith("util.") else "delay"
+            history = self._history.get(name)
+            if history is None:
+                history = self._history[name] = deque(maxlen=spec.burn_window)
+            history.append(1 if value >= warn_at else 0)
+            if (
+                level == "warn"
+                and len(history) == spec.burn_window
+                and sum(history) >= spec.burn_fraction * spec.burn_window
+            ):
+                level = "critical"
+                rule = "burn-rate"
+            self._transition(now, name, rule, level, value, warn_at, crit_at)
+
+    def _transition(
+        self,
+        now: float,
+        name: str,
+        rule: str,
+        level: str,
+        value: float,
+        warn_at: float,
+        crit_at: float,
+    ) -> None:
+        previous = self._states.get(name, "ok")
+        if level == previous:
+            return
+        self._states[name] = level
+        rising = _LEVELS[level] > _LEVELS[previous]
+        severity = level if rising else "clear"
+        threshold = crit_at if level == "critical" else warn_at
+        event = {
+            "t": now,
+            "severity": severity,
+            "rule": rule,
+            "series": name,
+            "value": value,
+            "threshold": threshold,
+        }
+        self.events.append(event)
+        if severity == "warn" and self.first_warn_time is None:
+            self.first_warn_time = now
+        if severity == "critical":
+            if self.first_critical_time is None:
+                self.first_critical_time = now
+            if self.first_warn_time is None:
+                # Jumping straight past warn still counts as the first
+                # warning sign.
+                self.first_warn_time = now
+        if self._sim is not None:
+            self._sim.tracer.emit(
+                "health",
+                severity,
+                rule=rule,
+                series=name,
+                value=value,
+                threshold=threshold,
+            )
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def status(self) -> str:
+        """Worst level reached over the whole run."""
+        if self.first_critical_time is not None:
+            return "critical"
+        if self.first_warn_time is not None:
+            return "warn"
+        return "ok"
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe digest for ``CompletionReport.meta["health"]``."""
+        return {
+            "status": self.status,
+            "first_warn_time": self.first_warn_time,
+            "first_critical_time": self.first_critical_time,
+            "samples": self.sampler.samples,
+            "interval": self.sampler.interval,
+            "events": list(self.events),
+            "spec": asdict(self.spec),
+        }

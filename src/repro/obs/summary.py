@@ -64,6 +64,9 @@ class TraceSummary:
         #: fallback/vectorized), in order — which fast path served each
         #: run, and why the faster tiers were skipped when they were.
         self.compile_events: List[Dict[str, Any]] = []
+        #: ``health.*`` saturation transitions (warn/critical/clear)
+        #: from the telemetry health monitor, in timestamp order.
+        self.health_events: List[Dict[str, Any]] = []
         self.open_spans = 0
         self.runs: List[str] = []
 
@@ -90,6 +93,8 @@ def summarize(records: List[Dict[str, Any]]) -> TraceSummary:
                 summary.fault_events.append(record)
             elif record["component"] == "compile":
                 summary.compile_events.append(record)
+            elif record["component"] == "health":
+                summary.health_events.append(record)
         elif kind == "span":
             if record["end"] is None:
                 summary.open_spans += 1
@@ -211,6 +216,28 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
                 )
                 line += f"  ({detail})"
             lines.append(line)
+    if summary.health_events:
+        lines.append("")
+        worst = "ok"
+        for event in summary.health_events:
+            if event["event"] == "critical":
+                worst = "critical"
+            elif event["event"] == "warn" and worst != "critical":
+                worst = "warn"
+        lines.append(
+            f"health timeline ({len(summary.health_events)} transitions, "
+            f"worst={worst}):"
+        )
+        for event in summary.health_events[:_TIMELINE_LIMIT]:
+            attrs = event.get("attrs") or {}
+            lines.append(
+                f"  @{event['ts']:10.6f}s {event['event']:<8} "
+                f"{attrs.get('series', '?')} ({attrs.get('rule', '?')}): "
+                f"{attrs.get('value', 0):.4g} vs {attrs.get('threshold', 0):.4g}"
+            )
+        if len(summary.health_events) > _TIMELINE_LIMIT:
+            rest = summary.health_events[_TIMELINE_LIMIT:]
+            lines.append(f"  ... {len(rest)} more ({_attribution(rest)})")
     if summary.fault_events:
         lines.append("")
         lines.append(f"fault timeline ({len(summary.fault_events)} events):")

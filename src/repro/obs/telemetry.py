@@ -1,0 +1,366 @@
+"""Time-series telemetry: sim-clock sampling into bounded ring buffers.
+
+PR 2's observability reports end-of-run snapshots and per-request
+spans; neither shows the queues *filling up* — the signal that predicts
+the paper's §4.6 throughput collapse before it happens.  This module
+adds the missing middle layer:
+
+* :class:`LogHistogram` — an HDR-style log-bucketed latency histogram:
+  exact counts in geometric buckets, so p50/p95/p99/p999 are recoverable
+  to within one bucket (~9% with the default growth factor) without
+  storing a single raw sample.
+* :class:`TimeSeries` — a bounded ring buffer of ``(time, value)``
+  samples with an eviction counter, JSON-safe and cheap to snapshot.
+* :class:`TelemetrySampler` — the sim-clock-driven sampler: registered
+  probes are read every ``interval`` simulated seconds (via the
+  kernel's :meth:`~repro.sim.Simulator.every` periodic primitive) into
+  per-probe series; listeners (the health monitor) see each sample as
+  it lands.
+
+Everything here is driven by the *simulated* clock, so sampled series
+are bit-deterministic: the same run produces the same timelines
+regardless of ``--jobs``, host speed, or cache replay.  With telemetry
+off, ``sim.sampler`` stays the kernel's zero-cost
+:class:`~repro.sim.NullSampler` and nothing in this module is touched.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+from ..sim.core import Periodic
+
+__all__ = [
+    "LogHistogram",
+    "TimeSeries",
+    "TelemetrySampler",
+    "DEFAULT_GROWTH",
+    "PERCENTILES",
+]
+
+#: Default geometric bucket growth: 2**(1/8) per bucket, i.e. eight
+#: buckets per octave, ~9.05% relative resolution.  Any reported
+#: percentile is within one bucket (one factor of ``growth``) of the
+#: exact-sorted value.
+DEFAULT_GROWTH = 2.0 ** 0.125
+
+#: The quantiles every histogram exports in snapshots.
+PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+def _pct_key(pct: float) -> str:
+    """50.0 -> 'p50', 99.9 -> 'p999'."""
+    return "p" + str(pct).rstrip("0").rstrip(".").replace(".", "")
+
+
+class LogHistogram:
+    """HDR-style log-bucketed histogram with exact bucket counts.
+
+    A positive sample ``v`` lands in bucket ``floor(log(v, growth))``;
+    non-positive samples are counted in a dedicated zero bucket.
+    Percentiles use nearest-rank over the bucket counts and report the
+    bucket's *upper* edge, so ``exact <= reported <= exact * growth`` —
+    within one log-bucket by construction.  Merging sums bucket counts,
+    so merged percentiles are exactly what one combined stream would
+    have produced (to the same one-bucket resolution).
+    """
+
+    __slots__ = ("growth", "buckets", "zeros", "count", "_log_growth")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH):
+        if growth <= 1.0:
+            raise ValueError(f"histogram growth must exceed 1: {growth!r}")
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self.buckets: Dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Count one sample."""
+        self.count += 1
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value) / self._log_growth)
+        buckets = self.buckets
+        buckets[index] = buckets.get(index, 0) + 1
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile, reported at the bucket's upper edge.
+
+        Returns 0.0 for an empty histogram (and for ranks that land in
+        the zero bucket).
+        """
+        if self.count == 0:
+            return 0.0
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"percentile out of range (0, 100]: {pct!r}")
+        rank = max(1, math.ceil(pct / 100.0 * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return self.growth ** (index + 1)
+        # Unreachable while counts are consistent; be safe anyway.
+        return self.growth ** (max(self.buckets) + 1)  # pragma: no cover
+
+    def merge(self, other: "LogHistogram") -> "LogHistogram":
+        """Fold ``other``'s buckets into self (growth factors must match)."""
+        if abs(other.growth - self.growth) > 1e-12:
+            raise ValueError(
+                f"cannot merge histograms with different growth factors: "
+                f"{self.growth!r} vs {other.growth!r}"
+            )
+        self.count += other.count
+        self.zeros += other.zeros
+        buckets = self.buckets
+        for index, n in other.buckets.items():
+            buckets[index] = buckets.get(index, 0) + n
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe view: raw buckets plus derived percentiles."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "zeros": self.zeros,
+            "growth": self.growth,
+            "buckets": {str(index): self.buckets[index] for index in sorted(self.buckets)},
+        }
+        for pct in PERCENTILES:
+            out[_pct_key(pct)] = self.percentile(pct) if self.count else 0.0
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "LogHistogram":
+        """Rebuild from :meth:`as_dict` output (derived fields ignored)."""
+        hist = cls(growth=float(payload.get("growth", DEFAULT_GROWTH)))
+        hist.count = int(payload.get("count", 0))
+        hist.zeros = int(payload.get("zeros", 0))
+        hist.buckets = {
+            int(index): int(n) for index, n in (payload.get("buckets") or {}).items()
+        }
+        return hist
+
+
+class TimeSeries:
+    """Bounded ring buffer of ``(time, value)`` samples.
+
+    When full, recording evicts the oldest sample and bumps
+    ``dropped`` — bounded memory is the contract that lets every run
+    carry its timelines in ``CompletionReport.meta`` regardless of
+    length.
+    """
+
+    __slots__ = ("capacity", "dropped", "_times", "_values")
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"series capacity must be positive: {capacity!r}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._times: deque = deque(maxlen=capacity)
+        self._values: deque = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, t: float, value: float) -> None:
+        """Append one sample, evicting the oldest when full."""
+        if len(self._times) == self.capacity:
+            self.dropped += 1
+        self._times.append(t)
+        self._values.append(value)
+
+    def items(self) -> List[Tuple[float, float]]:
+        """The retained samples, oldest first."""
+        return list(zip(self._times, self._values))
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    @property
+    def last(self) -> Optional[float]:
+        """Most recent value, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe view."""
+        return {
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "times": list(self._times),
+            "values": list(self._values),
+        }
+
+
+#: Probe modes: a ``gauge`` probe's callable returns the sampled value
+#: directly; a ``rate`` probe's callable returns a cumulative quantity
+#: and the sampler differentiates it (delta / elapsed sim seconds), so
+#: monotone counters (busy-seconds, cpu-microseconds, retries) become
+#: windowed utilisations and rates; a ``mean`` probe's callable returns
+#: a ``(total, count)`` pair of cumulatives and the sampler reports the
+#: window's ``dtotal / dcount`` (the mean of just the samples that
+#: landed since the last tick; 0 when none did).
+_PROBE_MODES = ("gauge", "rate", "mean")
+
+
+class TelemetrySampler:
+    """Sim-clock-driven sampler feeding bounded per-probe time series.
+
+    Owners register probes with :meth:`add_probe`; each tick (every
+    ``interval`` simulated seconds) reads every probe, records into its
+    :class:`TimeSeries`, and hands the full sample to listeners (the
+    health monitor).  The per-fault latency histogram is fed push-style
+    by the machine's fault-service path via :meth:`observe_fault` —
+    installed as ``sim.sampler`` it replaces the kernel's
+    :class:`~repro.sim.NullSampler`, so ``enabled`` is True and the
+    compile planner pins the run to interpreted execution
+    (``compile.bypass reason=telemetry``): sampled series always come
+    from the real event-by-event simulation.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        interval: float,
+        capacity: int = 512,
+        growth: float = DEFAULT_GROWTH,
+    ):
+        if interval <= 0:
+            raise ValueError(f"sampling interval must be positive: {interval!r}")
+        self.interval = interval
+        self.capacity = capacity
+        self.series: Dict[str, TimeSeries] = {}
+        self.fault_latency = LogHistogram(growth=growth)
+        self.extra: Dict[str, LogHistogram] = {}
+        #: Called as ``listener(now, sample_dict)`` after every tick.
+        self.listeners: List[Callable[[float, Dict[str, float]], None]] = []
+        self.samples = 0
+        self._probes: List[list] = []  # [name, fn, mode, scale, prev]
+        self._sim: Optional[Simulator] = None
+        self._periodic: Optional[Periodic] = None
+        self._last_time: Optional[float] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def bind(self, sim: Simulator) -> None:
+        """Attach to ``sim``'s clock (called by ``Simulator.set_sampler``)."""
+        self._sim = sim
+
+    def add_probe(
+        self,
+        name: str,
+        fn: Callable[[], float],
+        mode: str = "gauge",
+        scale: float = 1.0,
+    ) -> TimeSeries:
+        """Register ``fn`` to be read every tick into a new series.
+
+        ``mode="gauge"`` records ``fn() * scale``; ``mode="rate"``
+        treats ``fn()`` as a cumulative quantity and records
+        ``delta * scale / elapsed`` per tick; ``mode="mean"`` treats
+        ``fn()`` as a cumulative ``(total, count)`` pair and records the
+        window's ``dtotal * scale / dcount``.  Cumulative modes baseline
+        against the probe's value at registration time.  Returns the
+        backing :class:`TimeSeries` so callers may also attach it to a
+        metrics registry.
+        """
+        if mode not in _PROBE_MODES:
+            raise ValueError(f"unknown probe mode {mode!r}; choose from {_PROBE_MODES}")
+        if name in self.series:
+            raise ValueError(f"probe already registered: {name}")
+        series = TimeSeries(self.capacity)
+        self.series[name] = series
+        if mode == "rate":
+            prev: Any = float(fn())
+        elif mode == "mean":
+            total, count = fn()
+            prev = (float(total), float(count))
+        else:
+            prev = None
+        self._probes.append([name, fn, mode, scale, prev])
+        return series
+
+    def observe_fault(self, elapsed: float) -> None:
+        """Record one fault-service latency (seconds) into the histogram."""
+        self.fault_latency.observe(elapsed)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record into a named ad-hoc histogram (created on first use)."""
+        hist = self.extra.get(name)
+        if hist is None:
+            hist = self.extra[name] = LogHistogram(growth=self.fault_latency.growth)
+        hist.observe(value)
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._periodic is not None and self._periodic.running
+
+    def ensure_running(self) -> None:
+        """(Re-)arm the periodic tick on the bound simulator.
+
+        Idempotent; called at the start of every run phase because the
+        kernel's :class:`~repro.sim.Periodic` retires itself rather than
+        keep a drained heap alive.
+        """
+        sim = self._sim
+        if sim is None:
+            raise RuntimeError("sampler is not bound to a simulator")
+        if self._periodic is None or not self._periodic.running:
+            self._periodic = sim.every(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Cancel future ticks."""
+        if self._periodic is not None:
+            self._periodic.stop()
+
+    def finalize(self) -> None:
+        """Take one closing sample at the current instant and stop.
+
+        Guarantees every series ends with the run's final state even
+        when the run ends between ticks.
+        """
+        sim = self._sim
+        if sim is not None and sim.now != self._last_time:
+            self._tick(sim.now)
+        self.stop()
+
+    def _tick(self, now: float) -> None:
+        last = self._last_time
+        elapsed = now - last if last is not None else now if now > 0 else self.interval
+        if elapsed <= 0:
+            elapsed = self.interval
+        self._last_time = now
+        sample: Dict[str, float] = {}
+        for probe in self._probes:
+            name, fn, mode, scale, prev = probe
+            if mode == "gauge":
+                value = float(fn()) * scale
+            elif mode == "rate":
+                raw = float(fn())
+                value = (raw - prev) * scale / elapsed
+                probe[4] = raw
+            else:  # mean
+                total, count = fn()
+                total = float(total)
+                count = float(count)
+                dcount = count - prev[1]
+                value = (total - prev[0]) * scale / dcount if dcount > 0 else 0.0
+                probe[4] = (total, count)
+            self.series[name].record(now, value)
+            sample[name] = value
+        self.samples += 1
+        for listener in self.listeners:
+            listener(now, sample)

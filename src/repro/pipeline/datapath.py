@@ -32,8 +32,15 @@ class PagingPipeline:
         self.spec = spec
         self.counters = Counter()
         self.queue_depth = Tally()
+        #: Seconds each entry sat queued before its transmission began —
+        #: the queueing-delay distribution the health monitor's
+        #: WARN_DELAY-style rule watches.
+        self.queue_delay = Tally()
         self.queue: Optional[PageoutQueue] = (
-            PageoutQueue(pager, spec, self.counters, self.queue_depth)
+            PageoutQueue(
+                pager, spec, self.counters, self.queue_depth,
+                queue_delay=self.queue_delay,
+            )
             if spec.write_behind
             else None
         )

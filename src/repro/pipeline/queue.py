@@ -45,24 +45,34 @@ log = get_logger(__name__)
 
 
 class _Entry:
-    __slots__ = ("page_id", "contents", "sending")
+    __slots__ = ("page_id", "contents", "sending", "enqueued_at")
 
-    def __init__(self, page_id: int, contents: Optional[bytes]):
+    def __init__(self, page_id: int, contents: Optional[bytes], enqueued_at: float):
         self.page_id = page_id
         self.contents = contents
         self.sending = False
+        self.enqueued_at = enqueued_at
 
 
 class PageoutQueue:
     """Bounded write-behind queue with a single batch drainer."""
 
-    def __init__(self, pager, spec, counters: Counter, depth: Tally):
+    def __init__(
+        self,
+        pager,
+        spec,
+        counters: Counter,
+        depth: Tally,
+        queue_delay: Optional[Tally] = None,
+    ):
         self.pager = pager
         self.sim = pager.sim
         self.spec = spec
         self.counters = counters
         #: Queue-depth distribution, observed at every enqueue.
         self.depth = depth
+        #: Seconds between enqueue and transmission start, per entry.
+        self.queue_delay = queue_delay if queue_delay is not None else Tally()
         self._queued: "OrderedDict[int, _Entry]" = OrderedDict()
         self._sending: Dict[int, _Entry] = {}
         self._space_waiters: List = []
@@ -91,7 +101,7 @@ class PageoutQueue:
             waiter = self.sim.event()
             self._space_waiters.append(waiter)
             yield waiter
-        self._queued[page_id] = _Entry(page_id, contents)
+        self._queued[page_id] = _Entry(page_id, contents, self.sim.now)
         self.counters.add("enqueued")
         self.depth.observe(len(self._queued) + len(self._sending))
         if self._drainer is None or not self._drainer.is_alive:
@@ -175,6 +185,7 @@ class PageoutQueue:
         pager = self.pager
         sim = self.sim
         page_id = entry.page_id
+        self.queue_delay.observe(sim.now - entry.enqueued_at)
         span = sim.tracer.span("pageout", page_id)
         span.phase("dispatch")
         try:

@@ -79,11 +79,16 @@ def execute_spec(spec: RunSpec) -> RunResult:
         state = make_hook(spec.hook, dict(spec.hook_kwargs))(cluster)
     workload = make_workload(spec.workload, dict(spec.workload_kwargs))
     report = cluster.run(workload)
+    health = report.meta.get("health")
     report.meta = build_meta(
         spec.policy, kwargs.get("seed", 0), dict(spec.overrides), workload.name
     )
     # Full cluster telemetry rides with the report, so cached results and
     # parallel workers hand back the same observability payload.
     report.meta["metrics"] = cluster.metrics.snapshot()
+    if health is not None:
+        # Cluster.run stamped the health digest before meta was rebuilt;
+        # it must survive the process pool and the result cache too.
+        report.meta["health"] = health
     extras = run_extractors(spec.extract, cluster, report, state)
     return RunResult(spec=spec, report=report, extras=extras)

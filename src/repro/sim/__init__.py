@@ -1,14 +1,17 @@
 """Discrete-event simulation kernel used by every substrate model."""
 
 from .core import (
+    NULL_SAMPLER,
     NULL_SPAN,
     NULL_TRACER,
     AllOf,
     AnyOf,
     Event,
     Interrupt,
+    NullSampler,
     NullSpan,
     NullTracer,
+    Periodic,
     Process,
     SimulationError,
     Simulator,
@@ -23,6 +26,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Periodic",
     "Process",
     "Interrupt",
     "AnyOf",
@@ -31,8 +35,10 @@ __all__ = [
     "StopSimulation",
     "NullSpan",
     "NullTracer",
+    "NullSampler",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NULL_SAMPLER",
     "Resource",
     "Store",
     "Container",

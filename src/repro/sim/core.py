@@ -39,6 +39,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "Periodic",
     "Process",
     "Interrupt",
     "AnyOf",
@@ -47,8 +48,10 @@ __all__ = [
     "StopSimulation",
     "NullSpan",
     "NullTracer",
+    "NullSampler",
     "NULL_SPAN",
     "NULL_TRACER",
+    "NULL_SAMPLER",
 ]
 
 
@@ -99,8 +102,42 @@ class NullTracer:
         return NULL_SPAN
 
 
+class NullSampler:
+    """The zero-cost default telemetry sampler on every :class:`Simulator`.
+
+    Mirrors :class:`NullTracer`: hot paths (the fault-service loop) call
+    ``sim.sampler.observe_fault(...)`` unconditionally; with telemetry
+    off those calls land here and cost one attribute lookup plus an
+    empty method body.  The real sampler lives in
+    :mod:`repro.obs.telemetry` — the kernel only defines the no-op so
+    instrumentation needs no conditionals and no imports from the
+    observability layer.
+
+    ``enabled`` is False so rare paths (and the compile planner, which
+    must force interpreted execution while sampling is live) can test
+    for real telemetry with one attribute read.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def bind(self, sim: "Simulator") -> None:
+        """Nothing to bind; the no-op sampler keeps no clock."""
+        return None
+
+    def observe_fault(self, elapsed: float) -> None:
+        """Drop the fault-latency observation."""
+        return None
+
+    def observe(self, name: str, value: float) -> None:
+        """Drop the ad-hoc observation."""
+        return None
+
+
 NULL_SPAN = NullSpan()
 NULL_TRACER = NullTracer()
+NULL_SAMPLER = NullSampler()
 
 
 class SimulationError(Exception):
@@ -246,6 +283,77 @@ class Timeout(Event):
         self.delay = delay
         self._state = TRIGGERED
         heappush(sim._heap, (sim._now + delay, next(sim._seq), self))
+
+
+class Periodic(Event):
+    """A self-rescheduling kernel event invoking ``fn(now)`` every
+    ``interval`` simulated seconds.
+
+    This is the periodic-callback primitive the telemetry sampler runs
+    on: one reusable heap entry, no generator, no Process bookkeeping.
+    Nothing can wait on a Periodic (it never reaches PROCESSED while
+    running); it simply re-pushes itself after each tick.
+
+    Liveness rule: a tick only reschedules itself while *other* work
+    remains on the heap.  A periodic must never be the thing keeping a
+    drained simulation alive — ``run()`` would spin forever and
+    ``run_until_complete()`` would mask a genuine stall — so when a
+    tick pops with nothing else scheduled, it retires silently (no
+    callback: that window holds no work to observe).  ``ensure``-style
+    owners (see ``repro.obs.telemetry.TelemetrySampler``) re-arm it
+    before the next run phase.
+    """
+
+    __slots__ = ("interval", "fn", "_running")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        fn: Callable[[float], None],
+        start: Optional[float] = None,
+    ):
+        if interval <= 0:
+            raise ValueError(f"periodic interval must be positive: {interval!r}")
+        self.sim = sim
+        self.callbacks = []
+        self._value = None
+        self._exception = None
+        self._defused = True
+        self.interval = interval
+        self.fn = fn
+        self._running = True
+        self._state = TRIGGERED
+        first = sim._now + interval if start is None else start
+        if first < sim._now:
+            raise ValueError(f"periodic start {first} is in the past (now={sim._now})")
+        heappush(sim._heap, (first, next(sim._seq), self))
+
+    @property
+    def running(self) -> bool:
+        """True while the periodic will keep firing."""
+        return self._running
+
+    def stop(self) -> None:
+        """Cancel future ticks.  The already-queued heap entry becomes a
+        no-op when it pops (removing from the middle of a heap is not
+        worth the bookkeeping)."""
+        self._running = False
+
+    def _process(self) -> None:
+        if not self._running:
+            return
+        sim = self.sim
+        if not sim._heap:
+            # This tick was the only thing left on the heap: it is
+            # keeping a finished simulation alive, not observing work.
+            # Retire without firing — a sample window past the last
+            # real event would be pure silence.
+            self._running = False
+            return
+        self.fn(sim._now)
+        if self._running:
+            heappush(sim._heap, (sim._now + self.interval, next(sim._seq), self))
 
 
 class _ConditionValue:
@@ -481,6 +589,11 @@ class Simulator:
         # keeps the event loop itself untouched — tracing costs nothing
         # unless a real repro.obs.trace.Tracer is installed.
         self.tracer: Any = NULL_TRACER
+        # Telemetry hook: the fault-service path feeds per-fault
+        # latencies to ``sim.sampler``; the no-op default keeps that a
+        # single empty method call unless a real
+        # repro.obs.telemetry.TelemetrySampler is installed.
+        self.sampler: Any = NULL_SAMPLER
 
     def set_tracer(self, tracer: Any) -> Any:
         """Install ``tracer`` (a :class:`repro.obs.trace.Tracer` or the
@@ -488,6 +601,14 @@ class Simulator:
         self.tracer = tracer
         tracer.bind(self)
         return tracer
+
+    def set_sampler(self, sampler: Any) -> Any:
+        """Install ``sampler`` (a
+        :class:`repro.obs.telemetry.TelemetrySampler` or the no-op
+        default) and bind it to this simulator's clock."""
+        self.sampler = sampler
+        sampler.bind(self)
+        return sampler
 
     @property
     def now(self) -> float:
@@ -524,6 +645,18 @@ class Simulator:
         event._value = value
         heappush(self._heap, (when, next(self._seq), event))
         return event
+
+    def every(
+        self,
+        interval: float,
+        fn: Callable[[float], None],
+        start: Optional[float] = None,
+    ) -> Periodic:
+        """Invoke ``fn(now)`` every ``interval`` seconds (first tick at
+        ``start``, default ``now + interval``) until ``.stop()`` is
+        called or the heap would otherwise drain.  Returns the
+        :class:`Periodic` handle."""
+        return Periodic(self, interval, fn, start=start)
 
     def process(
         self, generator: Generator[Event, Any, Any], name: Optional[str] = None

@@ -216,6 +216,10 @@ class TimeWeighted:
             return self._level
         return (self._area + self._level * (now - self._last_time)) / span
 
+    def area(self, now: float) -> float:
+        """Integral of the level over [start, now] (level-seconds)."""
+        return self._area + self._level * (now - self._last_time)
+
 
 class UtilizationTracker:
     """Fraction of time a facility is busy (e.g. server CPU, the wire)."""
@@ -241,3 +245,9 @@ class UtilizationTracker:
     def utilization(self, now: float) -> float:
         """Busy fraction over the tracked lifetime."""
         return self._tw.average(now)
+
+    def busy_seconds(self, now: float) -> float:
+        """Cumulative busy time up to ``now`` — differentiating this
+        between telemetry ticks yields *windowed* utilisation, where
+        :meth:`utilization` only gives the lifetime average."""
+        return self._tw.area(now)

@@ -233,6 +233,12 @@ class Machine:
     def resident_count(self) -> int:
         return len(self.replacement)
 
+    @property
+    def inflight_pageouts(self) -> int:
+        """Asynchronous pageouts currently occupying window slots — the
+        synchronous datapath's write-behind depth, probed by telemetry."""
+        return self._inflight_slots
+
     # ------------------------------------------------------------ internals
     def _execute(self, trace: Iterable[Ref], name: str):
         spec = self.spec
@@ -398,6 +404,7 @@ class Machine:
     def _service_fault_compiled(self, page_id: int, is_write, needs_pagein, pageouts):
         """Replay one recorded fault: identical event sequence to
         :meth:`_service_fault`, with eviction decisions precomputed."""
+        fault_start = self.sim.now
         self.counters.add("faults")
         fault_cpu = self.spec.fault_service_cpu / self.spec.cpu_speed
         self._systime += fault_cpu
@@ -428,6 +435,9 @@ class Machine:
 
         if is_write:
             self.versioner.bump(page_id)
+        # Same hook as the interpreted path: with telemetry off this is
+        # the kernel's no-op NullSampler.
+        self.sim.sampler.observe_fault(self.sim.now - fault_start)
 
     def _restore_schedule_state(self, schedule) -> None:
         """Leave the machine exactly as interpreted execution would have:
@@ -458,6 +468,7 @@ class Machine:
     def _service_fault(self, pte, is_write: bool, user_frames: int):
         """Fault path: evict if full (async pageout of a dirty victim),
         then page in."""
+        fault_start = self.sim.now
         self.counters.add("faults")
         fault_cpu = self.spec.fault_service_cpu / self.spec.cpu_speed
         self._systime += fault_cpu
@@ -524,6 +535,9 @@ class Machine:
         if is_write and not pte.dirty:
             pte.dirty = True
             self.versioner.bump(pte.page_id)
+        # Per-fault service latency for the telemetry histogram; the
+        # kernel's NullSampler makes this free when telemetry is off.
+        self.sim.sampler.observe_fault(self.sim.now - fault_start)
 
     def _start_pageout(self, page_id: int, contents, span=None):
         """Launch an asynchronous pageout, respecting the in-flight window.

@@ -1,0 +1,130 @@
+"""The §4.6 early-warning campaign: warn strictly below the knee,
+deterministically across --jobs and cache replay."""
+
+import json
+
+import pytest
+
+from repro.experiments.monitor import (
+    CAMPAIGN_LOADS,
+    collapse_knee,
+    extract_series,
+    render_monitor,
+    render_monitor_campaign,
+    run_monitor,
+    run_monitor_campaign,
+)
+from repro.runner import ExperimentRunner
+
+#: A paging-bound GAUSS small enough for test wall-clock but large
+#: enough to spill (the default 1700x1700 matrix, half the passes).
+_WORKLOAD_KWARGS = {"n": 1700, "passes": 2}
+_LOADS = (0.0, 0.3, 0.7)
+
+
+def _campaign(runner):
+    return run_monitor_campaign(
+        loads=_LOADS,
+        workload_kwargs=_WORKLOAD_KWARGS,
+        interval=1.0,
+        runner=runner,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _campaign(ExperimentRunner(jobs=1, use_cache=False))
+
+
+def test_campaign_warns_strictly_below_the_knee(campaign):
+    # The acceptance criterion: rising background load must trip
+    # health.warn at a load strictly below the measured collapse knee.
+    assert campaign["knee_load"] is not None, "sweep never collapsed"
+    assert campaign["first_warn_load"] is not None, "health never warned"
+    assert campaign["first_warn_load"] < campaign["knee_load"]
+    assert campaign["warned_before_knee"] is True
+
+
+def test_campaign_baseline_is_healthy(campaign):
+    points = {p["load"]: p for p in campaign["points"]}
+    assert points[0.0]["health"]["status"] == "ok"
+    assert points[0.7]["health"]["status"] == "critical"
+
+
+def test_campaign_payload_is_json_safe(campaign):
+    json.dumps(campaign)
+
+
+def test_campaign_is_deterministic_across_jobs(campaign):
+    parallel = _campaign(ExperimentRunner(jobs=2, use_cache=False))
+    assert parallel == campaign
+
+
+def test_campaign_is_deterministic_across_cache_replay(campaign, tmp_path):
+    runner = ExperimentRunner(jobs=1, use_cache=True, cache_dir=str(tmp_path))
+    first = _campaign(runner)
+    replay = _campaign(runner)  # second pass: every point cache-served
+    assert replay == first
+    assert replay == campaign
+
+
+def test_monitored_run_carries_series_and_health(campaign):
+    point = campaign["points"][0]
+    series = point["series"]
+    assert "util.wire" in series
+    assert "net.latency_ms" in series
+    assert any(name.startswith("util.server.") for name in series)
+    assert series["util.wire"]["values"], "wire series is empty"
+    assert point["fault_latency"]["count"] > 0
+    assert point["health"]["samples"] > 0
+
+
+def test_render_monitor_and_campaign(campaign):
+    text = render_monitor(campaign["points"][0])
+    assert "telemetry timelines" in text
+    assert "util.wire" in text
+    assert "fault latency" in text
+    table = render_monitor_campaign(campaign)
+    assert "collapse knee" in table
+    assert "early warning HELD" in table
+
+
+def test_run_monitor_single_point():
+    point = run_monitor(
+        workload_kwargs=_WORKLOAD_KWARGS,
+        interval=1.0,
+        runner=ExperimentRunner(jobs=1, use_cache=False),
+    )
+    assert point["load"] == 0.0
+    assert point["etime"] > 0
+    assert point["series"]
+
+
+def test_collapse_knee_on_synthetic_points():
+    points = [
+        {"load": 0.0, "etime": 10.0},
+        {"load": 0.3, "etime": 15.0},
+        {"load": 0.6, "etime": 25.0},
+        {"load": 0.8, "etime": 80.0},
+    ]
+    assert collapse_knee(points) == 0.6
+    assert collapse_knee(points[:2]) is None
+    assert collapse_knee([]) is None
+
+
+def test_extract_series_strips_telemetry_prefix():
+    metrics = {
+        "telemetry.util.wire.__series__": True,
+        "telemetry.util.wire.times": [1.0],
+        "telemetry.util.wire.values": [0.5],
+        "telemetry.util.wire.dropped": 0,
+        "pager.pageouts": 3,
+    }
+    series = extract_series(metrics)
+    assert list(series) == ["util.wire"]
+    assert series["util.wire"]["values"] == [0.5]
+
+
+def test_default_campaign_loads_cover_the_paper_sweep():
+    assert CAMPAIGN_LOADS[0] == 0.0
+    assert max(CAMPAIGN_LOADS) <= 1.0

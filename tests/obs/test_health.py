@@ -1,0 +1,128 @@
+"""Saturation rules: thresholds, burn-rate escalation, transitions."""
+
+import pytest
+
+from repro.obs.health import HealthMonitor, HealthSpec
+from repro.obs.telemetry import TelemetrySampler
+
+
+def _monitor(**spec_kwargs):
+    sampler = TelemetrySampler(interval=1.0)
+    monitor = HealthMonitor(sampler, HealthSpec(**spec_kwargs))
+    return sampler, monitor
+
+
+def test_load_rule_warn_and_clear_are_edge_triggered():
+    _, monitor = _monitor()
+    monitor.on_sample(1.0, {"util.wire": 0.5})
+    monitor.on_sample(2.0, {"util.wire": 0.8})
+    monitor.on_sample(3.0, {"util.wire": 0.8})  # no repeat event
+    monitor.on_sample(4.0, {"util.wire": 0.3})
+    severities = [(e["severity"], e["t"]) for e in monitor.events]
+    assert severities == [("warn", 2.0), ("clear", 4.0)]
+    assert monitor.status == "warn"  # worst level reached, not current
+    assert monitor.first_warn_time == 2.0
+    assert monitor.first_critical_time is None
+
+
+def test_load_rule_critical_straight_through():
+    _, monitor = _monitor()
+    monitor.on_sample(5.0, {"util.server.s0": 0.95})
+    assert [e["severity"] for e in monitor.events] == ["critical"]
+    # Jumping straight past warn still stamps the first warning sign.
+    assert monitor.first_warn_time == 5.0
+    assert monitor.first_critical_time == 5.0
+    assert monitor.status == "critical"
+
+
+def test_delay_rule_matches_latency_and_delay_suffixes():
+    _, monitor = _monitor()
+    monitor.on_sample(1.0, {"net.latency_ms": 25.0, "queue.delay_ms": 150.0})
+    by_series = {e["series"]: e for e in monitor.events}
+    assert by_series["net.latency_ms"]["severity"] == "warn"
+    assert by_series["net.latency_ms"]["rule"] == "delay"
+    assert by_series["queue.delay_ms"]["severity"] == "critical"
+
+
+def test_unruled_series_are_ignored():
+    _, monitor = _monitor()
+    monitor.on_sample(1.0, {"rate.faults": 1e9, "pool.free_pages": 0.0})
+    assert monitor.events == []
+    assert monitor.status == "ok"
+
+
+def test_burn_rate_escalates_sustained_warn_to_critical():
+    _, monitor = _monitor(burn_window=4, burn_fraction=0.75)
+    for tick in range(4):
+        monitor.on_sample(float(tick), {"util.wire": 0.8})  # warm, never critical
+    severities = [e["severity"] for e in monitor.events]
+    assert severities[0] == "warn"
+    assert "critical" in severities
+    burn = [e for e in monitor.events if e["severity"] == "critical"]
+    assert burn[0]["rule"] == "burn-rate"
+    # 3 of the last 4 samples above warn is exactly the 0.75 fraction.
+    assert burn[0]["t"] == 3.0
+
+
+def test_burn_rate_needs_full_window():
+    _, monitor = _monitor(burn_window=8, burn_fraction=0.75)
+    for tick in range(6):
+        monitor.on_sample(float(tick), {"util.wire": 0.8})
+    assert all(e["severity"] != "critical" for e in monitor.events)
+
+
+def test_events_mirror_to_tracer():
+    from repro.sim import Simulator
+
+    class Recorder:
+        def __init__(self):
+            self.calls = []
+
+        def emit(self, component, event, **attrs):
+            self.calls.append((component, event, attrs))
+
+    sampler, monitor = _monitor()
+    sim = Simulator()
+    sim.tracer = Recorder()
+    monitor.bind(sim)
+    monitor.on_sample(1.0, {"util.wire": 0.99})
+    assert sim.tracer.calls
+    component, event, attrs = sim.tracer.calls[0]
+    assert component == "health"
+    assert event == "critical"
+    assert attrs["series"] == "util.wire"
+    assert attrs["rule"] == "load"
+
+
+def test_summary_is_json_safe_digest():
+    import json
+
+    sampler, monitor = _monitor()
+    monitor.on_sample(1.0, {"util.wire": 0.75})
+    summary = monitor.summary()
+    assert summary["status"] == "warn"
+    assert summary["first_warn_time"] == 1.0
+    assert summary["first_critical_time"] is None
+    assert summary["interval"] == 1.0
+    assert summary["spec"]["warn_load"] == 0.70
+    json.dumps(summary)  # must not raise
+
+
+def test_monitor_registers_as_sampler_listener():
+    sampler, monitor = _monitor()
+    assert monitor.on_sample in sampler.listeners
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(warn_load=0.0),
+        dict(warn_load=0.9, crit_load=0.8),
+        dict(warn_delay_ms=0.0),
+        dict(burn_window=0),
+        dict(burn_fraction=1.5),
+    ],
+)
+def test_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        HealthSpec(**kwargs)

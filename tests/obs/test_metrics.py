@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.obs.telemetry import LogHistogram, TimeSeries
 from repro.sim.monitor import Counter, Tally, UtilizationTracker
 
 
@@ -102,3 +103,76 @@ def test_merge_tolerates_empty_tally_shards():
 
 def test_merge_of_nothing_is_empty():
     assert merge_snapshots([]) == {}
+
+
+def _hist_snap(values):
+    registry = MetricsRegistry()
+    hist = registry.attach("lat.hist", LogHistogram())
+    for value in values:
+        hist.observe(value)
+    return registry.snapshot()
+
+
+def test_snapshot_expands_histograms_and_series():
+    registry = MetricsRegistry()
+    hist = registry.attach("lat", LogHistogram())
+    hist.observe(1.0)
+    series = registry.attach("util", TimeSeries(capacity=4))
+    series.record(0.0, 0.5)
+    snapshot = registry.snapshot()
+    assert snapshot["lat.__hist__"] is True
+    assert snapshot["lat.count"] == 1
+    assert snapshot["util.__series__"] is True
+    assert snapshot["util.times"] == [0.0]
+    assert snapshot["util.values"] == [0.5]
+
+
+def test_merge_sums_histogram_buckets_and_recomputes_percentiles():
+    a, b = [0.001, 0.002, 0.004], [0.1, 0.2]
+    merged = merge_snapshots([_hist_snap(a), _hist_snap(b)])
+
+    single = LogHistogram()
+    for value in a + b:
+        single.observe(value)
+    expected = single.as_dict()
+    assert merged["lat.hist.count"] == expected["count"]
+    assert merged["lat.hist.p50"] == pytest.approx(expected["p50"])
+    assert merged["lat.hist.p99"] == pytest.approx(expected["p99"])
+    assert merged["lat.hist.__hist__"] is True
+
+
+def test_merge_keeps_first_series_timeline():
+    def snap(times, values):
+        registry = MetricsRegistry()
+        series = registry.attach("s", TimeSeries(capacity=8))
+        for t, v in zip(times, values):
+            series.record(t, v)
+        return registry.snapshot()
+
+    merged = merge_snapshots(
+        [snap([0.0, 1.0], [5.0, 6.0]), snap([0.0, 1.0], [7.0, 8.0])]
+    )
+    assert merged["s.values"] == [5.0, 6.0]
+    assert merged["s.__series__"] is True
+
+
+def test_merge_fails_loudly_on_instrument_kind_conflict():
+    # The same dotted name must not silently mean a tally in one run and
+    # a histogram in another — that merge would produce garbage.
+    tally_snap = {"lat.count": 1, "lat.mean": 2.0, "lat.__tally__": True}
+    hist_snap = {"lat.count": 1, "lat.buckets": {"0": 1}, "lat.__hist__": True}
+    with pytest.raises(ValueError, match="lat"):
+        merge_snapshots([tally_snap, hist_snap])
+
+
+def test_merge_fails_loudly_on_marked_vs_plain_conflict():
+    plain = {"lat.count": 3}
+    hist_snap = {"lat.count": 1, "lat.buckets": {"0": 1}, "lat.__hist__": True}
+    with pytest.raises(ValueError, match="lat"):
+        merge_snapshots([plain, hist_snap])
+
+
+def test_merge_fails_loudly_on_double_marked_snapshot():
+    bad = {"x.count": 1, "x.__tally__": True, "x.__hist__": True}
+    with pytest.raises(ValueError, match="x"):
+        merge_snapshots([bad])

@@ -1,0 +1,131 @@
+"""The Periodic self-rescheduling callback primitive."""
+
+from repro.sim import NULL_SAMPLER, NullSampler, Periodic, Simulator
+
+
+def test_every_fires_at_interval():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, ticks.append)
+
+    def work(sim):
+        yield sim.timeout(3.5)
+
+    sim.process(work(sim))
+    sim.run()
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_every_with_explicit_start():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, ticks.append, start=0.25)
+
+    def work(sim):
+        yield sim.timeout(2.5)
+
+    sim.process(work(sim))
+    sim.run()
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_retires_when_heap_drains():
+    # A periodic callback alone must not keep the simulation alive:
+    # run() has to terminate once real work is done.
+    sim = Simulator()
+    ticks = []
+    periodic = sim.every(1.0, ticks.append)
+
+    def work(sim):
+        yield sim.timeout(2.0)
+
+    sim.process(work(sim))
+    sim.run()
+    assert ticks == [1.0, 2.0]
+    assert not periodic.running
+
+
+def test_periodic_stop_is_idempotent():
+    sim = Simulator()
+    ticks = []
+    periodic = sim.every(1.0, ticks.append)
+    periodic.stop()
+    periodic.stop()
+
+    def work(sim):
+        yield sim.timeout(3.0)
+
+    sim.process(work(sim))
+    sim.run()
+    assert ticks == []
+
+
+def test_periodic_interleaves_deterministically_with_events():
+    # A tick scheduled at the same instant as a timeout fires in
+    # schedule order (the heap's seq tiebreak), run after run.
+    sim = Simulator()
+    order = []
+    sim.every(1.0, lambda now: order.append(("tick", now)))
+
+    def work(sim):
+        yield sim.timeout(1.0)
+        order.append(("work", sim.now))
+        yield sim.timeout(1.0)
+
+    sim.process(work(sim))
+    sim.run()
+    assert order == [("tick", 1.0), ("work", 1.0), ("tick", 2.0)]
+
+
+def test_restarting_a_retired_periodic():
+    sim = Simulator()
+    ticks = []
+    periodic = sim.every(1.0, ticks.append)
+
+    def work(sim):
+        yield sim.timeout(1.5)
+
+    sim.process(work(sim))
+    sim.run()
+    assert ticks == [1.0]
+    assert not periodic.running
+
+    # The retired tick's pop left the clock at 2.0; a fresh periodic
+    # picks up from there.
+    assert sim.now == 2.0
+    sim.every(1.0, ticks.append)
+
+    def more(sim):
+        yield sim.timeout(2.0)
+
+    sim.process(more(sim))
+    sim.run()
+    assert ticks == [1.0, 3.0, 4.0]
+
+
+def test_default_sampler_is_shared_null_singleton():
+    sim = Simulator()
+    assert sim.sampler is NULL_SAMPLER
+    assert isinstance(sim.sampler, NullSampler)
+    assert not sim.sampler.enabled
+    # The no-op surface the hot paths rely on: all calls are safe.
+    sim.sampler.bind(sim)
+    sim.sampler.observe_fault(0.001)
+    sim.sampler.observe("anything", 1.0)
+
+
+def test_set_sampler_binds():
+    class Recorder:
+        enabled = True
+
+        def __init__(self):
+            self.bound = None
+
+        def bind(self, sim):
+            self.bound = sim
+
+    sim = Simulator()
+    sampler = Recorder()
+    sim.set_sampler(sampler)
+    assert sim.sampler is sampler
+    assert sampler.bound is sim
