@@ -1,0 +1,176 @@
+"""PR 8 erasure-coding benchmark: redundancy spectrum + GF(256) codec.
+
+Two measurements, one JSON summary (``BENCH_pr8.json``):
+
+* **redundancy spectrum** — the full policy family over the identical
+  fault-free workload: page-equivalent wire overhead, crashes
+  tolerated, and completion time per policy.  Acceptance (``--check``)
+  is the PR 8 headline: ec-4-2 ships strictly fewer page-equivalents
+  than mirroring while tolerating at least two concurrent crashes
+  (mirroring tolerates one).
+* **codec throughput** — pure-python GF(256) Reed-Solomon encode and
+  worst-case reconstruct (all parity positions substituted) over 8 KB
+  pages, pages/second.  No absolute threshold — interpreter speed is
+  host-dependent — but the record documents what the simulated
+  ``encode_cpu_us`` constant stands in for.
+
+Run as a script for the JSON record, ``--check`` to enforce the PR 8
+acceptance claims (CI's bench-regression job does both)::
+
+    PYTHONPATH=src python benchmarks/bench_erasure.py --out BENCH_pr8.json --check
+
+or under pytest for a threshold-free smoke check.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for _path in (_HERE, _SRC):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.core.policies.gf256 import (  # noqa: E402
+    ReedSolomon,
+    join_fragments,
+    split_page,
+)
+from repro.experiments.erasure import run_spectrum  # noqa: E402
+from repro.vm.page import page_bytes  # noqa: E402
+
+PAGE = 8192
+
+
+# --------------------------------------------------------------------------
+# Codec throughput.
+# --------------------------------------------------------------------------
+
+def measure_codec(k: int = 4, m: int = 2, pages: int = 64) -> dict:
+    """Pages/second for encode and worst-case (all-parity) reconstruct."""
+    rs = ReedSolomon(k, m)
+    fragment_size = -(-PAGE // k)
+    stripes = [
+        split_page(page_bytes(page_id, 1, PAGE), k, fragment_size)
+        for page_id in range(pages)
+    ]
+    start = perf_counter()
+    parities = [rs.encode(data) for data in stripes]
+    encode_seconds = perf_counter() - start
+
+    # Worst case the shape supports: m data fragments lost, every parity
+    # position substituted into the decode.
+    survivors = [
+        {k + j: parity[j] for j in range(m)} | {i: data[i] for i in range(k - m)}
+        if m < k
+        else {k + j: parity[j] for j in range(m)}
+        for data, parity in zip(stripes, parities)
+    ]
+    start = perf_counter()
+    decoded = [rs.data_from(avail) for avail in survivors]
+    decode_seconds = perf_counter() - start
+
+    for page_id, data in enumerate(decoded):
+        assert join_fragments(data, PAGE) == page_bytes(page_id, 1, PAGE)
+    return {
+        "k": k,
+        "m": m,
+        "pages": pages,
+        "encode_pages_per_sec": round(pages / encode_seconds, 1),
+        "reconstruct_pages_per_sec": round(pages / decode_seconds, 1),
+    }
+
+
+# --------------------------------------------------------------------------
+# Acceptance checks.
+# --------------------------------------------------------------------------
+
+def check_spectrum(spectrum: dict) -> list:
+    """PR 8 acceptance claims; returns failure strings (empty = pass)."""
+    failures = []
+    ec = spectrum["ec-4-2"]
+    mirror = spectrum["mirroring"]
+    if not ec["transfers"] < mirror["transfers"]:
+        failures.append(
+            f"ec-4-2 page-equivalent transfers ({ec['transfers']}) not "
+            f"below mirroring ({mirror['transfers']})"
+        )
+    if not (ec["crashes_tolerated"] or 0) >= 2:
+        failures.append(
+            f"ec-4-2 must tolerate >= 2 crashes, got {ec['crashes_tolerated']}"
+        )
+    if not (mirror["crashes_tolerated"] or 0) == 1:
+        failures.append(
+            f"mirroring tolerance changed: {mirror['crashes_tolerated']}"
+        )
+    return failures
+
+
+def run_all() -> dict:
+    spectrum = run_spectrum()
+    return {
+        "spectrum": {
+            policy: {
+                "transfers": cell["transfers"],
+                "transfer_overhead": cell["transfer_overhead"],
+                "crashes_tolerated": cell["crashes_tolerated"],
+                "etime": round(cell["etime"], 4),
+                "n_servers": cell["n_servers"],
+            }
+            for policy, cell in spectrum.items()
+        },
+        "codec": measure_codec(),
+    }
+
+
+# --------------------------------------------------------------------------
+# pytest entry point (threshold-free smoke).
+# --------------------------------------------------------------------------
+
+def test_erasure_spectrum(benchmark, once):
+    record = once(benchmark, run_all)
+    print("\n" + json.dumps(record["spectrum"], indent=2))
+    failures = check_spectrum(record["spectrum"])
+    assert not failures, failures
+    assert record["codec"]["encode_pages_per_sec"] > 0
+
+
+# --------------------------------------------------------------------------
+# Script entry point (JSON record + enforced checks).
+# --------------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the PR 8 acceptance claims")
+    parser.add_argument("--out", default="-", metavar="PATH",
+                        help="write the JSON record here ('-' = stdout)")
+    args = parser.parse_args(argv)
+
+    record = run_all()
+    payload = json.dumps(record, indent=2, sort_keys=True)
+    if args.out == "-":
+        print(payload)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check_spectrum(record["spectrum"])
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("PR 8 acceptance claims hold: ec-4-2 beats mirroring on the "
+              "wire while tolerating two concurrent crashes")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -124,6 +124,10 @@ def _cmd_resilience(args) -> str:
     )
 
 
+def _cmd_spectrum(args) -> str:
+    return exp.render_spectrum(exp.run_spectrum(policies=tuple(args.policies)))
+
+
 def _cmd_pipelining(args) -> str:
     return exp.render_pipelining(
         exp.run_pipelining(
@@ -220,6 +224,7 @@ _ALL = [
     "diurnal",
     "compression",
     "resilience",
+    "spectrum",
     "pipelining",
     "monitor",
     "profile",
@@ -418,6 +423,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="prefetch depth when --pipelined (default 4)",
     )
     p.set_defaults(func=_cmd_resilience)
+
+    p = sub.add_parser(
+        "spectrum", parents=[runner_flags],
+        help="beyond-paper: redundancy spectrum — wire overhead vs "
+        "crashes tolerated across the whole policy family")
+    p.add_argument(
+        "--policies", nargs="+",
+        choices=list(exp.SPECTRUM_POLICIES), default=list(exp.SPECTRUM_POLICIES),
+    )
+    p.set_defaults(func=_cmd_spectrum)
 
     p = sub.add_parser(
         "pipelining", parents=[runner_flags],

@@ -44,6 +44,7 @@ from ..vm.pager import LocalDiskPager, Pager
 from ..vm.replacement import ReplacementPolicy
 from .client import RemoteMemoryPager
 from .policies.base import ReliabilityPolicy
+from .policies.erasure import ErasureCoding, parse_ec_policy
 from .policies.mirroring import Mirroring
 from .policies.none import NoReliability
 from .policies.parity import BasicParity
@@ -228,7 +229,10 @@ def build_cluster(
     * ``"parity"`` — basic in-place parity, ``n_servers`` + parity server;
     * ``"parity-logging"`` — the paper's policy, ``n_servers`` + parity
       server, all with ``overflow_fraction`` extra memory;
-    * ``"write-through"`` — remote copy + parallel local-disk copy.
+    * ``"write-through"`` — remote copy + parallel local-disk copy;
+    * ``"ec-K-M"`` (e.g. ``"ec-4-2"``) — Reed–Solomon erasure coding:
+      k data + m parity fragments per page on k+m distinct servers,
+      tolerating m crashes at ``(k+m)/k`` overhead.
 
     ``switched_spec`` replaces the shared Ethernet with a full-duplex
     switched network (the Fig 4 "faster network" configurations).
@@ -261,14 +265,27 @@ def build_cluster(
     ``RunSpec`` overrides and participate in the result-cache
     fingerprint.
     """
-    if policy not in POLICY_NAMES:
+    ec_shape = parse_ec_policy(policy)
+    if policy not in POLICY_NAMES and ec_shape is None:
         raise ConfigurationError(
-            f"unknown policy {policy!r}; choose from {POLICY_NAMES}"
+            f"unknown policy {policy!r}; choose from {POLICY_NAMES} "
+            "or an erasure-coded 'ec-K-M' (e.g. 'ec-4-2')"
         )
     if n_servers < 1:
         raise ConfigurationError("need at least one server")
     if policy == "mirroring" and n_servers < 2:
         raise ConfigurationError("mirroring needs at least two servers")
+    if ec_shape is not None:
+        ec_k, ec_m = ec_shape
+        if ec_k < 1 or ec_m < 1:
+            raise ConfigurationError(
+                f"erasure coding needs k >= 1 and m >= 1: {policy!r}"
+            )
+        if n_servers < ec_k + ec_m:
+            raise ConfigurationError(
+                f"{policy} needs at least {ec_k + ec_m} servers "
+                f"(k + m fragments on distinct servers), got {n_servers}"
+            )
 
     if switched_spec is not None and token_ring_spec is not None:
         raise ConfigurationError("choose one of switched_spec / token_ring_spec")
@@ -358,6 +375,11 @@ def build_cluster(
             wt_backend = PartitionBackend(local_disk, page_size, _SWAP_SLOTS)
             policy_obj = WriteThrough(
                 client_host.name, stack, servers, wt_backend, page_size=page_size
+            )
+        elif ec_shape is not None:
+            policy_obj = ErasureCoding(
+                client_host.name, stack, servers,
+                k=ec_shape[0], m=ec_shape[1], page_size=page_size,
             )
         pipeline_spec = PipelineSpec(
             window=pipeline_window,

@@ -239,13 +239,22 @@ class RemoteMemoryPager(Pager):
                 span.end("disk-fallback")
                 return contents
             span.phase("dispatch")
+            crashed_seen: Set[str] = set()
             try:
-                contents = yield from self.policy.pagein(page_id, span=span)
-            except ServerCrashed as crash:
-                span.phase("recovery")
-                yield from self._handle_crash(crash)
-                span.phase("dispatch")
-                contents = yield from self.policy.pagein(page_id, span=span)
+                while True:
+                    try:
+                        contents = yield from self.policy.pagein(page_id, span=span)
+                        break
+                    except ServerCrashed as crash:
+                        # As in _policy_pageout: distinct crashes may
+                        # surface one per retry; a repeating name means
+                        # recovery cannot close the hole.
+                        if crash.server_name in crashed_seen:
+                            raise
+                        crashed_seen.add(crash.server_name)
+                        span.phase("recovery")
+                        yield from self._handle_crash(crash)
+                        span.phase("dispatch")
             except RequestTimeout as timeout:
                 # Unlike a crash there is nothing to recover — the server
                 # may be fine behind a lossy path.  Surface it; the VM (or
@@ -398,12 +407,23 @@ class RemoteMemoryPager(Pager):
     def _policy_pageout(self, page_id: int, contents, span=NULL_SPAN):
         self._inflight_pageouts.add(page_id)
         try:
-            yield from self.policy.pageout(page_id, contents, span=span)
-        except ServerCrashed as crash:
-            span.phase("recovery")
-            yield from self._handle_crash(crash)
-            span.phase("dispatch")
-            yield from self.policy.pageout(page_id, contents, span=span)
+            crashed_seen: Set[str] = set()
+            while True:
+                try:
+                    yield from self.policy.pageout(page_id, contents, span=span)
+                    return
+                except ServerCrashed as crash:
+                    # Multi-failure campaigns can surface a *different*
+                    # crash on each retry (erasure placements span k+m
+                    # servers); recover and retry until the same hole
+                    # repeats — then the fault exceeds what recovery can
+                    # fix and must escape.
+                    if crash.server_name in crashed_seen:
+                        raise
+                    crashed_seen.add(crash.server_name)
+                    span.phase("recovery")
+                    yield from self._handle_crash(crash)
+                    span.phase("dispatch")
         finally:
             self._inflight_pageouts.discard(page_id)
 

@@ -1,7 +1,8 @@
 """Reliability policies (§2.2): none, mirroring, parity, parity logging,
-write-through."""
+write-through, plus the erasure-coded family (``ec-K-M``)."""
 
 from .base import ReliabilityPolicy
+from .erasure import ErasureCoding, PlacementGroupManager, parse_ec_policy
 from .mirroring import Mirroring
 from .none import NoReliability
 from .parity import BasicParity
@@ -15,4 +16,7 @@ __all__ = [
     "BasicParity",
     "ParityLogging",
     "WriteThrough",
+    "ErasureCoding",
+    "PlacementGroupManager",
+    "parse_ec_policy",
 ]

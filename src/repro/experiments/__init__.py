@@ -16,6 +16,7 @@ from .breakdown import (
 from .busy_servers import render_busy_servers, run_busy_servers
 from .compression import render_compression, run_compression
 from .diurnal import render_diurnal, run_diurnal
+from .erasure import SPECTRUM_POLICIES, render_spectrum, run_spectrum
 from .fig1 import render_fig1, run_fig1
 from .fig2 import FIG2_POLICIES, render_fig2, run_fig2
 from .fig3 import render_fig3, run_fig3
@@ -105,6 +106,9 @@ __all__ = [
     "render_resilience",
     "LEVELS",
     "RESILIENCE_POLICIES",
+    "run_spectrum",
+    "render_spectrum",
+    "SPECTRUM_POLICIES",
     "run_pipelining",
     "render_pipelining",
     "WINDOWS",

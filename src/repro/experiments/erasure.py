@@ -1,0 +1,186 @@
+"""Redundancy spectrum: what each reliability policy pays per crash
+tolerated (beyond the paper).
+
+The paper's §2.2 trade-off matrix weighs runtime, memory, and recovery
+overhead across its five policies — all of which tolerate at most one
+server crash.  The erasure-coded ``ec-K-M`` family (PR 8) breaks that
+ceiling: a Reed-Solomon ``(k, m)`` stripe survives any ``m`` concurrent
+failures while shipping only ``(k + m) / k`` page-equivalents per
+pageout.  This experiment runs the whole family over one workload and
+plots the spectrum — transfer overhead vs crashes tolerated — that the
+resilience campaigns then validate under real fault schedules:
+mirroring pays 2.0x to tolerate one crash, ec-4-2 pays 1.5x to
+tolerate two.
+
+``write-through`` is the odd point: its backing disk copy survives any
+number of *server* crashes, so its tolerance is bounded by the client's
+disk, not the pool — the table reports it as ``disk`` and the chart
+pins it at the pool size.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..analysis.charts import ascii_chart
+from ..analysis.report import format_table
+from ..config import MachineSpec
+from ..runner import RunSpec, default_runner
+
+__all__ = ["SPECTRUM_POLICIES", "run_spectrum", "render_spectrum"]
+
+SPECTRUM_POLICIES = (
+    "no-reliability",
+    "write-through",
+    "mirroring",
+    "parity",
+    "parity-logging",
+    "ec-2-1",
+    "ec-4-2",
+    "ec-6-3",
+)
+
+#: Same small machine as the resilience campaigns: every policy pages
+#: the identical reference stream, so transfer counts are comparable.
+_SMALL = MachineSpec(
+    name="spectrum-small",
+    ram_bytes=2 * 1024 * 1024,
+    kernel_resident_bytes=1 * 1024 * 1024,
+    page_size=8192,
+)
+
+_WORKLOAD = ("sequential-scan", dict(n_pages=400, passes=3, write=True))
+
+
+def _n_servers(policy: str) -> int:
+    """Mirror the resilience experiment's pool sizing (rebuild slack)."""
+    from ..core.policies import parse_ec_policy
+
+    shape = parse_ec_policy(policy)
+    if shape is not None:
+        return max(2 * (shape[0] + shape[1]), 8)
+    return 4
+
+
+def crashes_tolerated(policy: str, n_servers: int) -> Optional[int]:
+    """Concurrent server crashes the policy survives without data loss.
+
+    ``None`` encodes write-through's disk-backed "all of them" — its
+    tolerance is not a property of the remote pool.
+    """
+    from ..core.policies import parse_ec_policy
+
+    shape = parse_ec_policy(policy)
+    if shape is not None:
+        return shape[1]
+    return {
+        "no-reliability": 0,
+        "mirroring": 1,
+        "parity": 1,
+        "parity-logging": 1,
+        "write-through": None,
+    }[policy]
+
+
+def run_spectrum(
+    policies: Iterable[str] = SPECTRUM_POLICIES,
+    runner=None,
+) -> Dict[str, Dict[str, object]]:
+    """Fault-free sweep; returns per-policy overhead/tolerance numbers.
+
+    Transfers are *page-equivalents*: an erasure-coded fragment counts
+    as ``fragment_size / page_size`` of a page, so the overhead column
+    is directly the ``(k + m) / k`` expansion (plus pagein traffic,
+    which every policy ships at 1.0x).
+    """
+    from ..core.policies import parse_ec_policy
+
+    policies = list(policies)
+    specs = [
+        RunSpec.make(
+            _WORKLOAD[0],
+            policy,
+            workload_kwargs=_WORKLOAD[1],
+            overrides=dict(
+                machine_spec=_SMALL,
+                content_mode=True,
+                seed=3,
+                n_servers=_n_servers(policy),
+                server_capacity_pages=600,
+            ),
+            label=f"spectrum/{policy}",
+        )
+        for policy in policies
+    ]
+    results: Dict[str, Dict[str, object]] = {}
+    for policy, result in zip(policies, (runner or default_runner()).run(specs)):
+        metrics = result.report.meta.get("metrics", {})
+        page_size = _SMALL.page_size
+        transfers = float(metrics.get("policy.transfers", 0))
+        shape = parse_ec_policy(policy)
+        if shape is not None:
+            fragment_size = -(-page_size // shape[0])
+            transfers += (
+                metrics.get("policy.fragment_transfers", 0)
+                * fragment_size
+                / page_size
+            )
+        paging_ops = metrics.get("policy.pageouts", 0) + metrics.get(
+            "policy.pageins", 0
+        )
+        n_servers = _n_servers(policy)
+        results[policy] = {
+            "etime": result.report.etime,
+            "transfers": round(transfers, 2),
+            "paging_ops": paging_ops,
+            "transfer_overhead": round(transfers / paging_ops, 3)
+            if paging_ops
+            else 0.0,
+            "crashes_tolerated": crashes_tolerated(policy, n_servers),
+            "n_servers": n_servers,
+        }
+    return results
+
+
+def render_spectrum(results: Dict[str, Dict[str, object]]) -> str:
+    """Table + ASCII figure: transfer overhead vs crashes tolerated."""
+    rows = []
+    for policy, cell in results.items():
+        tolerated = cell["crashes_tolerated"]
+        rows.append(
+            [
+                policy,
+                "disk" if tolerated is None else str(tolerated),
+                f"{cell['transfer_overhead']:.2f}x",
+                f"{cell['transfers']:.0f}",
+                str(cell["n_servers"]),
+                f"{cell['etime']:.2f}",
+            ]
+        )
+    table = format_table(
+        [
+            "policy",
+            "crashes tolerated",
+            "wire overhead",
+            "page-equiv transfers",
+            "servers",
+            "etime (s)",
+        ],
+        rows,
+        title="Redundancy spectrum: transfer cost per crash tolerated "
+        "(sequential scan, 400 pages x 3 passes, fault-free)",
+    )
+    series = {}
+    for policy, cell in results.items():
+        tolerated = cell["crashes_tolerated"]
+        x = float(cell["n_servers"] if tolerated is None else tolerated)
+        series[policy] = [(x, float(cell["transfer_overhead"]))]
+    chart = ascii_chart(
+        series,
+        width=56,
+        height=14,
+        title="wire overhead (x, per paging op) vs crashes tolerated",
+        x_label="crashes tolerated (write-through pinned at pool size)",
+        y_label="overhead",
+    )
+    return f"{table}\n\n{chart}"

@@ -9,9 +9,14 @@ is replayed and checked against its pageout CRC) plus the retry /
 recovery / scrub accounting that explains it.
 
 Expected outcome, mirroring §2.2's taxonomy: every redundant policy
-(mirroring, parity, parity logging, write-through) comes through the
-``light`` and ``heavy`` campaigns CLEAN — zero pages lost or corrupted —
-while NO RELIABILITY loses the crashed server's pages outright.
+(mirroring, parity, parity logging, write-through, and the
+erasure-coded ``ec-K-M`` family) comes through the ``light`` and
+``heavy`` campaigns CLEAN — zero pages lost or corrupted — while NO
+RELIABILITY loses the crashed server's pages outright.  The
+``correlated`` level goes beyond the paper: a two-server crash_group
+plus a crash-during-recovery cascade, survivable only by policies that
+tolerate more than one concurrent failure — EC cells must stay CLEAN
+while the single-tolerance policies are expected LOSSY.
 
 Reliable-policy cells run through the parallel runner (cache-aware,
 ``--jobs`` friendly); the fault schedule is carried as plain data in the
@@ -45,9 +50,11 @@ RESILIENCE_POLICIES = (
     "parity",
     "parity-logging",
     "write-through",
+    "ec-2-1",
+    "ec-4-2",
 )
 
-LEVELS = ("clean", "light", "heavy")
+LEVELS = ("clean", "light", "heavy", "correlated")
 
 #: Small machine -> short runs (~20 simulated seconds fault-free); the
 #: campaign times below are chosen against that duration.
@@ -70,6 +77,35 @@ _BUILD = dict(
 
 _WORKLOAD = ("sequential-scan", dict(n_pages=400, passes=3, write=True))
 
+#: Policies whose fault tolerance stops at one concurrent failure per
+#: redundancy group.  The ``correlated`` campaign opens with a two-server
+#: crash_group, so these cells are *expected* to die or lose pages —
+#: they run inline where the death is caught and reported as the result.
+_SINGLE_TOLERANCE = frozenset(
+    {"no-reliability", "mirroring", "parity", "parity-logging"}
+)
+
+
+def _cell_servers(policy: str, level: str) -> int:
+    """Server-pool size for one (policy, level) cell.
+
+    Erasure-coded cells get ``max(2 * (k + m), 8)``: two CodingSets
+    placement groups, each with rebuild slack beyond the stripe width
+    so fragments rebuild *inside* their group instead of borrowing
+    cross-group and leaking the blast radius (see
+    ``FaultPlan.correlated_campaign``).  The ``correlated`` campaign's
+    default targets reach server index 5, so every other policy gets
+    six servers at that level.
+    """
+    from ..core.policies import parse_ec_policy
+
+    shape = parse_ec_policy(policy)
+    if shape is not None:
+        return max(2 * (shape[0] + shape[1]), 8)
+    if level == "correlated":
+        return 6
+    return int(_BUILD["n_servers"])
+
 
 def _level_plan(level: str) -> Optional[FaultPlan]:
     """The fault campaign for one intensity level (None = no faults)."""
@@ -78,6 +114,13 @@ def _level_plan(level: str) -> Optional[FaultPlan]:
     if level == "light":
         # The acceptance campaign: one crash + 1% loss + one rot burst.
         return FaultPlan.standard_campaign()
+    if level == "correlated":
+        # The multi-failure schedule erasure coding exists to survive:
+        # a two-server crash_group, a crash-during-recovery cascade, an
+        # amnesiac flap, and a rot burst (timings documented on the
+        # classmethod).  EC cells must be CLEAN; single-tolerance
+        # policies see two concurrent faults and are expected LOSSY.
+        return FaultPlan.correlated_campaign()
     if level == "heavy":
         # Everything at once: steady loss/duplication/delay, a loss
         # burst, a crash, a flapping server, and an at-rest corruption
@@ -144,11 +187,6 @@ def run_resilience(
     policy.
     """
     policies, levels = list(policies), list(levels)
-    build = dict(_BUILD)
-    if pipelined:
-        build.update(
-            pipeline_window=pipeline_window, pipeline_prefetch=pipeline_prefetch
-        )
     run = (runner or default_runner()).run
     results: Dict[str, Dict[str, Dict[str, object]]] = {}
     specs, placements = [], []
@@ -156,7 +194,16 @@ def run_resilience(
         results[level] = {}
         plan = _level_plan(level)
         for policy in policies:
-            if policy == "no-reliability" and plan is not None:
+            build = dict(_BUILD, n_servers=_cell_servers(policy, level))
+            if pipelined:
+                build.update(
+                    pipeline_window=pipeline_window,
+                    pipeline_prefetch=pipeline_prefetch,
+                )
+            dies_by_design = policy == "no-reliability" or (
+                level == "correlated" and policy in _SINGLE_TOLERANCE
+            )
+            if dies_by_design and plan is not None:
                 results[level][policy] = _run_inline(policy, plan, build)
                 continue
             spec = RunSpec.make(
@@ -197,6 +244,8 @@ def render_resilience(results) -> str:
                     str(len(integrity["corrupted"])),
                     str(extras["recoveries"]),
                     str(extras["scrub_recoveries"]),
+                    str(extras.get("degraded_reads", 0)),
+                    str(extras.get("fragments_rebuilt", 0)),
                     f"{extras['rpc_retries']}/{extras['rpc_timeouts']}",
                     f"{report.etime:.2f}" if report is not None else "died",
                     cell["error"] or "-",
@@ -211,6 +260,8 @@ def render_resilience(results) -> str:
             "corrupt",
             "recov",
             "scrubs",
+            "degraded",
+            "rebuilt",
             "retry/tmo",
             "etime (s)",
             "workload error",

@@ -80,13 +80,25 @@ class CorruptionInjector:
 
 @dataclass
 class IntegrityReport:
-    """Outcome of replaying every remote page after a campaign."""
+    """Outcome of replaying every remote page after a campaign.
+
+    A page that needed redundancy to come back — a degraded
+    erasure-coded read around dead servers, or a scrub that repaired
+    at-rest rot mid-replay — is still **verified**: the policy doing
+    its job is the CLEAN verdict, not a defect.  ``degraded`` and
+    ``scrub_repaired`` make that work visible instead of silent.
+    """
 
     checked: int = 0
     verified: int = 0
     unverified: int = 0  # metadata mode: no bytes to checksum
     lost: List[Tuple[int, str]] = field(default_factory=list)
     corrupted: List[int] = field(default_factory=list)
+    #: Pages verified only via redundant-fragment reconstruction
+    #: (some fragment holder was dead or timing out at replay).
+    degraded: List[int] = field(default_factory=list)
+    #: Pages whose replay checksum-failed, then healed via policy scrub.
+    scrub_repaired: List[int] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -106,6 +118,8 @@ class IntegrityReport:
             "unverified": self.unverified,
             "lost": [[page_id, reason] for page_id, reason in self.lost],
             "corrupted": list(self.corrupted),
+            "degraded": list(self.degraded),
+            "scrub_repaired": list(self.scrub_repaired),
             "verdict": self.verdict,
         }
 
@@ -123,13 +137,29 @@ def check_page_integrity(cluster) -> IntegrityReport:
       (:class:`~repro.errors.PageCorrupted`);
     * **lost** — no copy could be produced at all (crash recovery failed,
       the server set lost it, or the path timed out).
+
+    Per-page deltas of the policy's ``degraded_reads`` counter and the
+    pager's ``scrub_recoveries`` counter classify each verified page
+    further: fragment reconstruction around a dead server, or an at-rest
+    rot repair, each stays CLEAN but lands in ``report.degraded`` /
+    ``report.scrub_repaired`` so campaigns can assert the redundancy
+    actually worked (and how often) rather than merely that nothing died.
     """
     report = IntegrityReport()
     pager = cluster.pager
+    policy_counters = getattr(cluster.policy, "counters", None)
+    pager_counters = getattr(pager, "counters", None)
+
+    def _snapshot() -> Tuple[int, int]:
+        degraded = policy_counters["degraded_reads"] if policy_counters else 0
+        scrubbed = pager_counters["scrub_recoveries"] if pager_counters else 0
+        return degraded, scrubbed
+
     ledger = getattr(pager, "checksums", {})
     for page_id in sorted(ledger):
         expected = ledger[page_id]
         report.checked += 1
+        degraded_before, scrubbed_before = _snapshot()
 
         def replay(pid=page_id):
             contents = yield from pager.pagein(pid)
@@ -152,4 +182,9 @@ def check_page_integrity(cluster) -> IntegrityReport:
             report.corrupted.append(page_id)
         else:
             report.verified += 1
+            degraded_after, scrubbed_after = _snapshot()
+            if degraded_after > degraded_before:
+                report.degraded.append(page_id)
+            if scrubbed_after > scrubbed_before:
+                report.scrub_repaired.append(page_id)
     return report

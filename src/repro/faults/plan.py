@@ -23,11 +23,15 @@ Event vocabulary (each a plain tuple; times in simulated seconds)::
     ("loss_burst", at, duration, rate)        raise drop_rate for a window
     ("corrupt_burst", at, target, n_pages)    at-rest bit-rot on a server
     ("crash_during_recovery", at, target, second)   Hydra-style compose
+    ("crash_group", at, (t1, t2, ...))        correlated kill: all at once
 
 ``target``/``second`` are data-server indices or the string
 ``"parity"``.  A ``crash_during_recovery`` event crashes ``target`` at
 ``at`` and arms a recovery watcher that kills ``second`` the moment the
-pager starts recovering ``target``.
+pager starts recovering ``target``.  A ``crash_group`` kills every
+target at the same instant with no yield in between — the rack/power-
+domain correlated failure that erasure-coded placement groups are built
+to bound — and is logged as *one* ``crash_group`` fault entry.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ _EVENT_KINDS = (
     "loss_burst",
     "corrupt_burst",
     "crash_during_recovery",
+    "crash_group",
 )
 
 
@@ -85,6 +90,12 @@ class FaultPlan:
                 raise ValueError(f"unknown fault event: {event!r}")
             if len(event) < 2 or event[1] < 0:
                 raise ValueError(f"fault event needs a time >= 0: {event!r}")
+            if event[0] == "crash_group":
+                if len(event) != 3 or not isinstance(event[2], tuple) or not event[2]:
+                    raise ValueError(
+                        "crash_group needs a non-empty tuple of targets: "
+                        f"{event!r}"
+                    )
         if (self.drop_rate > 0 or self._has_loss_burst()) and not self.retry:
             raise ValueError(
                 "message drops without an RPC retry policy would deadlock "
@@ -124,8 +135,13 @@ class FaultPlan:
     @classmethod
     def from_kwargs(cls, kwargs: dict) -> "FaultPlan":
         data = dict(kwargs)
-        # Events may arrive as lists-of-lists after a JSON round trip.
-        data["events"] = tuple(tuple(e) for e in data.get("events", ()))
+        # Events may arrive as lists-of-lists after a JSON round trip;
+        # crash_group carries a nested target sequence that must come
+        # back as a tuple too (the plan must stay hashable plain data).
+        data["events"] = tuple(
+            tuple(tuple(part) if isinstance(part, list) else part for part in e)
+            for e in data.get("events", ())
+        )
         return cls(**data)
 
     @classmethod
@@ -153,6 +169,60 @@ class FaultPlan:
             watchdog_interval=0.5,
             events=(
                 ("crash", crash_at, crash_target),
+                ("corrupt_burst", corrupt_at, corrupt_target, corrupt_pages),
+            ),
+        )
+        return replace(plan, **overrides) if overrides else plan
+
+    @classmethod
+    def correlated_campaign(
+        cls,
+        loss_rate: float = 0.01,
+        group_targets=(0, 4),
+        group_at: float = 5.0,
+        cascade_at: float = 14.0,
+        cascade_target=1,
+        cascade_second=5,
+        flap_at: float = 42.0,
+        flap_target=2,
+        flap_down_for: float = 4.0,
+        corrupt_at: float = 65.0,
+        corrupt_target=3,
+        corrupt_pages: int = 4,
+        **overrides,
+    ) -> "FaultPlan":
+        """The multi-failure campaign erasure coding exists to survive.
+
+        Composes, in order: a *correlated* crash_group (two servers at
+        the same instant — rack-style), a crash-during-recovery cascade
+        (Hydra's composed fault), an amnesiac flap, and a rot burst
+        last.  Default targets assume >= 6 servers.  Run with EC pools
+        sized ``max(2 * (k + m), 8)`` so placement groups carry rebuild
+        slack beyond the stripe width: ec-2-1 over 8 servers forms
+        groups {0..3} and {4..7} — the (0, 4) pair costs each group one
+        fragment (<= m = 1) and rebuilds stay in-group — while ec-4-2
+        over 12 servers forms groups of 6 and the pair lands in one
+        group, costing 2 <= m = 2 fragments.  Single-redundancy
+        policies (mirroring, parity) see a concurrent double fault and
+        are expected LOSSY.
+
+        The default times encode the survivability contract: only the
+        crash_group is deliberately concurrent; every later fault waits
+        for the previous one's re-protection to drain.  Recoveries are
+        single-flight in the pager, so the cascade pair (crash at 14,
+        second victim killed the instant recovery starts) re-protects
+        serially until ~39 simulated seconds — the flap lands after
+        that, and the rot burst lands after the flap's own recovery,
+        because a rotted survivor inside a still-degraded group is two
+        faults in one equation (`RecoveryError` by design).
+        """
+        plan = cls(
+            drop_rate=loss_rate,
+            watchdog_interval=0.5,
+            events=(
+                ("crash_group", group_at, tuple(group_targets)),
+                ("crash_during_recovery", cascade_at, cascade_target, cascade_second),
+                ("flap", flap_at, flap_target, flap_down_for),
                 ("corrupt_burst", corrupt_at, corrupt_target, corrupt_pages),
             ),
         )
@@ -257,6 +327,8 @@ class ChaosController:
             yield from self._crash_during_recovery(
                 self._resolve(event[2]), self._resolve(event[3])
             )
+        elif kind == "crash_group":
+            self._crash_group([self._resolve(t) for t in event[2]])
 
     def _crash(self, server):
         if server.is_alive:
@@ -264,6 +336,21 @@ class ChaosController:
             self._log("crash", server=server.name)
         return
         yield  # pragma: no cover - keeps this a generator
+
+    def _crash_group(self, servers) -> None:
+        """Correlated kill: every target dies at the same instant.
+
+        No simulation yield between the crashes, so recovery cannot
+        start until all of them are down — the scenario a single-
+        redundancy policy cannot survive when two victims share a
+        redundancy group, and exactly what erasure-coded placement
+        groups bound the blast radius of.
+        """
+        victims = [s for s in servers if s.is_alive]
+        for server in victims:
+            server.crash()
+        if victims:
+            self._log("crash_group", servers=sorted(s.name for s in victims))
 
     def _flap(self, server, down_for: float):
         if not server.is_alive:

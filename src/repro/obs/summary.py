@@ -25,7 +25,7 @@ __all__ = ["load_trace", "summarize", "render_summary", "TraceSummary"]
 #: summary keeps their events on a timeline so latency spikes in the
 #: slowest-request table can be attributed to what was going wrong on
 #: the wire at that moment.
-_FAULT_COMPONENTS = frozenset({"faults", "net.rpc", "net", "watchdog"})
+_FAULT_COMPONENTS = frozenset({"faults", "net.rpc", "net", "watchdog", "recovery"})
 
 
 def load_trace(path: str, validate: bool = True) -> List[Dict[str, Any]]:

@@ -218,6 +218,18 @@ def _resilience(cluster, report, state) -> Dict[str, Any]:
         "recoveries": cluster.pager.counters["recoveries"],
         "scrub_recoveries": cluster.pager.counters["scrub_recoveries"],
     }
+    policy_counters = getattr(cluster.policy, "counters", None)
+    if policy_counters is not None:
+        # Reconstruction accounting (non-zero only for erasure-coded
+        # policies): how often redundancy actually did work, and what
+        # the GF(256) math cost in simulated CPU microseconds.
+        extras["degraded_reads"] = policy_counters["degraded_reads"]
+        extras["fragments_rebuilt"] = policy_counters["fragments_rebuilt"]
+        extras["recovered_pages"] = policy_counters["recovered_pages"]
+        extras["unrecoverable_pages"] = policy_counters["unrecoverable_pages"]
+        extras["scrub_repairs"] = policy_counters["scrub_repairs"]
+        extras["reconstruct_cpu_us"] = policy_counters["reconstruct_cpu_us"]
+        extras["encode_cpu_us"] = policy_counters["encode_cpu_us"]
     if state is not None and state.network is not None:
         extras["network_faults"] = state.network.counters.as_dict()
     return extras
