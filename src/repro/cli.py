@@ -125,7 +125,12 @@ def _cmd_resilience(args) -> str:
 
 
 def _cmd_spectrum(args) -> str:
-    return exp.render_spectrum(exp.run_spectrum(policies=tuple(args.policies)))
+    return exp.render_spectrum(
+        exp.run_spectrum(
+            policies=tuple(args.policies),
+            paper_scale=getattr(args, "paper_scale", False),
+        )
+    )
 
 
 def _cmd_pipelining(args) -> str:
@@ -431,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--policies", nargs="+",
         choices=list(exp.SPECTRUM_POLICIES), default=list(exp.SPECTRUM_POLICIES),
+    )
+    p.add_argument(
+        "--paper-scale", action="store_true",
+        help="run GAUSS on the paper's 32 MB Alpha over the switched "
+        "network with telemetry on; adds pagein latency percentiles",
     )
     p.set_defaults(func=_cmd_spectrum)
 

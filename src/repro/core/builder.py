@@ -35,7 +35,7 @@ from ..net.switched import SwitchedNetwork
 from ..net.token_ring import TokenRing, TokenRingSpec
 from ..obs.health import HealthMonitor, HealthSpec
 from ..obs.metrics import MetricsRegistry
-from ..obs.telemetry import TelemetrySampler
+from ..obs.telemetry import LogHistogram, TelemetrySampler
 from ..obs.trace import current_tracer
 from ..pipeline import PipelineSpec
 from ..sim import RngRegistry, Simulator
@@ -494,6 +494,14 @@ def build_cluster(
         for series_name, series in telemetry.series.items():
             metrics.attach(f"telemetry.{series_name}", series)
         metrics.attach("telemetry.fault_latency", telemetry.fault_latency)
+        # Per-pagein latency histogram (fed by the pager's sampler hook;
+        # pre-created so it lands in every snapshot, samples or not).
+        pagein_hist = telemetry.extra.get("pager.pagein")
+        if pagein_hist is None:
+            pagein_hist = telemetry.extra["pager.pagein"] = LogHistogram(
+                growth=telemetry.fault_latency.growth
+            )
+        metrics.attach("telemetry.pager.pagein", pagein_hist)
         health = HealthMonitor(
             telemetry,
             HealthSpec(

@@ -226,17 +226,20 @@ class RemoteMemoryPager(Pager):
     def pagein(self, page_id: int):
         self.counters.add("pageins")
         span = self.sim.tracer.span("pagein", page_id)
+        start = self.sim.now
         try:
             pipe = self.pipeline
             if pipe is not None:
                 contents = yield from self._pipelined_pagein(page_id, pipe, span)
                 if contents is not _MISS:
                     span.end("ok")
+                    self.sim.sampler.observe("pager.pagein", self.sim.now - start)
                     return contents
             if page_id in self._on_disk:
                 span.phase("disk")
                 contents = yield from self._disk_pagein(page_id)
                 span.end("disk-fallback")
+                self.sim.sampler.observe("pager.pagein", self.sim.now - start)
                 return contents
             span.phase("dispatch")
             crashed_seen: Set[str] = set()
@@ -267,6 +270,10 @@ class RemoteMemoryPager(Pager):
                 raise
             contents = yield from self._verified(page_id, contents, span=span)
             span.end("ok")
+            # Per-pagein latency histogram (telemetry-gated: the default
+            # NullSampler makes this a no-op) — the paper-scale spectrum
+            # reads its percentiles per policy.
+            self.sim.sampler.observe("pager.pagein", self.sim.now - start)
             return contents
         finally:
             span.end("error")

@@ -48,6 +48,7 @@ from ...errors import (
 )
 from ...sim import NULL_SPAN
 from ...units import microseconds
+from ...vm.page import fragment_memo_get, fragment_memo_put
 from ..server import MemoryServer
 from .base import ReliabilityPolicy
 from .gf256 import ReedSolomon, join_fragments, split_page
@@ -159,6 +160,9 @@ class ErasureCoding(ReliabilityPolicy):
     ):
         super().__init__(client_host, stack, servers, page_size=page_size)
         self.rs = ReedSolomon(k, m)
+        # Surface the codec's deterministic per-instance reconstruction
+        # row hit/miss stream as policy.codec_row_{hits,misses} metrics.
+        self.rs.stats = self.counters
         self.k = k
         self.m = m
         self.width = k + m
@@ -243,8 +247,19 @@ class ErasureCoding(ReliabilityPolicy):
     def _encode(self, contents: Optional[bytes]) -> List[Optional[bytes]]:
         if contents is None:  # metadata mode: no bytes, no parity algebra
             return [None] * self.width
+        # Encode-once by payload identity: the PR 4 content cache hands
+        # out shared bytes per (page, version) — including the shared
+        # zero page — so a page written once and paged out N times pays
+        # the split+GF algebra once.  Host-side only: the simulated
+        # encode CPU charge in pageout() is identical hit or miss.
+        shape = (self.k, self.m, self.fragment_size)
+        memo = fragment_memo_get(contents, shape)
+        if memo is not None:
+            return memo
         data = split_page(contents, self.k, self.fragment_size)
-        return data + self.rs.encode(data)
+        fragments = data + self.rs.encode(data)
+        fragment_memo_put(contents, shape, fragments)
+        return fragments
 
     # ---------------------------------------------------------- placement
     def _usable(self, server: MemoryServer) -> bool:
@@ -300,11 +315,42 @@ class ErasureCoding(ReliabilityPolicy):
         span.phase("ec.encode")
         yield self._gf_cpu(self.k * self.m, counter="encode_cpu_us")
         fragments = self._encode(contents)
-        for index, (server, payload) in enumerate(zip(placement, fragments)):
+        # Scatter: all k+m fragment sends issued concurrently, framed as
+        # one protocol cluster (the head pays the full per-page protocol
+        # CPU, the rest the batched fraction — OSF/1-style, and nested
+        # safely inside a pipeline drain cluster when one is open).  On
+        # the switched full-duplex network the fragment wire times
+        # overlap; on shared Ethernet the frames serialise on the medium
+        # but the per-fragment protocol/server work still interleaves.
+        # Workers trap their own failures: every send runs to completion
+        # (or failure) before the first failure — lowest fragment index,
+        # for determinism — is re-raised for the pager's crash handling.
+        failures: Dict[int, BaseException] = {}
+
+        def send_worker(index: int, server: MemoryServer, payload):
             label = "transfer" if index < self.k else "ec-parity"
-            yield from self._send_fragment(
-                server, self._key(page_id, index), payload, span=span, label=label
+            try:
+                yield from self._send_fragment(
+                    server, self._key(page_id, index), payload,
+                    span=span, label=label,
+                )
+            except (ServerCrashed, ServerUnavailable, RequestTimeout) as exc:
+                failures[index] = exc
+
+        self.stack.begin_cluster(self.client_host)
+        try:
+            yield self.sim.all_of(
+                [
+                    self.sim.process(send_worker(index, server, payload))
+                    for index, (server, payload) in enumerate(
+                        zip(placement, fragments)
+                    )
+                ]
             )
+        finally:
+            self.stack.end_cluster()
+        if failures:
+            raise failures[min(failures)]
         self.counters.add("pageouts")
 
     def pagein(self, page_id: int, span=NULL_SPAN):
@@ -315,23 +361,52 @@ class ErasureCoding(ReliabilityPolicy):
         failed: List[str] = []
         # Data fragments first (no algebra on the clean path), parity as
         # substitutes when a data server is crashed, amnesiac, or timing
-        # out behind a bad path — Hydra's degraded read.
+        # out behind a bad path — Hydra's degraded read.  Servers the
+        # pager has already declared dead or retired from the pool are
+        # skipped up front: no RPC round is wasted re-discovering a
+        # known crash on every degraded read.
+        pool_ids = {id(server) for server in self.servers}
         order = sorted(range(self.width), key=lambda i: (i >= self.k, i))
+        candidates: List[int] = []
         for index in order:
-            if len(collected) == self.k:
-                break
             server = placement[index]
-            if not server.is_alive:
+            if not server.is_alive or id(server) not in pool_ids:
                 failed.append(server.name)
-                continue
-            try:
-                payload = yield from self._fetch_fragment(
-                    server, self._key(page_id, index), span=span
-                )
-            except (ServerCrashed, RequestTimeout) as exc:
-                failed.append(getattr(exc, "server_name", server.name))
-                continue
-            collected[index] = payload
+                self.counters.add("fetches_skipped")
+            else:
+                candidates.append(index)
+        # Gather: fetch the first k candidates concurrently; a degraded
+        # read tops up with exactly as many extra parity fetches as
+        # fragments just failed (minimal waves, Hydra-style), never the
+        # whole stripe.
+        cursor = 0
+        while len(collected) < self.k and cursor < len(candidates):
+            wave = candidates[cursor : cursor + self.k - len(collected)]
+            cursor += len(wave)
+            results: Dict[int, object] = {}
+
+            def fetch_worker(index: int):
+                server = placement[index]
+                try:
+                    payload = yield from self._fetch_fragment(
+                        server, self._key(page_id, index), span=span
+                    )
+                except (ServerCrashed, RequestTimeout) as exc:
+                    results[index] = (
+                        None, getattr(exc, "server_name", server.name)
+                    )
+                else:
+                    results[index] = (True, payload)
+
+            yield self.sim.all_of(
+                [self.sim.process(fetch_worker(index)) for index in wave]
+            )
+            for index in wave:
+                ok, value = results[index]
+                if ok:
+                    collected[index] = value
+                else:
+                    failed.append(value)
         if len(collected) < self.k:
             # Beyond tolerance *right now*: surface crash semantics so
             # the pager runs (or waits out) recovery and retries.

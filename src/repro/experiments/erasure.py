@@ -24,7 +24,7 @@ from typing import Dict, Iterable, Optional
 
 from ..analysis.charts import ascii_chart
 from ..analysis.report import format_table
-from ..config import MachineSpec
+from ..config import MachineSpec, SwitchedNetworkSpec
 from ..runner import RunSpec, default_runner
 
 __all__ = ["SPECTRUM_POLICIES", "run_spectrum", "render_spectrum"]
@@ -50,6 +50,13 @@ _SMALL = MachineSpec(
 )
 
 _WORKLOAD = ("sequential-scan", dict(n_pages=400, passes=3, write=True))
+
+#: Paper-scale configuration: the default 32 MB DEC Alpha running GAUSS
+#: (the paper's most paging-dominated benchmark) over the switched
+#: full-duplex network, with telemetry on so every pagein's latency
+#: lands in the ``telemetry.pager.pagein`` log-histogram.
+_PAPER_WORKLOAD = ("gauss", {})
+_PAPER_TELEMETRY_INTERVAL = 1.0
 
 
 def _n_servers(policy: str) -> int:
@@ -82,9 +89,31 @@ def crashes_tolerated(policy: str, n_servers: int) -> Optional[int]:
     }[policy]
 
 
+def _hist_mean(metrics: Dict[str, object], prefix: str) -> float:
+    """Estimated mean of a snapshotted LogHistogram, in its own units.
+
+    The histogram keeps bucket counts, not a sum, so the mean is
+    estimated at each bucket's geometric midpoint — within a factor of
+    ``sqrt(growth)`` of the true mean by construction, far tighter in
+    practice because pagein latencies cluster in a few buckets.
+    """
+    count = metrics.get(f"{prefix}.count", 0)
+    if not count:
+        return 0.0
+    growth = float(metrics.get(f"{prefix}.growth", 0.0) or 0.0)
+    buckets = metrics.get(f"{prefix}.buckets") or {}
+    if growth <= 1.0:
+        return 0.0
+    total = sum(
+        growth ** (int(index) + 0.5) * n for index, n in buckets.items()
+    )
+    return total / count
+
+
 def run_spectrum(
     policies: Iterable[str] = SPECTRUM_POLICIES,
     runner=None,
+    paper_scale: bool = False,
 ) -> Dict[str, Dict[str, object]]:
     """Fault-free sweep; returns per-policy overhead/tolerance numbers.
 
@@ -92,30 +121,51 @@ def run_spectrum(
     as ``fragment_size / page_size`` of a page, so the overhead column
     is directly the ``(k + m) / k`` expansion (plus pagein traffic,
     which every policy ships at 1.0x).
+
+    ``paper_scale`` swaps the small reference machine for the paper's
+    default configuration — the 32 MB DEC Alpha running GAUSS over the
+    switched network — with telemetry enabled, and adds per-policy
+    pagein latency percentiles (``pagein_latency``, milliseconds, from
+    the ``telemetry.pager.pagein`` histogram) to each cell.  This is
+    the view where fragment fan-out earns its keep: the overhead column
+    says what each policy *ships*, the latency columns say what the
+    client *waits*.
     """
     from ..core.policies import parse_ec_policy
 
     policies = list(policies)
+    if paper_scale:
+        workload, workload_kwargs = _PAPER_WORKLOAD
+        page_size = 8192
+        overrides = dict(
+            content_mode=True,
+            seed=3,
+            switched_spec=SwitchedNetworkSpec(),
+            telemetry_interval=_PAPER_TELEMETRY_INTERVAL,
+            server_capacity_pages=4000,
+        )
+    else:
+        workload, workload_kwargs = _WORKLOAD
+        page_size = _SMALL.page_size
+        overrides = dict(
+            machine_spec=_SMALL,
+            content_mode=True,
+            seed=3,
+            server_capacity_pages=600,
+        )
     specs = [
         RunSpec.make(
-            _WORKLOAD[0],
+            workload,
             policy,
-            workload_kwargs=_WORKLOAD[1],
-            overrides=dict(
-                machine_spec=_SMALL,
-                content_mode=True,
-                seed=3,
-                n_servers=_n_servers(policy),
-                server_capacity_pages=600,
-            ),
-            label=f"spectrum/{policy}",
+            workload_kwargs=workload_kwargs,
+            overrides=dict(overrides, n_servers=_n_servers(policy)),
+            label=f"spectrum/{'paper' if paper_scale else 'small'}/{policy}",
         )
         for policy in policies
     ]
     results: Dict[str, Dict[str, object]] = {}
     for policy, result in zip(policies, (runner or default_runner()).run(specs)):
         metrics = result.report.meta.get("metrics", {})
-        page_size = _SMALL.page_size
         transfers = float(metrics.get("policy.transfers", 0))
         shape = parse_ec_policy(policy)
         if shape is not None:
@@ -139,37 +189,69 @@ def run_spectrum(
             "crashes_tolerated": crashes_tolerated(policy, n_servers),
             "n_servers": n_servers,
         }
+        prefix = "telemetry.pager.pagein"
+        if f"{prefix}.__hist__" in metrics:
+            results[policy]["pagein_latency"] = {
+                "count": metrics.get(f"{prefix}.count", 0),
+                # Histogram samples are simulated seconds; report ms.
+                "p50_ms": round(metrics.get(f"{prefix}.p50", 0.0) * 1e3, 3),
+                "p95_ms": round(metrics.get(f"{prefix}.p95", 0.0) * 1e3, 3),
+                "p99_ms": round(metrics.get(f"{prefix}.p99", 0.0) * 1e3, 3),
+                "mean_ms": round(_hist_mean(metrics, prefix) * 1e3, 3),
+            }
     return results
 
 
 def render_spectrum(results: Dict[str, Dict[str, object]]) -> str:
-    """Table + ASCII figure: transfer overhead vs crashes tolerated."""
+    """Table + ASCII figure: transfer overhead vs crashes tolerated.
+
+    Paper-scale results (built with ``run_spectrum(paper_scale=True)``)
+    carry pagein latency percentiles; the table grows p50/p95/p99
+    columns so the redundancy-vs-latency trade reads off one view.
+    """
+    with_latency = any("pagein_latency" in cell for cell in results.values())
     rows = []
     for policy, cell in results.items():
         tolerated = cell["crashes_tolerated"]
-        rows.append(
-            [
-                policy,
-                "disk" if tolerated is None else str(tolerated),
-                f"{cell['transfer_overhead']:.2f}x",
-                f"{cell['transfers']:.0f}",
-                str(cell["n_servers"]),
-                f"{cell['etime']:.2f}",
-            ]
+        row = [
+            policy,
+            "disk" if tolerated is None else str(tolerated),
+            f"{cell['transfer_overhead']:.2f}x",
+            f"{cell['transfers']:.0f}",
+            str(cell["n_servers"]),
+            f"{cell['etime']:.2f}",
+        ]
+        if with_latency:
+            latency = cell.get("pagein_latency")
+            if latency:
+                row += [
+                    f"{latency['p50_ms']:.2f}",
+                    f"{latency['p95_ms']:.2f}",
+                    f"{latency['p99_ms']:.2f}",
+                ]
+            else:
+                row += ["-", "-", "-"]
+        rows.append(row)
+    headers = [
+        "policy",
+        "crashes tolerated",
+        "wire overhead",
+        "page-equiv transfers",
+        "servers",
+        "etime (s)",
+    ]
+    if with_latency:
+        headers += ["pagein p50 (ms)", "p95 (ms)", "p99 (ms)"]
+        title = (
+            "Redundancy spectrum at paper scale: transfer cost and pagein "
+            "latency per crash tolerated (GAUSS, 32 MB Alpha, switched net)"
         )
-    table = format_table(
-        [
-            "policy",
-            "crashes tolerated",
-            "wire overhead",
-            "page-equiv transfers",
-            "servers",
-            "etime (s)",
-        ],
-        rows,
-        title="Redundancy spectrum: transfer cost per crash tolerated "
-        "(sequential scan, 400 pages x 3 passes, fault-free)",
-    )
+    else:
+        title = (
+            "Redundancy spectrum: transfer cost per crash tolerated "
+            "(sequential scan, 400 pages x 3 passes, fault-free)"
+        )
+    table = format_table(headers, rows, title=title)
     series = {}
     for policy, cell in results.items():
         tolerated = cell["crashes_tolerated"]

@@ -110,7 +110,10 @@ class ProtocolStack:
         # Clustered-batch framing state (see begin_cluster): while a
         # cluster is open, page sends *originating at the cluster's host*
         # after the head pay only ``spec.batch_cpu_fraction`` of the
-        # per-page protocol CPU.
+        # per-page protocol CPU.  Kept as a stack so framing nests: the
+        # erasure fan-out opens a cluster around its fragment sends even
+        # when the pipeline drain loop already holds one open.
+        self._cluster_stack: list = []
         self._cluster_src: Optional[str] = None
         self._cluster_head_pending = False
 
@@ -128,14 +131,35 @@ class ProtocolStack:
         stay one per page: each page is still a distinct frame train, and
         the fault injector still gets one independent drop/corrupt draw
         per page.
+
+        Calls nest: an inner ``begin_cluster`` for the same (or a
+        different) source rides inside the outer frame — the outer
+        cluster's head/batch accounting simply continues when the inner
+        frame closes.  Only the outermost open sets a fresh head.
         """
+        self._cluster_stack.append((self._cluster_src,
+                                    self._cluster_head_pending))
+        if src != self._cluster_src:
+            self._cluster_head_pending = True
         self._cluster_src = src
-        self._cluster_head_pending = True
 
     def end_cluster(self) -> None:
-        """Close the clustered-batch frame; sends revert to full cost."""
-        self._cluster_src = None
-        self._cluster_head_pending = False
+        """Close the innermost clustered-batch frame.
+
+        Restores the enclosing frame's source and head state (an outer
+        drain-loop cluster keeps amortising after an inner erasure
+        fan-out closes); the outermost close reverts sends to full cost.
+        """
+        if not self._cluster_stack:
+            self._cluster_src = None
+            self._cluster_head_pending = False
+            return
+        src, head_pending = self._cluster_stack.pop()
+        if src == self._cluster_src:
+            # Same source: the inner frame consumed the shared head.
+            head_pending = head_pending and self._cluster_head_pending
+        self._cluster_src = src
+        self._cluster_head_pending = head_pending if src is not None else False
 
     # ------------------------------------------------------------------ CPU
     def cpu_account(self, host: str) -> CpuAccount:

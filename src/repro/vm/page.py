@@ -26,6 +26,8 @@ __all__ = [
     "set_fastpath",
     "clear_fastpath_caches",
     "fastpath_stats",
+    "fragment_memo_get",
+    "fragment_memo_put",
     "PageVersioner",
 ]
 
@@ -53,6 +55,15 @@ _ZERO_PAGES: dict = {}  # size -> the shared all-zero page (few sizes ever)
 #: recycled id (after a cache flush) harmless.
 _CHECKSUM_MEMO: dict = {}
 _CHECKSUM_MEMO_MAX = 8192
+#: id(contents) -> (contents, shape_key, fragment_list).  Erasure
+#: stripes memoised by payload identity: ``page_bytes`` hands out shared
+#: objects per (page, version), so a page written once and paged out
+#: repeatedly (or the shared zero page) is split+encoded exactly once.
+#: Same identity discipline as ``_CHECKSUM_MEMO``; purely host-side —
+#: simulated CPU charges are unaffected.
+_FRAGMENT_MEMO: dict = {}
+_FRAGMENT_MEMO_MAX = 4096
+_FRAGMENT_MEMO_HITS = [0]
 
 
 def set_fastpath(enabled: bool) -> bool:
@@ -72,6 +83,8 @@ def clear_fastpath_caches() -> None:
     """Drop all memoised pages/checksums (benchmark hygiene)."""
     _ZERO_PAGES.clear()
     _CHECKSUM_MEMO.clear()
+    _FRAGMENT_MEMO.clear()
+    _FRAGMENT_MEMO_HITS[0] = 0
     _page_bytes_cached.cache_clear()
 
 
@@ -85,7 +98,35 @@ def fastpath_stats() -> dict:
         "page_bytes_entries": info.currsize,
         "zero_page_sizes": len(_ZERO_PAGES),
         "checksum_entries": len(_CHECKSUM_MEMO),
+        "fragment_entries": len(_FRAGMENT_MEMO),
+        "fragment_hits": _FRAGMENT_MEMO_HITS[0],
     }
+
+
+def fragment_memo_get(contents: bytes, shape_key: tuple) -> Optional[list]:
+    """The memoised erasure stripe for ``contents``, or None.
+
+    Trusted only when the stored object *is* ``contents`` and the codec
+    shape matches — identical semantics to the checksum memo.
+    """
+    if not _FASTPATH:
+        return None
+    hit = _FRAGMENT_MEMO.get(id(contents))
+    if hit is not None and hit[0] is contents and hit[1] == shape_key:
+        _FRAGMENT_MEMO_HITS[0] += 1
+        return hit[2]
+    return None
+
+
+def fragment_memo_put(
+    contents: bytes, shape_key: tuple, fragments: list
+) -> None:
+    """Memoise an erasure stripe keyed by payload identity + shape."""
+    if not _FASTPATH:
+        return
+    if len(_FRAGMENT_MEMO) >= _FRAGMENT_MEMO_MAX:
+        _FRAGMENT_MEMO.clear()  # epoch flush: O(1) amortised, no LRU links
+    _FRAGMENT_MEMO[id(contents)] = (contents, shape_key, fragments)
 
 
 def _generate_page_bytes(page_id: int, version: int, size: int) -> bytes:

@@ -113,7 +113,12 @@ def test_corrupt_fragment_never_silently_wrong(shape, flip_index):
     fragments = list(data) + list(rs.encode(data))
 
     victim = flip_index % len(fragments)
-    byte_pos = (flip_index // len(fragments)) % fragment_size
+    # Only columns that are real payload in *every* data fragment: a flip
+    # in the last fragment's zero-padding (or in the parity column that
+    # only feeds that padding) is truncated away by join_fragments and is
+    # legitimately invisible end-to-end.
+    solid_cols = page_size - (k - 1) * fragment_size
+    byte_pos = (flip_index // len(fragments)) % solid_cols
     rotted = bytearray(fragments[victim])
     rotted[byte_pos] ^= 1 + (flip_index % 255)
     fragments[victim] = bytes(rotted)
@@ -258,6 +263,40 @@ def test_compiled_and_interpreted_reports_identical():
     def one_run():
         cluster = build_ec("ec-4-2")
         report = cluster.run(SequentialScan(n_pages=300, passes=2, write=True))
+        return report, cluster.metrics.snapshot()
+
+    try:
+        set_compile_enabled(True)
+        compiled_report, compiled_metrics = one_run()
+        set_compile_enabled(False)
+        interpreted_report, interpreted_metrics = one_run()
+    finally:
+        set_compile_enabled(None)
+    assert compiled_report.etime == interpreted_report.etime
+    assert compiled_report.faults == interpreted_report.faults
+    assert compiled_metrics == interpreted_metrics
+
+
+@pytest.mark.parametrize("level", ["heavy", "correlated"])
+def test_compiled_identity_under_chaos(level):
+    """The concurrent fragment datapath (scatter pageouts, wave pageins)
+    stays bit-deterministic under fault campaigns: the compiled-enabled
+    and interpreted runs of a chaos cell return identical reports and
+    metrics snapshots."""
+    from repro.experiments.resilience import _level_plan
+
+    plan = (
+        FaultPlan.correlated_campaign()
+        if level == "correlated"
+        else _level_plan("heavy")
+    )
+
+    def one_run():
+        cluster = build_ec("ec-4-2")
+        ChaosController(cluster, plan)
+        report = cluster.run(SequentialScan(n_pages=400, passes=3, write=True))
+        integrity = check_page_integrity(cluster)
+        assert integrity.clean, integrity.verdict
         return report, cluster.metrics.snapshot()
 
     try:
