@@ -1,6 +1,14 @@
-"""Two clients sharing one Ethernet and donor pool (§3.2 / §6)."""
+"""Clients sharing one fabric and donor pool (§3.2 / §6).
+
+Parameterized over the fabric: the paper's shared Ethernet segment
+(where N simultaneous paging clients pay a visible contention cost)
+versus the switched full-duplex network (where the same clients are
+isolated onto their own ports and the slowdown all but vanishes).
+Both shapes are the N=small special case of the fleet builder.
+"""
 
 from repro.experiments import render_multi_client, run_multi_client
+from repro.workloads import Gauss, Mvec, Qsort
 
 
 def test_multi_client_contention(benchmark, once):
@@ -11,3 +19,25 @@ def test_multi_client_contention(benchmark, once):
     assert all(s > 1.0 for s in results["slowdowns"])
     assert max(results["slowdowns"]) < 3.0
     assert results["collisions"] > 0
+
+
+def test_multi_client_switched_isolation(benchmark, once):
+    results = once(benchmark, run_multi_client, network="switched")
+    print("\n" + render_multi_client(results))
+    # Full-duplex ports isolate the clients: no collisions exist on a
+    # switched fabric and the concurrent slowdown is within noise.
+    assert results["collisions"] == 0
+    assert all(1.0 <= s < 1.05 for s in results["slowdowns"])
+
+
+def test_multi_client_scales_past_two(benchmark, once):
+    results = once(
+        benchmark,
+        run_multi_client,
+        workload_factories=(Gauss, Qsort, Mvec),
+        n_donors=3,
+        network="ethernet",
+    )
+    print("\n" + render_multi_client(results))
+    assert len(results["concurrent"]) == 3
+    assert all(s > 1.0 for s in results["slowdowns"])

@@ -100,7 +100,37 @@ def _cmd_remotedisk(args) -> str:
 
 
 def _cmd_multiclient(args) -> str:
-    return exp.render_multi_client(exp.run_multi_client())
+    from .workloads import Fft, Gauss, ImageFilter, KernelBuild, Mvec, Qsort
+
+    factories = {
+        "mvec": Mvec, "gauss": Gauss, "qsort": Qsort,
+        "fft": Fft, "filter": ImageFilter, "cc": KernelBuild,
+    }
+    chosen = [factories[name] for name in args.apps]
+    # --clients N repeats the workload list round-robin up to N.
+    while len(chosen) < args.clients:
+        chosen.append(chosen[len(chosen) % len(args.apps)])
+    return exp.render_multi_client(
+        exp.run_multi_client(
+            workload_factories=tuple(chosen[: max(args.clients, len(chosen))]),
+            n_donors=args.donors,
+            network=args.network,
+        )
+    )
+
+
+def _cmd_fleet(args) -> str:
+    return exp.render_fleet(
+        exp.run_fleet(
+            workload=(args.workload, {}),
+            n_clients=args.clients,
+            n_donors=args.donors,
+            capacity_per_client=args.capacity,
+            seed=args.seed,
+            network=args.network,
+            telemetry_interval=args.telemetry_interval,
+        )
+    )
 
 
 def _cmd_diurnal(args) -> str:
@@ -226,6 +256,7 @@ _ALL = [
     "adaptive",
     "remotedisk",
     "multiclient",
+    "fleet",
     "diurnal",
     "compression",
     "resilience",
@@ -275,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-analytic-ethernet", action="store_true",
         help="disable the uncontended-medium analytic Ethernet service "
         "path: simulate every frame's CSMA/CD state machine (A/B "
+        "switch; results are bit-identical either way)",
+    )
+    group.add_argument(
+        "--no-analytic-switched", action="store_true",
+        help="disable the switched fabric's per-port-pair analytic "
+        "service path: simulate every uplink/hop/drain step (A/B "
         "switch; results are bit-identical either way)",
     )
     group.add_argument(
@@ -388,8 +425,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_remotedisk)
 
     p = sub.add_parser(
-        "multiclient", parents=[runner_flags], help="two clients sharing the cluster")
+        "multiclient", parents=[runner_flags], help="N clients sharing the cluster")
+    p.add_argument(
+        "--clients", type=int, default=2, metavar="N",
+        help="number of concurrent paging clients (default 2)")
+    p.add_argument(
+        "--donors", type=int, default=2, metavar="M",
+        help="donor workstations hosting the per-client servers (default 2)")
+    p.add_argument(
+        "--network", choices=["ethernet", "switched"], default="ethernet",
+        help="shared fabric: the paper's Ethernet (default) or the "
+        "full-duplex switched network")
+    p.add_argument(
+        "--apps", nargs="+", choices=_APPS, default=["gauss", "qsort"],
+        help="one workload per client, repeated round-robin to --clients")
     p.set_defaults(func=_cmd_multiclient)
+
+    p = sub.add_parser(
+        "fleet", parents=[runner_flags],
+        help="fleet-scale campaign: N clients x M donors, cluster "
+        "throughput / Jain fairness / p99 pagein latency")
+    p.add_argument(
+        "--clients", type=int, default=16, metavar="N",
+        help="number of concurrent paging clients (default 16)")
+    p.add_argument(
+        "--donors", type=int, default=4, metavar="M",
+        help="donor workstations hosting the per-client servers (default 4)")
+    p.add_argument(
+        "--workload", choices=_APPS + ["sequential-scan", "zipf", "hot-cold"],
+        default="gauss", help="workload every client runs (default gauss)")
+    p.add_argument(
+        "--capacity", type=int, default=2048, metavar="PAGES",
+        help="remote-memory grant per client per donor (default 2048)")
+    p.add_argument(
+        "--network", choices=["switched", "ethernet"], default="switched",
+        help="fabric: switched full-duplex (default; analytic- and "
+        "replay-eligible) or the paper's shared Ethernet")
+    p.add_argument(
+        "--telemetry-interval", type=float, default=0.0, metavar="SEC",
+        help="sampling period for pooled pagein-latency percentiles "
+        "(0 = off; sampling pins interpreted execution)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser(
         "diurnal", parents=[runner_flags], help="Figure 1 trace driving donor capacity")
@@ -561,6 +638,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_NO_COMPILE"] = "1"
     if args.no_analytic_ethernet:
         os.environ["REPRO_NO_ANALYTIC_ETH"] = "1"
+    if args.no_analytic_switched:
+        os.environ["REPRO_NO_ANALYTIC_SWITCHED"] = "1"
     if args.no_cache:
         # "recompute every run" covers compiled fault schedules too
         # (and the recorded effect capsules keyed off them).

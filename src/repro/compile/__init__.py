@@ -27,6 +27,8 @@ from .effects import (
 from .plan import (
     ReplayPlan,
     compile_enabled,
+    fleet_bypass_reason,
+    plan_fleet,
     plan_replay,
     plan_run,
     schedule_cache_enabled,
@@ -47,6 +49,8 @@ __all__ = [
     "effects_cache_enabled",
     "effects_key",
     "decompose_ptime",
+    "plan_fleet",
+    "fleet_bypass_reason",
     "plan_replay",
     "plan_run",
     "compile_enabled",

@@ -49,6 +49,8 @@ __all__ = [
     "ReplayPlan",
     "plan_run",
     "plan_replay",
+    "plan_fleet",
+    "fleet_bypass_reason",
     "compile_enabled",
     "set_compile_enabled",
     "schedule_cache_enabled",
@@ -134,10 +136,20 @@ def _schedule_key(machine, workload, token) -> dict:
     }
 
 
-def _plan_schedule(cluster, workload):
-    """Shared schedule decision: (schedule, key) — key is None when the
-    workload has no identity token.  Emits bypass/cache-hit/compiled."""
-    machine = cluster.machine
+def _freeze_key(key: dict) -> tuple:
+    """A hashable token for in-memory schedule dedupe within one fleet."""
+    return tuple(sorted((name, repr(value)) for name, value in key.items()))
+
+
+def _plan_machine_schedule(machine, pager, workload, shared=None):
+    """Schedule decision for one (machine, pager, workload) triple:
+    (schedule, key) — key is None when the workload has no identity
+    token.  Emits bypass/cache-hit/compiled.  ``shared`` is an optional
+    in-memory pool (see :func:`plan_fleet`): identical clients compile
+    once and replay the same schedule object — safe because replay
+    *copies* the captured policy state into each machine
+    (``Machine._restore_schedule_state``) and never mutates the
+    schedule."""
     tracer = machine.sim.tracer
 
     enabled = machine.compile_schedules
@@ -147,7 +159,7 @@ def _plan_schedule(cluster, workload):
         tracer.emit("compile", "bypass", reason="disabled")
         return None, None
 
-    reason = _bypass_reason(machine, cluster.pager, workload)
+    reason = _bypass_reason(machine, pager, workload)
     if reason is not None:
         tracer.emit("compile", "bypass", reason=reason)
         return None, None
@@ -155,8 +167,18 @@ def _plan_schedule(cluster, workload):
     token = workload.schedule_token() if hasattr(workload, "schedule_token") else None
     key: Any = None
     cache = None
+    frozen = None
     if token is not None:
         key = _schedule_key(machine, workload, token)
+        if shared is not None:
+            frozen = _freeze_key(key)
+            schedule = shared.get(frozen)
+            if schedule is not None:
+                tracer.emit(
+                    "compile", "fleet-shared",
+                    faults=schedule.n_faults, refs=schedule.n_refs,
+                )
+                return schedule, key
         if schedule_cache_enabled():
             from ..runner.cache import ScheduleCache
 
@@ -167,6 +189,8 @@ def _plan_schedule(cluster, workload):
                     "compile", "cache-hit",
                     faults=schedule.n_faults, refs=schedule.n_refs,
                 )
+                if frozen is not None:
+                    shared[frozen] = schedule
                 return schedule, key
 
     started = perf_counter()
@@ -188,7 +212,78 @@ def _plan_schedule(cluster, workload):
         ops=schedule.n_ops, wall_ms=round(wall_ms, 3),
         cached=cache is not None,
     )
+    if frozen is not None:
+        shared[frozen] = schedule
     return schedule, key
+
+
+def _plan_schedule(cluster, workload):
+    """Single-cluster wrapper around :func:`_plan_machine_schedule`."""
+    return _plan_machine_schedule(cluster.machine, cluster.pager, workload)
+
+
+def fleet_bypass_reason(clients, network=None) -> Optional[str]:
+    """Why a whole fleet must stay interpreted, or None when eligible.
+
+    Per-client schedules are *reliability- and network-blind* (a fault
+    sequence in CPU time), so N replays on one kernel reconcile shared
+    contention exactly — **when** contention resolves without randomness
+    and the clients are truly isolated (§6: "clients never share their
+    swap spaces").  Two fleet-level couplings break that:
+
+    * ``shared-ethernet`` — a collision medium resolves cross-client
+      contention through per-station backoff RNG; the draw interleaving
+      depends on kernel event ordering that merged-chunk replay does
+      not reproduce.  Only the switched fabric (per-port full-duplex
+      resources, no RNG) is replay-safe.
+    * ``cross-client-coupling`` — a :class:`MemoryServer` instance (or
+      parity server) serving two pagers couples their replacement state;
+      schedules compiled in isolation would be wrong.
+    """
+    from ..net.switched import SwitchedNetwork
+
+    if network is not None and not isinstance(network, SwitchedNetwork):
+        return "shared-ethernet"
+    owners: dict = {}
+    for _, pager, _ in clients:
+        policy = pager.policy
+        servers = list(getattr(policy, "servers", ()))
+        parity = getattr(policy, "parity_server", None)
+        if parity is not None:
+            servers.append(parity)
+        for server in servers:
+            owner = owners.setdefault(id(server), pager)
+            if owner is not pager:
+                return "cross-client-coupling"
+    return None
+
+
+def plan_fleet(clients, network=None):
+    """Schedule decisions for N co-simulated clients.
+
+    ``clients`` is a sequence of ``(machine, pager, workload)`` triples
+    sharing one kernel; ``network`` is the fabric they page over.
+    Returns a list of per-client :class:`FaultSchedule`\\ s (``None`` =
+    interpret that client), aligned with ``clients``.  A fleet-level
+    coupling (see :func:`fleet_bypass_reason`) pins *every* client to
+    interpreted execution; otherwise each client is planned
+    independently, and identical clients share one compiled schedule
+    via an in-memory pool (compile once, replay N times)."""
+    clients = list(clients)
+    schedules: list = [None] * len(clients)
+    if not clients:
+        return schedules
+    tracer = clients[0][0].sim.tracer
+    reason = fleet_bypass_reason(clients, network)
+    if reason is not None:
+        tracer.emit("compile", "bypass", reason=reason, scope="fleet")
+        return schedules
+    shared: dict = {}
+    for i, (machine, pager, workload) in enumerate(clients):
+        schedules[i], _ = _plan_machine_schedule(
+            machine, pager, workload, shared=shared
+        )
+    return schedules
 
 
 def plan_replay(cluster, workload) -> Optional[FaultSchedule]:

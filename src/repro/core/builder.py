@@ -211,6 +211,7 @@ def build_cluster(
     pipeline_backlog: int = 0,
     compile_schedules: Optional[bool] = None,
     analytic_ethernet: Optional[bool] = None,
+    analytic_switched: Optional[bool] = None,
     telemetry_interval: float = 0.0,
     telemetry_capacity: int = 512,
     health_warn_load: float = 0.70,
@@ -250,7 +251,10 @@ def build_cluster(
     path of the shared Ethernet on (True) or off (False); None follows
     the process default (on, unless ``--no-analytic-ethernet`` /
     ``REPRO_NO_ANALYTIC_ETH``).  Ignored for switched/token-ring
-    networks.
+    networks.  ``analytic_switched`` is the same switch for the
+    full-duplex switched fabric's per-port-pair fast path (process
+    default: on, unless ``--no-analytic-switched`` /
+    ``REPRO_NO_ANALYTIC_SWITCHED``); ignored for other networks.
 
     ``telemetry_interval`` (simulated seconds) > 0 installs a
     :class:`~repro.obs.telemetry.TelemetrySampler` that records
@@ -292,7 +296,9 @@ def build_cluster(
     sim = Simulator()
     rngs = RngRegistry(seed=seed)
     if switched_spec is not None:
-        network: Network = SwitchedNetwork(sim, spec=switched_spec)
+        network: Network = SwitchedNetwork(
+            sim, spec=switched_spec, analytic=analytic_switched
+        )
     elif token_ring_spec is not None:
         network = TokenRing(sim, spec=token_ring_spec)
     else:

@@ -66,6 +66,7 @@ __all__ = [
     "codec_stats",
     "gf_mul",
     "gf_inv",
+    "prime_tables",
     "scale_bytes",
     "set_codec_backend",
     "split_page",
@@ -163,6 +164,20 @@ def _np_mul_table():
         table[:, 0] = 0
         _NP_MUL = table
     return _NP_MUL
+
+
+def prime_tables() -> None:
+    """Materialise the lazy codec tables in *this* process.
+
+    The parallel runner calls this in the parent before forking its
+    worker pool: the 64 KB product table then lives in pages every
+    worker shares copy-on-write (the tables are never written after
+    construction), instead of each worker rebuilding it on first use.
+    A no-op on the pure-python engine, whose log/exp tables are built
+    at import.
+    """
+    if _BACKEND == "numpy":
+        _np_mul_table()
 
 
 #: (c1,) or (c1, c2) -> packed pair-multiply table, LRU-bounded.  Keyed

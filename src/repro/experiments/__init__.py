@@ -33,6 +33,7 @@ from .monitor import (
     run_monitor,
     run_monitor_campaign,
 )
+from .fleet import build_fleet, jain_fairness, render_fleet, run_fleet
 from .multi_client import build_multi_client, render_multi_client, run_multi_client
 from .network_comparison import render_network_comparison, run_network_comparison
 from .pipelining import (
@@ -95,6 +96,10 @@ __all__ = [
     "render_ablation",
     "run_remote_disk",
     "render_remote_disk",
+    "build_fleet",
+    "run_fleet",
+    "render_fleet",
+    "jain_fairness",
     "build_multi_client",
     "run_multi_client",
     "render_multi_client",

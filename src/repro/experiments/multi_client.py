@@ -3,31 +3,29 @@
 §3.2: "Each client is served by a new instance of the server which uses
 portion of the local workstation's main memory to store the client's
 pages" — and §6 stresses that, unlike file systems, "clients never share
-their swap spaces".  This experiment runs two clients concurrently:
+their swap spaces".  This experiment runs clients concurrently:
 
 * each client gets its *own* server instances on the shared donor
   workstations (separate memory grants, fully isolated swap spaces);
-* both compete for the one shared Ethernet segment.
+* all compete for one shared fabric — the paper's Ethernet segment by
+  default, or the switched full-duplex network via ``network=``.
 
-The interesting measurement is the contention cost: how much slower two
-simultaneous paging applications run than each would alone.
+The interesting measurement is the contention cost: how much slower N
+simultaneous paging applications run than each would alone.  The
+topology is the N=small special case of :mod:`repro.experiments.fleet`
+(same builder, same per-client isolation); the fleet experiment is
+where the same shape scales to paper-rack client counts.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.report import format_table
-from ..cluster.workstation import Workstation
-from ..config import DEC_ALPHA_3000_300
-from ..core.client import RemoteMemoryPager
-from ..core.policies.none import NoReliability
-from ..core.server import MemoryServer
-from ..net.ethernet import EthernetCsmaCd
-from ..net.protocol import ProtocolStack
-from ..sim import RngRegistry, Simulator
+from ..config import SwitchedNetworkSpec
 from ..vm.machine import Machine
 from ..workloads import Gauss, Qsort
+from .fleet import build_fleet
 
 __all__ = ["build_multi_client", "run_multi_client", "render_multi_client"]
 
@@ -37,60 +35,55 @@ def build_multi_client(
     n_donors: int = 2,
     capacity_per_client: int = 2048,
     seed: int = 0,
+    network: str = "ethernet",
+    switched_spec: Optional[SwitchedNetworkSpec] = None,
 ):
-    """A shared-Ethernet cluster with per-client server instances."""
-    sim = Simulator()
-    network = EthernetCsmaCd(sim, rngs=RngRegistry(seed=seed))
-    stack = ProtocolStack(network)
-    donor_spec = DEC_ALPHA_3000_300
-    # Size donor hosts to hold every client's grant.
-    from ..config import MachineSpec
+    """A shared-fabric cluster with per-client server instances.
 
-    donor_spec = MachineSpec(
-        name="donor",
-        ram_bytes=(n_clients * capacity_per_client + 2048) * 8192
-        + donor_spec.kernel_resident_bytes,
-        kernel_resident_bytes=donor_spec.kernel_resident_bytes,
+    Returns ``(sim, machines, network)`` — the historical shape.  The
+    assembly itself delegates to :func:`repro.experiments.fleet.build_fleet`
+    with zero start stagger: this experiment *wants* the §6 worst case
+    of perfectly synchronized clients fighting for the wire.
+    """
+    fleet = build_fleet(
+        n_clients=n_clients,
+        n_donors=n_donors,
+        capacity_per_client=capacity_per_client,
+        seed=seed,
+        network=network,
+        switched_spec=switched_spec,
+        stagger=0.0,
     )
-    donors = []
-    for d in range(n_donors):
-        host = Workstation(sim, f"donor-{d}", donor_spec)
-        network.attach(host.name)
-        donors.append(host)
-
-    machines: List[Machine] = []
-    for c in range(n_clients):
-        client_name = f"client-{c}"
-        network.attach(client_name)
-        # "A new instance of the server" per client, on every donor.
-        servers = [
-            MemoryServer(
-                host,
-                stack,
-                capacity_pages=capacity_per_client,
-                name=f"server-{c}-{d}",
-            )
-            for d, host in enumerate(donors)
-        ]
-        policy = NoReliability(client_name, stack, servers)
-        pager = RemoteMemoryPager(policy)
-        machines.append(
-            Machine(sim, DEC_ALPHA_3000_300, pager, name=client_name)
-        )
-    return sim, machines, network
+    machines: List[Machine] = fleet.machines
+    return fleet.sim, machines, fleet.network
 
 
-def run_multi_client(workload_factories=(Gauss, Qsort)) -> Dict[str, object]:
-    """Solo vs concurrent completion times for two clients."""
+def run_multi_client(
+    workload_factories=(Gauss, Qsort),
+    n_donors: int = 2,
+    capacity_per_client: int = 2048,
+    network: str = "ethernet",
+) -> Dict[str, object]:
+    """Solo vs concurrent completion times, one client per workload."""
     solo_times = []
     for factory in workload_factories:
-        sim, machines, _ = build_multi_client(n_clients=1)
+        sim, machines, _ = build_multi_client(
+            n_clients=1,
+            n_donors=n_donors,
+            capacity_per_client=capacity_per_client,
+            network=network,
+        )
         report = sim.run_until_complete(
             machines[0].run(factory().trace(), name=factory().name)
         )
         solo_times.append(report.etime)
 
-    sim, machines, network = build_multi_client(n_clients=len(workload_factories))
+    sim, machines, fabric = build_multi_client(
+        n_clients=len(workload_factories),
+        n_donors=n_donors,
+        capacity_per_client=capacity_per_client,
+        network=network,
+    )
     processes = [
         machine.run(factory().trace(), name=factory().name)
         for machine, factory in zip(machines, workload_factories)
@@ -98,13 +91,16 @@ def run_multi_client(workload_factories=(Gauss, Qsort)) -> Dict[str, object]:
     reports = [sim.run_until_complete(p) for p in processes]
     return {
         "names": [factory().name for factory in workload_factories],
+        "network": network,
         "solo": solo_times,
         "concurrent": [r.etime for r in reports],
         "slowdowns": [
             c / s for c, s in zip((r.etime for r in reports), solo_times)
         ],
-        "collisions": network.collisions,
-        "wire_utilization": network.stats.utilization(),
+        # Collisions only exist on the shared Ethernet; the switched
+        # fabric contends at ports instead.
+        "collisions": getattr(fabric, "collisions", 0),
+        "wire_utilization": fabric.stats.utilization(),
     }
 
 
@@ -119,10 +115,14 @@ def render_multi_client(results: Dict[str, object]) -> str:
             results["slowdowns"],
         )
     ]
+    fabric = results.get("network", "ethernet")
     table = format_table(
         ["client workload", "solo (s)", "concurrent (s)", "slowdown"],
         rows,
-        title="Two clients sharing one Ethernet and donor pool",
+        title=(
+            f"{len(rows)} clients sharing one {fabric} fabric "
+            "and donor pool"
+        ),
     )
     return (
         table

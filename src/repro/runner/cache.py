@@ -2,10 +2,10 @@
 
 Each result is stored as one JSON file named by the SHA-256 of the
 run's *fingerprint*: the spec's canonical identity, the package
-version, and a digest of the result-determining source trees (the
-simulation kernel, VM, network, disk, cluster, policies, workloads and
-configuration).  Editing any of those invalidates every entry
-automatically; editing experiment drivers, analysis, rendering or the
+version, the effective codec backend, and a digest of the
+result-determining source trees (the simulation kernel, VM, network,
+disk, cluster, policies, workloads and configuration).  Editing any of
+those invalidates every entry automatically; editing experiment drivers, analysis, rendering or the
 CLI does not — re-running ``repro fig2`` after an unrelated change
 skips already-computed cells.
 
@@ -22,7 +22,7 @@ import json
 import os
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..vm.machine import CompletionReport
 from .spec import RunSpec
@@ -76,12 +76,34 @@ def _source_digest() -> str:
     return _code_digest
 
 
+def _runtime_token() -> str:
+    """Runtime configuration that rides in every fingerprint.
+
+    The GF(256) engines are byte-identical by contract, but keying on
+    the *effective* backend means an engine regression can never poison
+    cells computed by the other engine — and A/B benchmark legs that
+    flip ``REPRO_NO_NUMPY_GF`` honestly recompute both sides.  Network
+    model and client count need no entry here: they travel inside
+    ``spec.overrides`` and are already part of ``spec.identity()``.
+    """
+    from ..core.policies.gf256 import codec_backend
+
+    return f"codec={codec_backend()}"
+
+
 def fingerprint(spec: RunSpec) -> str:
-    """Content address of one run: spec identity + version + sources."""
+    """Content address of one run: spec identity + version + sources
+    + runtime configuration (the effective codec backend)."""
     import repro
 
     payload = "\n".join(
-        (str(_FORMAT), repro.__version__, _source_digest(), spec.identity())
+        (
+            str(_FORMAT),
+            repro.__version__,
+            _source_digest(),
+            _runtime_token(),
+            spec.identity(),
+        )
     )
     return hashlib.sha256(payload.encode()).hexdigest()
 
@@ -107,9 +129,8 @@ class ResultCache:
     def _path(self, spec: RunSpec) -> Path:
         return self.dir / f"{fingerprint(spec)}.json"
 
-    def get(self, spec: RunSpec) -> Optional[Tuple[CompletionReport, Dict[str, Any]]]:
-        """Load a cached (report, extras) pair, or None on miss."""
-        path = self._path(spec)
+    def _load(self, path: Path) -> Optional[Tuple[CompletionReport, Dict[str, Any]]]:
+        """Read one entry file; None on any miss or corruption."""
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -119,10 +140,41 @@ class ResultCache:
             extras = entry.get("extras", {})
         except (OSError, ValueError, TypeError, KeyError):
             # Missing, corrupt, or from an incompatible layout: recompute.
-            self.misses += 1
             return None
-        self.hits += 1
         return report, extras
+
+    def get(self, spec: RunSpec) -> Optional[Tuple[CompletionReport, Dict[str, Any]]]:
+        """Load a cached (report, extras) pair, or None on miss."""
+        loaded = self._load(self._path(spec))
+        if loaded is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return loaded
+
+    def get_many(
+        self, specs: Sequence[RunSpec]
+    ) -> List[Optional[Tuple[CompletionReport, Dict[str, Any]]]]:
+        """Batched :meth:`get`: one lookup pass for a whole campaign.
+
+        A cold matrix of N cells would otherwise pay N failed ``open``
+        probes; one directory listing classifies every miss up front,
+        and only files that actually exist are opened and parsed.
+        """
+        try:
+            present = {entry.name for entry in os.scandir(self.dir)}
+        except OSError:
+            present = set()
+        out: List[Optional[Tuple[CompletionReport, Dict[str, Any]]]] = []
+        for spec in specs:
+            path = self._path(spec)
+            loaded = self._load(path) if path.name in present else None
+            if loaded is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            out.append(loaded)
+        return out
 
     def put(
         self, spec: RunSpec, report: CompletionReport, extras: Dict[str, Any]

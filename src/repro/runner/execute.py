@@ -6,16 +6,31 @@ workload, stamps provenance metadata on the report, and applies the
 spec's extractors.  It is also the serial fast path — the runner calls
 it inline when ``jobs == 1``, so serial and parallel execution share
 one code path by construction.
+
+:func:`execute_chunk` wraps it for batched submission: the runner ships
+a handful of chunks per campaign instead of one pool task per spec, so
+a 500-cell matrix pays a few pickle/dispatch round-trips rather than
+500.  :func:`prime_shared_tables` warms the read-only codec tables —
+called in the parent before the pool forks, the tables land in
+copy-on-write pages every worker shares; it doubles as the pool
+initializer so spawn-based platforms build them once per worker
+instead of once per spec.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from .registry import make_hook, make_workload, run_extractors
 from .spec import RunResult, RunSpec
 
-__all__ = ["execute_spec", "resolve_build_kwargs", "build_meta"]
+__all__ = [
+    "execute_spec",
+    "execute_chunk",
+    "prime_shared_tables",
+    "resolve_build_kwargs",
+    "build_meta",
+]
 
 #: Values stored verbatim in report.meta; everything else is repr()d.
 _PLAIN_TYPES = (int, float, str, bool, type(None))
@@ -92,3 +107,19 @@ def execute_spec(spec: RunSpec) -> RunResult:
         report.meta["health"] = health
     extras = run_extractors(spec.extract, cluster, report, state)
     return RunResult(spec=spec, report=report, extras=extras)
+
+
+def execute_chunk(specs: Sequence[RunSpec]) -> List[RunResult]:
+    """Run a batch of specs in order (the chunked pool entry point)."""
+    return [execute_spec(spec) for spec in specs]
+
+
+def prime_shared_tables() -> None:
+    """Build the read-only codec tables ahead of worker fan-out.
+
+    Safe to call repeatedly; each table is built at most once per
+    process.
+    """
+    from ..core.policies.gf256 import prime_tables
+
+    prime_tables()

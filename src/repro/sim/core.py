@@ -629,7 +629,7 @@ class Simulator:
         """An event firing ``delay`` seconds from now with ``value``."""
         return Timeout(self, delay, value)
 
-    def at(self, when: float, value: Any = None) -> Event:
+    def at(self, when: float, value: Any = None, seq: Optional[int] = None) -> Event:
         """An event firing at the absolute instant ``when`` with ``value``.
 
         The batch-replay fast paths use this to reconcile with the event
@@ -637,14 +637,31 @@ class Simulator:
         exact absolute time avoids re-deriving it from a chain of
         relative delays (whose float rounding the caller has already
         accumulated in the reference order).
+
+        ``seq`` pins the heap tie-break rank instead of drawing a fresh
+        one (see :meth:`claim_seq`): a fast path that parked a whole
+        event chain on one far-future entry can re-enter the heap at the
+        rank that chain claimed when it was created, so same-instant
+        ties keep firing in the order the unbatched walk would produce.
+        Two entries may share a rank only if their times differ.
         """
         if when < self._now:
             raise ValueError(f"at(when={when}) is in the past (now={self._now})")
         event = Event(self)
         event._state = TRIGGERED
         event._value = value
-        heappush(self._heap, (when, next(self._seq), event))
+        heappush(self._heap, (when, next(self._seq) if seq is None else seq, event))
         return event
+
+    def claim_seq(self) -> int:
+        """Draw the next heap sequence number without scheduling anything.
+
+        Paired with ``at(..., seq=...)``: callers that may later need to
+        reschedule work at its original tie-break rank claim the rank up
+        front, at the instant the event-driven equivalent would have
+        entered the heap.
+        """
+        return next(self._seq)
 
     def every(
         self,

@@ -202,6 +202,22 @@ class Machine:
             self._execute_schedule(schedule, name, fault_log), name=f"run:{name}"
         )
 
+    def run_plan(self, workload, schedule=None, name: Optional[str] = None) -> Process:
+        """Dispatch one fleet client: replay ``schedule`` when the
+        planner produced one, else interpret ``workload``'s trace.
+
+        This is the per-client arm of multi-machine replay (see
+        :func:`repro.compile.plan_fleet`): N machines on one kernel each
+        replay their own reliability-blind schedule as interleaved
+        merged-chunk segments, reconciling only where they actually
+        meet — the shared fabric's port resources and the donor servers
+        — because fault service still drives the real pager datapath.
+        """
+        label = name if name is not None else getattr(workload, "name", "workload")
+        if schedule is not None:
+            return self.run_schedule(schedule, name=label)
+        return self.run(workload.trace(), name=label)
+
     def run_schedule_to_completion(
         self, schedule, name: str = "workload", fault_log: Optional[list] = None
     ) -> CompletionReport:
